@@ -1,0 +1,260 @@
+//! The five-way classification of new-ending replacement paths (Figure 7).
+//!
+//! Every new edge incident to a vertex `v` comes from one representative
+//! new-ending replacement path; the paper bounds `|New(v)|` by bounding the
+//! five classes separately:
+//!
+//! * **A** — `(π, π)` paths (both faults on `π(s, v)`), bounded by `O(√n)`;
+//! * **B** — `(π, D)` paths that never touch their own detour, `O(n^{2/3})`;
+//! * **C** — independent `(π, D)` paths, `O(n^{2/3})`;
+//! * **D** — π-interfering paths, `O(n^{2/3})`;
+//! * **E** — D-interfering paths, `O(n^{2/3})`.
+//!
+//! This module reproduces the classification on the construction records of
+//! `Cons2FTBFS` so the experiments can report the measured class sizes
+//! against those bounds.
+
+use ftbfs_core::dual::{DualFtBfs, NewEndingRecord, VertexRecord};
+use ftbfs_graph::{Graph, VertexId};
+use std::collections::HashSet;
+
+/// Counts of new-ending paths per class for a single target vertex.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Class A: `(π, π)` new-ending paths.
+    pub pi_pi: usize,
+    /// Class B: `(π, D)` paths disjoint from their own detour.
+    pub no_detour: usize,
+    /// Class C: independent `(π, D)` paths.
+    pub independent: usize,
+    /// Class D: π-interfering paths.
+    pub pi_interfering: usize,
+    /// Class E: D-interfering paths.
+    pub d_interfering: usize,
+}
+
+impl ClassCounts {
+    /// Total number of classified new-ending paths.
+    pub fn total(&self) -> usize {
+        self.pi_pi + self.no_detour + self.independent + self.pi_interfering + self.d_interfering
+    }
+
+    /// Adds another count to this one.
+    pub fn add(&mut self, other: &ClassCounts) {
+        self.pi_pi += other.pi_pi;
+        self.no_detour += other.no_detour;
+        self.independent += other.independent;
+        self.pi_interfering += other.pi_interfering;
+        self.d_interfering += other.d_interfering;
+    }
+}
+
+/// Per-vertex classification result.
+#[derive(Clone, Debug)]
+pub struct VertexClassification {
+    /// The target vertex.
+    pub vertex: VertexId,
+    /// Class counts for this vertex.
+    pub counts: ClassCounts,
+    /// `|New(v)|`: the number of new structure edges incident to the vertex.
+    pub new_edge_count: usize,
+}
+
+/// Whole-construction classification summary.
+#[derive(Clone, Debug, Default)]
+pub struct ClassificationSummary {
+    /// Per-vertex breakdown.
+    pub per_vertex: Vec<VertexClassification>,
+    /// Aggregated counts over all vertices.
+    pub totals: ClassCounts,
+    /// The largest `|New(v)|` over all vertices (the quantity Theorem 1.1
+    /// bounds by `O(n^{2/3})`).
+    pub max_new_edges: usize,
+}
+
+/// Returns `true` if path `p` of record `rec_p` *interferes* with path `q` of
+/// the same vertex: the second fault of `q` lies on `p` but not on `p`'s own
+/// detour.
+fn interferes(graph: &Graph, rec: &VertexRecord, p: &NewEndingRecord, q: &NewEndingRecord) -> bool {
+    let tq = graph.endpoints(q.second_fault);
+    if !p.path.contains_edge(tq.u, tq.v) {
+        return false;
+    }
+    let dp = &rec.detours[p.detour_index].decomposition.detour;
+    !dp.contains_edge(graph, q.second_fault)
+}
+
+/// Returns `true` if `p` π-interferes with `q`: `p` interferes with `q` and
+/// the first fault of `p` lies on `π(y(D(q)), v)`, i.e. below the re-entry
+/// point of `q`'s detour.
+fn pi_interferes(graph: &Graph, rec: &VertexRecord, p: &NewEndingRecord, q: &NewEndingRecord) -> bool {
+    if !interferes(graph, rec, p, q) {
+        return false;
+    }
+    let dq = &rec.detours[q.detour_index].decomposition.detour;
+    let y_pos = rec
+        .pi
+        .position(dq.y)
+        .expect("detour re-entry point lies on pi");
+    let ep = graph.endpoints(p.first_fault);
+    let e_pos = rec
+        .pi
+        .position(ep.u)
+        .min(rec.pi.position(ep.v))
+        .expect("first fault lies on pi");
+    e_pos >= y_pos
+}
+
+/// Classifies the new-ending paths of one vertex record.
+pub fn classify_vertex(graph: &Graph, rec: &VertexRecord) -> VertexClassification {
+    let mut counts = ClassCounts {
+        pi_pi: rec.pi_pi_new.len(),
+        ..ClassCounts::default()
+    };
+
+    // Split the (π,D) new-ending records into "touches own detour" and not.
+    let touches: Vec<bool> = rec
+        .new_ending
+        .iter()
+        .map(|p| {
+            let d = &rec.detours[p.detour_index].decomposition.detour;
+            let d_edges: HashSet<(VertexId, VertexId)> = d
+                .path
+                .edge_pairs()
+                .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+                .collect();
+            p.path
+                .edge_pairs()
+                .any(|(a, b)| d_edges.contains(&if a <= b { (a, b) } else { (b, a) }))
+        })
+        .collect();
+
+    for (i, p) in rec.new_ending.iter().enumerate() {
+        if !touches[i] {
+            counts.no_detour += 1;
+            continue;
+        }
+        // Interference relations with every other (π,D) new-ending path.
+        let mut interferes_with: Vec<usize> = Vec::new();
+        let mut interfered_by_someone = false;
+        for (j, q) in rec.new_ending.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if interferes(graph, rec, p, q) {
+                interferes_with.push(j);
+            }
+            if interferes(graph, rec, q, p) {
+                interfered_by_someone = true;
+            }
+        }
+        if interferes_with.is_empty() && !interfered_by_someone {
+            counts.independent += 1;
+        } else if interferes_with
+            .iter()
+            .all(|&j| pi_interferes(graph, rec, p, &rec.new_ending[j]))
+        {
+            counts.pi_interfering += 1;
+        } else {
+            counts.d_interfering += 1;
+        }
+    }
+
+    VertexClassification {
+        vertex: rec.vertex,
+        counts,
+        new_edge_count: rec.new_edges.len(),
+    }
+}
+
+/// Classifies every recorded vertex of a dual-failure construction.
+///
+/// The construction must have been built with `record_paths(true)`;
+/// otherwise the summary is empty.
+pub fn classify_construction(graph: &Graph, result: &DualFtBfs) -> ClassificationSummary {
+    let mut summary = ClassificationSummary::default();
+    for rec in &result.records {
+        let vc = classify_vertex(graph, rec);
+        summary.totals.add(&vc.counts);
+        summary.max_new_edges = summary.max_new_edges.max(vc.new_edge_count);
+        summary.per_vertex.push(vc);
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbfs_core::dual::DualFtBfsBuilder;
+    use ftbfs_graph::{generators, TieBreak};
+
+    fn classify(graph: &Graph, seed: u64) -> ClassificationSummary {
+        let w = TieBreak::new(graph, seed);
+        let r = DualFtBfsBuilder::new(graph, &w, VertexId(0))
+            .record_paths(true)
+            .build();
+        classify_construction(graph, &r)
+    }
+
+    #[test]
+    fn classification_covers_all_new_ending_paths() {
+        let g = generators::connected_gnp(20, 0.15, 5);
+        let summary = classify(&g, 5);
+        for vc in &summary.per_vertex {
+            // Every recorded (π,D) new-ending path and every (π,π) record is
+            // classified exactly once.
+            assert!(vc.counts.total() >= vc.counts.pi_pi);
+        }
+        // The aggregated totals match the sum of the per-vertex counts.
+        let mut total = ClassCounts::default();
+        for vc in &summary.per_vertex {
+            total.add(&vc.counts);
+        }
+        assert_eq!(total, summary.totals);
+    }
+
+    #[test]
+    fn per_vertex_new_edges_match_records() {
+        let g = generators::tree_plus_chords(18, 10, 3);
+        let w = TieBreak::new(&g, 3);
+        let r = DualFtBfsBuilder::new(&g, &w, VertexId(0))
+            .record_paths(true)
+            .build();
+        let summary = classify_construction(&g, &r);
+        assert_eq!(summary.per_vertex.len(), r.records.len());
+        for (vc, rec) in summary.per_vertex.iter().zip(&r.records) {
+            assert_eq!(vc.vertex, rec.vertex);
+            assert_eq!(vc.new_edge_count, rec.new_edges.len());
+            assert!(summary.max_new_edges >= vc.new_edge_count);
+        }
+    }
+
+    #[test]
+    fn trees_have_no_new_ending_paths() {
+        let g = generators::balanced_binary_tree(4);
+        let summary = classify(&g, 1);
+        assert_eq!(summary.totals.total(), 0);
+        assert_eq!(summary.max_new_edges, 0);
+    }
+
+    #[test]
+    fn cycle_has_only_class_a_and_no_detour_interference() {
+        // On a cycle every replacement path is the "other way around"; second
+        // faults on the detour disconnect v, so there are no (π,D)
+        // new-ending paths that interfere.
+        let g = generators::cycle(9);
+        let summary = classify(&g, 2);
+        assert_eq!(summary.totals.d_interfering, 0);
+        assert_eq!(summary.totals.pi_interfering, 0);
+    }
+
+    #[test]
+    fn empty_summary_without_records() {
+        let g = generators::cycle(5);
+        let w = TieBreak::new(&g, 1);
+        let r = DualFtBfsBuilder::new(&g, &w, VertexId(0)).build();
+        let summary = classify_construction(&g, &r);
+        assert!(summary.per_vertex.is_empty());
+        assert_eq!(summary.totals.total(), 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Pairwise detour configurations (Definition 3.7, Figures 3 and 4).
+//!
+//! Two detours `D_1`, `D_2` hanging off the same canonical path `π(s, v)`
+//! are classified by the relative order of their attachment points
+//! `x_i = x(D_i)`, `y_i = y(D_i)` on `π`, and — when they share vertices — by
+//! whether they traverse their common segment in the same direction
+//! (fw-interleaved) or in opposite directions (rev-interleaved).
+
+use ftbfs_core::dual::VertexRecord;
+use ftbfs_graph::{Path, VertexId};
+use ftbfs_paths::detour::Detour;
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// The six attachment-point configurations of Definition 3.7, plus the
+/// degenerate `Parallel` case (identical attachment points) that can arise
+/// when two different π-edges are protected by detours with the same
+/// endpoints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DetourConfiguration {
+    /// `y_1 < x_2`: the detours attach to disjoint parts of `π`.
+    NonNested,
+    /// `x_1 < x_2 < y_2 < y_1`: the second detour nests inside the first.
+    Nested,
+    /// `x_1 < x_2 < y_1 < y_2`: the attachment intervals interleave.
+    Interleaved,
+    /// `x_1 = x_2 < y_1 < y_2`: the detours share their start point.
+    XInterleaved,
+    /// `x_1 < x_2 < y_1 = y_2`: the detours share their end point.
+    YInterleaved,
+    /// `x_1 < y_1 = x_2 < y_2`: the first ends where the second starts.
+    XYInterleaved,
+    /// `x_1 = x_2` and `y_1 = y_2`: identical attachment points.
+    Parallel,
+}
+
+/// Traversal orientation of the common segment of two dependent detours.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CommonOrientation {
+    /// Both detours traverse the shared segment in the same direction
+    /// (fw-interleaved).
+    Forward,
+    /// The detours traverse the shared segment in opposite directions
+    /// (rev-interleaved).
+    Reverse,
+}
+
+/// The full analysis of a detour pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DetourPairAnalysis {
+    /// The attachment-point configuration (with the pair ordered so that
+    /// `x_1 ≤ x_2`).
+    pub configuration: DetourConfiguration,
+    /// `true` when the detours share at least one vertex.
+    pub dependent: bool,
+    /// For dependent pairs, the orientation of the shared segment.
+    pub orientation: Option<CommonOrientation>,
+}
+
+/// The first vertex of `a` (walking from its start) that also lies on `b` —
+/// the paper's `First(D_a, D_b)`.
+pub fn first_common_vertex(a: &Detour, b: &Detour) -> Option<VertexId> {
+    let b_set: HashSet<VertexId> = b.path.vertices().iter().copied().collect();
+    a.path.vertices().iter().copied().find(|v| b_set.contains(v))
+}
+
+/// The last vertex of `a` (walking from its start) that also lies on `b` —
+/// the paper's `Last(D_a, D_b)`.
+pub fn last_common_vertex(a: &Detour, b: &Detour) -> Option<VertexId> {
+    let b_set: HashSet<VertexId> = b.path.vertices().iter().copied().collect();
+    a.path
+        .vertices()
+        .iter()
+        .copied()
+        .rev()
+        .find(|v| b_set.contains(v))
+}
+
+/// Classifies a pair of detours of the same canonical path `pi`.
+///
+/// # Panics
+///
+/// Panics if either detour's attachment points do not lie on `pi`.
+pub fn classify_detour_pair(pi: &Path, d1: &Detour, d2: &Detour) -> DetourPairAnalysis {
+    let pos = |v: VertexId| pi.position(v).expect("detour attachment point lies on pi");
+    // Order so that x1 <= x2 (and, for equal x, y1 <= y2).
+    let (a, b) = {
+        let key1 = (pos(d1.x), pos(d1.y));
+        let key2 = (pos(d2.x), pos(d2.y));
+        if key1 <= key2 {
+            (d1, d2)
+        } else {
+            (d2, d1)
+        }
+    };
+    let (x1, y1, x2, y2) = (pos(a.x), pos(a.y), pos(b.x), pos(b.y));
+
+    let configuration = if x1 == x2 && y1 == y2 {
+        DetourConfiguration::Parallel
+    } else if y1 < x2 {
+        DetourConfiguration::NonNested
+    } else if x1 < x2 && y2 < y1 {
+        DetourConfiguration::Nested
+    } else if x1 == x2 {
+        DetourConfiguration::XInterleaved
+    } else if y1 == y2 {
+        DetourConfiguration::YInterleaved
+    } else if y1 == x2 {
+        DetourConfiguration::XYInterleaved
+    } else {
+        DetourConfiguration::Interleaved
+    };
+
+    let a_set: HashSet<VertexId> = a.path.vertices().iter().copied().collect();
+    let dependent = b.path.vertices().iter().any(|v| a_set.contains(v));
+    let orientation = if dependent {
+        let fab = first_common_vertex(a, b);
+        let fba = first_common_vertex(b, a);
+        Some(if fab == fba {
+            CommonOrientation::Forward
+        } else {
+            CommonOrientation::Reverse
+        })
+    } else {
+        None
+    };
+    DetourPairAnalysis {
+        configuration,
+        dependent,
+        orientation,
+    }
+}
+
+/// Aggregate counts of detour-pair configurations over a whole construction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConfigurationCensus {
+    /// Number of pairs per configuration.
+    pub by_configuration: HashMap<DetourConfiguration, usize>,
+    /// Number of dependent (vertex-sharing) pairs.
+    pub dependent_pairs: usize,
+    /// Number of independent pairs.
+    pub independent_pairs: usize,
+    /// Number of dependent pairs traversing their common segment forwards.
+    pub forward_pairs: usize,
+    /// Number of dependent pairs traversing their common segment in reverse.
+    pub reverse_pairs: usize,
+}
+
+impl ConfigurationCensus {
+    /// Total number of detour pairs examined.
+    pub fn total_pairs(&self) -> usize {
+        self.dependent_pairs + self.independent_pairs
+    }
+}
+
+/// Classifies every pair of step-1 detours of every recorded vertex.
+pub fn configuration_census(records: &[VertexRecord]) -> ConfigurationCensus {
+    let mut census = ConfigurationCensus::default();
+    for rec in records {
+        let detours: Vec<&Detour> = rec
+            .detours
+            .iter()
+            .map(|d| &d.decomposition.detour)
+            .filter(|d| !d.is_empty())
+            .collect();
+        for i in 0..detours.len() {
+            for j in (i + 1)..detours.len() {
+                let analysis = classify_detour_pair(&rec.pi, detours[i], detours[j]);
+                *census
+                    .by_configuration
+                    .entry(analysis.configuration)
+                    .or_insert(0) += 1;
+                if analysis.dependent {
+                    census.dependent_pairs += 1;
+                    match analysis.orientation {
+                        Some(CommonOrientation::Forward) => census.forward_pairs += 1,
+                        Some(CommonOrientation::Reverse) => census.reverse_pairs += 1,
+                        None => {}
+                    }
+                } else {
+                    census.independent_pairs += 1;
+                }
+            }
+        }
+    }
+    census
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn pi10() -> Path {
+        Path::new((0..10).map(v).collect())
+    }
+
+    fn detour(x: u32, via: &[u32], y: u32) -> Detour {
+        let mut verts = vec![v(x)];
+        verts.extend(via.iter().map(|&i| v(i)));
+        verts.push(v(y));
+        Detour {
+            path: Path::new(verts),
+            x: v(x),
+            y: v(y),
+        }
+    }
+
+    #[test]
+    fn non_nested_and_nested() {
+        let pi = pi10();
+        let d1 = detour(0, &[20, 21], 2);
+        let d2 = detour(4, &[30, 31], 6);
+        let a = classify_detour_pair(&pi, &d1, &d2);
+        assert_eq!(a.configuration, DetourConfiguration::NonNested);
+        assert!(!a.dependent);
+        assert_eq!(a.orientation, None);
+
+        let outer = detour(1, &[40, 41, 42], 8);
+        let inner = detour(3, &[50], 5);
+        let b = classify_detour_pair(&pi, &outer, &inner);
+        assert_eq!(b.configuration, DetourConfiguration::Nested);
+        // Order of arguments must not matter.
+        let b2 = classify_detour_pair(&pi, &inner, &outer);
+        assert_eq!(b2.configuration, DetourConfiguration::Nested);
+    }
+
+    #[test]
+    fn interleaved_variants() {
+        let pi = pi10();
+        let d1 = detour(1, &[20], 5);
+        let d2 = detour(3, &[21], 7);
+        assert_eq!(
+            classify_detour_pair(&pi, &d1, &d2).configuration,
+            DetourConfiguration::Interleaved
+        );
+        let x1 = detour(2, &[22], 5);
+        let x2 = detour(2, &[23], 8);
+        assert_eq!(
+            classify_detour_pair(&pi, &x1, &x2).configuration,
+            DetourConfiguration::XInterleaved
+        );
+        let y1 = detour(1, &[24], 6);
+        let y2 = detour(3, &[25], 6);
+        assert_eq!(
+            classify_detour_pair(&pi, &y1, &y2).configuration,
+            DetourConfiguration::YInterleaved
+        );
+        let a = detour(1, &[26], 4);
+        let b = detour(4, &[27], 7);
+        assert_eq!(
+            classify_detour_pair(&pi, &a, &b).configuration,
+            DetourConfiguration::XYInterleaved
+        );
+        let p1 = detour(2, &[28], 6);
+        let p2 = detour(2, &[29], 6);
+        assert_eq!(
+            classify_detour_pair(&pi, &p1, &p2).configuration,
+            DetourConfiguration::Parallel
+        );
+    }
+
+    #[test]
+    fn orientation_forward_and_reverse() {
+        let pi = pi10();
+        // Shared segment 20-21 traversed in the same direction by both.
+        let d1 = detour(1, &[20, 21], 5);
+        let d2 = detour(2, &[20, 21], 7);
+        let a = classify_detour_pair(&pi, &d1, &d2);
+        assert!(a.dependent);
+        assert_eq!(a.orientation, Some(CommonOrientation::Forward));
+        // Shared segment traversed in opposite directions.
+        let r1 = detour(1, &[20, 21], 5);
+        let r2 = detour(2, &[21, 20], 7);
+        let b = classify_detour_pair(&pi, &r1, &r2);
+        assert!(b.dependent);
+        assert_eq!(b.orientation, Some(CommonOrientation::Reverse));
+    }
+
+    #[test]
+    fn first_and_last_common_vertices() {
+        let d1 = detour(1, &[20, 21, 22], 5);
+        let d2 = detour(3, &[21, 22, 23], 7);
+        assert_eq!(first_common_vertex(&d1, &d2), Some(v(21)));
+        assert_eq!(last_common_vertex(&d1, &d2), Some(v(22)));
+        assert_eq!(first_common_vertex(&d2, &d1), Some(v(21)));
+        let far = detour(8, &[40], 9);
+        assert_eq!(first_common_vertex(&d1, &far), None);
+        assert_eq!(last_common_vertex(&d1, &far), None);
+    }
+}

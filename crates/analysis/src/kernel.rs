@@ -1,0 +1,241 @@
+//! The kernel subgraph `K(D)` of a collection of detours (Section 3.2.2).
+//!
+//! Detours are inserted in decreasing `(x, y)` order; each detour contributes
+//! only its prefix up to the first vertex already present in the kernel.  A
+//! detour whose prefix stops early is *truncated* and the earlier detour that
+//! stopped it is its *breaker* `Ψ(D)`.  Lemma 3.14 shows the kernel contains
+//! every second fault of every recorded new-ending `(π,D)` path, which is
+//! what makes per-vertex size accounting possible; the experiments check this
+//! containment empirically.
+
+use ftbfs_graph::{Path, VertexId};
+use ftbfs_paths::detour::Detour;
+use std::collections::HashSet;
+
+/// One detour's contribution to the kernel.
+#[derive(Clone, Debug)]
+pub struct KernelEntry {
+    /// Index of the detour in the caller's input slice.
+    pub detour_index: usize,
+    /// The prefix `D[x, w]` added to the kernel.
+    pub prefix: Path,
+    /// `true` when the prefix stops before the detour's end (`w ≠ y`).
+    pub truncated: bool,
+    /// For truncated detours, the input index of (one) breaker detour.
+    pub breaker: Option<usize>,
+}
+
+/// The kernel subgraph of a detour collection.
+#[derive(Clone, Debug)]
+pub struct KernelGraph {
+    /// Contributions in insertion ((x, y)-decreasing) order.
+    pub entries: Vec<KernelEntry>,
+    vertices: HashSet<VertexId>,
+}
+
+impl KernelGraph {
+    /// Builds the kernel of `detours`, all hanging off the canonical path
+    /// `pi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a detour's attachment points do not lie on `pi`.
+    pub fn build(pi: &Path, detours: &[Detour]) -> Self {
+        let pos = |v: VertexId| pi.position(v).expect("detour attachment point lies on pi");
+        // (x, y)-decreasing order: deepest x first; ties by deeper y first.
+        let mut order: Vec<usize> = (0..detours.len())
+            .filter(|&i| !detours[i].is_empty())
+            .collect();
+        order.sort_by(|&i, &j| {
+            let ki = (pos(detours[i].x), pos(detours[i].y));
+            let kj = (pos(detours[j].x), pos(detours[j].y));
+            kj.cmp(&ki)
+        });
+
+        let mut vertices: HashSet<VertexId> = HashSet::new();
+        let mut entries = Vec::with_capacity(order.len());
+        // Membership of kernel vertices per contributing detour, to locate
+        // breakers.
+        let mut owner: Vec<(usize, HashSet<VertexId>)> = Vec::new();
+        for &idx in &order {
+            let d = &detours[idx];
+            let verts = d.path.vertices();
+            // Find the first vertex (after the start) already in the kernel.
+            let stop = verts
+                .iter()
+                .enumerate()
+                .skip(1)
+                .find(|(_, v)| vertices.contains(v))
+                .map(|(i, _)| i);
+            let (prefix_end, truncated) = match stop {
+                Some(i) if i + 1 < verts.len() => (i, true),
+                Some(i) => (i, false), // stopped exactly at y: whole detour in
+                None => (verts.len() - 1, false),
+            };
+            let prefix_vertices = verts[..=prefix_end].to_vec();
+            let breaker = if truncated {
+                let w = verts[prefix_end];
+                owner
+                    .iter()
+                    .find(|(_, set)| set.contains(&w))
+                    .map(|(oidx, _)| *oidx)
+            } else {
+                None
+            };
+            let prefix = if prefix_vertices.len() == 1 {
+                Path::singleton(prefix_vertices[0])
+            } else {
+                Path::new(prefix_vertices)
+            };
+            for v in prefix.vertices() {
+                vertices.insert(*v);
+            }
+            owner.push((idx, prefix.vertices().iter().copied().collect()));
+            entries.push(KernelEntry {
+                detour_index: idx,
+                prefix,
+                truncated,
+                breaker,
+            });
+        }
+        KernelGraph { entries, vertices }
+    }
+
+    /// Returns `true` if `v` belongs to the kernel.
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        self.vertices.contains(&v)
+    }
+
+    /// Number of distinct vertices in the kernel.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of truncated detours.
+    pub fn truncated_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.truncated).count()
+    }
+
+    /// Checks the Lemma 3.14 consequence for one recorded fault: the prefix
+    /// of `detour` up to (and including) the lower endpoint of the fault edge
+    /// `(q1, q2)` is contained in the kernel.
+    pub fn covers_fault(&self, detour: &Detour, q1: VertexId, q2: VertexId) -> bool {
+        // The lower endpoint is the one further from the detour start.
+        let (p1, p2) = match (detour.position(q1), detour.position(q2)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return false,
+        };
+        let lower = p1.max(p2);
+        detour.path.vertices()[..=lower]
+            .iter()
+            .all(|v| self.contains_vertex(*v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn pi() -> Path {
+        Path::new((0..10).map(v).collect())
+    }
+
+    fn detour(x: u32, via: &[u32], y: u32) -> Detour {
+        let mut verts = vec![v(x)];
+        verts.extend(via.iter().map(|&i| v(i)));
+        verts.push(v(y));
+        Detour {
+            path: Path::new(verts),
+            x: v(x),
+            y: v(y),
+        }
+    }
+
+    #[test]
+    fn disjoint_detours_are_all_untruncated() {
+        let pi = pi();
+        let d = vec![detour(0, &[20, 21], 2), detour(4, &[30, 31], 6)];
+        let k = KernelGraph::build(&pi, &d);
+        assert_eq!(k.entries.len(), 2);
+        assert_eq!(k.truncated_count(), 0);
+        assert!(k.contains_vertex(v(20)));
+        assert!(k.contains_vertex(v(31)));
+        // (x, y)-decreasing order: the detour at x=4 is inserted first.
+        assert_eq!(k.entries[0].detour_index, 1);
+    }
+
+    #[test]
+    fn shared_vertex_truncates_later_detour() {
+        let pi = pi();
+        // Detour at x=3 inserted first (deeper x); the x=1 detour reaches the
+        // shared vertex 21 and is truncated there, with detour 0 (index 1 in
+        // input) as its breaker.
+        let d = vec![detour(1, &[20, 21, 22], 5), detour(3, &[21, 40], 7)];
+        let k = KernelGraph::build(&pi, &d);
+        assert_eq!(k.entries[0].detour_index, 1);
+        assert!(!k.entries[0].truncated);
+        let second = &k.entries[1];
+        assert_eq!(second.detour_index, 0);
+        assert!(second.truncated);
+        assert_eq!(second.breaker, Some(1));
+        // The truncated prefix stops at the shared vertex 21.
+        assert_eq!(second.prefix.target(), v(21));
+        assert!(!k.contains_vertex(v(22)));
+    }
+
+    #[test]
+    fn detour_ending_on_existing_vertex_is_not_truncated() {
+        let pi = pi();
+        // Second-inserted detour's *last* vertex coincides with an existing
+        // kernel vertex: the whole detour is added and it is not truncated.
+        let d = vec![detour(1, &[20], 5), detour(3, &[21, 20], 7)];
+        // Order: x=3 first (adds 3,21,20,7), then x=1 walks 1,20 -> stops at
+        // 20 which is internal, truncated... to make the non-truncated case,
+        // use a detour whose only shared vertex is its end y.
+        let k = KernelGraph::build(&pi, &d);
+        assert_eq!(k.entries.len(), 2);
+        // Now the explicit non-truncated-at-end case:
+        let d2 = vec![detour(4, &[30], 6), detour(1, &[31], 6)];
+        let k2 = KernelGraph::build(&pi, &d2);
+        // The x=1 detour ends at 6 which is already in the kernel, but 6 is
+        // its final vertex so it is recorded as non-truncated.
+        let late = k2
+            .entries
+            .iter()
+            .find(|e| e.detour_index == 1)
+            .expect("entry exists");
+        assert!(!late.truncated);
+        assert_eq!(late.prefix.len(), 2);
+    }
+
+    #[test]
+    fn covers_fault_checks_prefix_containment() {
+        let pi = pi();
+        let d = vec![detour(1, &[20, 21, 22], 5), detour(3, &[21, 40], 7)];
+        let k = KernelGraph::build(&pi, &d);
+        // Fault on the first detour's early edge (20,21): its prefix 1-20-21
+        // is in the kernel.
+        assert!(k.covers_fault(&d[0], v(20), v(21)));
+        // Fault on the removed tail (22,5): 22 is not in the kernel.
+        assert!(!k.covers_fault(&d[0], v(22), v(5)));
+        // Unknown vertices.
+        assert!(!k.covers_fault(&d[0], v(90), v(91)));
+    }
+
+    #[test]
+    fn empty_detours_are_skipped() {
+        let pi = pi();
+        let d = vec![Detour {
+            path: Path::singleton(v(3)),
+            x: v(3),
+            y: v(3),
+        }];
+        let k = KernelGraph::build(&pi, &d);
+        assert!(k.entries.is_empty());
+        assert_eq!(k.vertex_count(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # ftbfs-analysis
+//!
+//! Structural analysis of dual-failure replacement paths, reproducing the
+//! combinatorial machinery of Section 3 of *Dual Failure Resilient BFS
+//! Structure* (Parter, PODC 2015):
+//!
+//! * [`detours`] — pairwise detour configurations (Definition 3.7,
+//!   Figures 3/4) and fw/rev orientation of shared segments;
+//! * [`kernel`] — the kernel subgraph `K(D)` with truncated detours and
+//!   breakers (Section 3.2.2);
+//! * [`classes`] — the five-way new-ending path classification of Figure 7
+//!   and the per-vertex `|New(v)|` accounting behind Theorem 1.1.
+//!
+//! All functions operate on the construction records produced by
+//! `ftbfs_core::dual::DualFtBfsBuilder::record_paths(true)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classes;
+pub mod detours;
+pub mod kernel;
+
+pub use classes::{classify_construction, classify_vertex, ClassCounts, ClassificationSummary};
+pub use detours::{
+    classify_detour_pair, configuration_census, CommonOrientation, ConfigurationCensus,
+    DetourConfiguration, DetourPairAnalysis,
+};
+pub use kernel::{KernelEntry, KernelGraph};

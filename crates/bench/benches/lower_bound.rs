@@ -1,0 +1,32 @@
+//! B4 — lower-bound family costs: constructing `G*_f` and exhaustively
+//! checking the necessity of its forced edges.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftbfs_lowerbound::{count_unnecessary_edges, GStarGraph};
+use std::time::Duration;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gstar_construction");
+    group.sample_size(20).measurement_time(Duration::from_secs(4));
+    for d in [3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("f=2", d), &d, |b, &d| {
+            b.iter(|| GStarGraph::single_source(2, d, 2 * d * d).vertex_count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_necessity_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gstar_necessity_check");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for d in [2usize, 3] {
+        let gs = GStarGraph::single_source(2, d, d * d);
+        group.bench_with_input(BenchmarkId::new("f=2", d), &d, |b, _| {
+            b.iter(|| count_unnecessary_edges(&gs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_necessity_check);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! B2 — verification cost: exhaustive dual-failure verification on small
+//! graphs and sampled verification on larger ones.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftbfs_core::dual_failure_ftbfs;
+use ftbfs_graph::{generators, TieBreak, VertexId};
+use ftbfs_verify::{verify_exhaustive, verify_sampled};
+use std::time::Duration;
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_exhaustive_f2");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for n in [10usize, 14, 18] {
+        let g = generators::tree_plus_chords(n, n / 2, 3);
+        let w = TieBreak::new(&g, 3);
+        let h = dual_failure_ftbfs(&g, &w, VertexId(0));
+        let edges: Vec<_> = h.edges().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                verify_exhaustive(&g, edges.iter().copied(), &[VertexId(0)], 2).is_valid()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_sampled_f2");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for n in [60usize, 120] {
+        let g = generators::connected_gnp(n, 5.0 / (n as f64 - 1.0), 9);
+        let w = TieBreak::new(&g, 9);
+        let h = dual_failure_ftbfs(&g, &w, VertexId(0));
+        let edges: Vec<_> = h.edges().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                verify_sampled(&g, edges.iter().copied(), &[VertexId(0)], 2, 50, 11).is_valid()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exhaustive, bench_sampled);
+criterion_main!(benches);

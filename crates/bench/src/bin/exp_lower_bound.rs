@@ -1,0 +1,93 @@
+//! Experiment E2 — Theorem 1.2 / Figures 10–12: the lower-bound graphs
+//! `G*_f` force `Ω(σ^{1/(f+1)} · n^{2-1/(f+1)})` edges into any `f`-failure
+//! FT-MBFS structure.
+//!
+//! The binary reports, for `f ∈ {1, 2, 3}` and a `d` sweep, the instance
+//! size, the number of forced bipartite edges, the theoretical formula, and —
+//! on the smaller instances — an exhaustive confirmation that every forced
+//! edge really is necessary (via its witness fault set).  A final table
+//! sweeps the number of sources `σ`.
+
+use ftbfs_bench::{fit_power_law, Table};
+use ftbfs_lowerbound::{count_unnecessary_edges, lower_bound_formula, GStarGraph, GfGraph};
+
+fn main() {
+    println!("E2: Theorem 1.2 — forced edges of the lower-bound family\n");
+
+    for f in [1usize, 2, 3] {
+        let ds: &[usize] = match f {
+            1 => &[3, 5, 8, 12, 16],
+            2 => &[2, 3, 4, 5, 6],
+            _ => &[2, 3],
+        };
+        let mut table = Table::new(
+            &format!("G*_{f} (single source)"),
+            &[
+                "d",
+                "n",
+                "forced |E(B)|",
+                "sigma^(1/(f+1))*n^(2-1/(f+1))",
+                "ratio",
+                "unnecessary",
+            ],
+        );
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for &d in ds {
+            // As in the paper, the extra vertex set X is Θ(n): we give it as
+            // many vertices as the gadget itself, so roughly half the graph
+            // is the gadget and half is X.
+            let x_count = GfGraph::new(f, d).graph.vertex_count().max(4);
+            let gs = GStarGraph::single_source(f, d, x_count);
+            let n = gs.vertex_count();
+            let forced = gs.forced_edge_count();
+            let bound = lower_bound_formula(f, 1, n);
+            // Exhaustive necessity check only on modest instances.
+            let unnecessary = if forced <= 2500 {
+                count_unnecessary_edges(&gs).to_string()
+            } else {
+                "(skipped)".to_string()
+            };
+            xs.push(n as f64);
+            ys.push(forced as f64);
+            table.row(vec![
+                d.to_string(),
+                n.to_string(),
+                forced.to_string(),
+                format!("{bound:.0}"),
+                format!("{:.4}", forced as f64 / bound),
+                unnecessary,
+            ]);
+        }
+        table.print();
+        let fit = fit_power_law(&xs, &ys);
+        println!(
+            "fitted exponent of forced edges vs n: {:.3} (theory: 2 - 1/(f+1) = {:.3})\n",
+            fit.exponent,
+            2.0 - 1.0 / (f as f64 + 1.0)
+        );
+    }
+
+    // Multi-source sweep for f = 2.
+    let mut table = Table::new(
+        "multi-source G*_2 (d = 3)",
+        &["sigma", "n", "forced |E(B)|", "formula", "ratio", "unnecessary"],
+    );
+    for sigma in [1usize, 2, 4] {
+        let gs = GStarGraph::multi_source(2, 3, sigma, 18);
+        let n = gs.vertex_count();
+        let forced = gs.forced_edge_count();
+        let bound = lower_bound_formula(2, sigma, n);
+        let unnecessary = count_unnecessary_edges(&gs);
+        table.row(vec![
+            sigma.to_string(),
+            n.to_string(),
+            forced.to_string(),
+            format!("{bound:.0}"),
+            format!("{:.4}", forced as f64 / bound),
+            unnecessary.to_string(),
+        ]);
+    }
+    table.print();
+    println!("Every 'unnecessary' column entry should be 0: each forced edge has a witness fault set of size ≤ f under which removing the edge increases a source distance.");
+}

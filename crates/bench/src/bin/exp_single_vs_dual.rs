@@ -1,0 +1,78 @@
+//! Experiment E8 — the single- vs dual-failure gap (Section 1): single
+//! failure structures cost `O(n^{3/2})`, dual-failure structures `O(n^{5/3})`,
+//! and both contain the plain BFS tree with `n - 1` edges.
+
+use ftbfs_bench::{er_sweep, fit_power_law, Table};
+use ftbfs_core::{bfs_tree_size, dual_failure_ftbfs, single_failure_ftbfs};
+use ftbfs_graph::{TieBreak, VertexId};
+use ftbfs_lowerbound::GStarGraph;
+
+fn main() {
+    println!("E8: plain BFS tree vs single-failure vs dual-failure structure sizes\n");
+
+    let mut table = Table::new(
+        "random connected G(n,p), average degree ≈ 6",
+        &["n", "m", "|T0|", "|H1| single", "|H2| dual", "H2/H1", "H2/m"],
+    );
+    let mut xs = Vec::new();
+    let mut y1 = Vec::new();
+    let mut y2 = Vec::new();
+    for wl in er_sweep(&[40, 70, 110, 160, 220], 6.0, 91) {
+        let g = &wl.graph;
+        let s = VertexId(0);
+        let w = TieBreak::new(g, wl.seed);
+        let t0 = bfs_tree_size(g, &w, s);
+        let h1 = single_failure_ftbfs(g, &w, s);
+        let h2 = dual_failure_ftbfs(g, &w, s);
+        xs.push(g.vertex_count() as f64);
+        y1.push(h1.edge_count() as f64);
+        y2.push(h2.edge_count() as f64);
+        table.row(vec![
+            g.vertex_count().to_string(),
+            g.edge_count().to_string(),
+            t0.to_string(),
+            h1.edge_count().to_string(),
+            h2.edge_count().to_string(),
+            format!("{:.3}", h2.edge_count() as f64 / h1.edge_count() as f64),
+            format!("{:.3}", h2.edge_count() as f64 / g.edge_count() as f64),
+        ]);
+    }
+    table.print();
+    let f1 = fit_power_law(&xs, &y1);
+    let f2 = fit_power_law(&xs, &y2);
+    println!(
+        "fitted exponents: single {:.3} (≤ 3/2 in the worst case), dual {:.3} (≤ 5/3 in the worst case)\n",
+        f1.exponent, f2.exponent
+    );
+
+    // The worst-case families make the ordering strict: G*_1 needs ~n^{3/2}
+    // edges for one failure, G*_2 needs ~n^{5/3} for two.
+    let mut table = Table::new(
+        "worst-case families",
+        &["family", "n", "forced edges", "|H1| single", "|H2| dual"],
+    );
+    let g1 = GStarGraph::single_source(1, 6, 20);
+    let w1 = TieBreak::new(&g1.graph, 1);
+    let h1s = single_failure_ftbfs(&g1.graph, &w1, g1.sources[0]);
+    let h1d = dual_failure_ftbfs(&g1.graph, &w1, g1.sources[0]);
+    table.row(vec![
+        "G*_1 (d=6)".into(),
+        g1.vertex_count().to_string(),
+        g1.forced_edge_count().to_string(),
+        h1s.edge_count().to_string(),
+        h1d.edge_count().to_string(),
+    ]);
+    let g2 = GStarGraph::single_source(2, 3, 18);
+    let w2 = TieBreak::new(&g2.graph, 2);
+    let h2s = single_failure_ftbfs(&g2.graph, &w2, g2.sources[0]);
+    let h2d = dual_failure_ftbfs(&g2.graph, &w2, g2.sources[0]);
+    table.row(vec![
+        "G*_2 (d=3)".into(),
+        g2.vertex_count().to_string(),
+        g2.forced_edge_count().to_string(),
+        h2s.edge_count().to_string(),
+        h2d.edge_count().to_string(),
+    ]);
+    table.print();
+    println!("On G*_2 the dual structure must keep every forced bipartite edge while the single-failure structure may drop many of them — the measured gap between |H1| and |H2| shows exactly that.");
+}

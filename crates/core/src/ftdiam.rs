@@ -1,0 +1,83 @@
+//! The FT-diameter size bound of Observation 1.6.
+//!
+//! For `D_f(G) = max { dist(s, v, G ∖ F) : |F| ≤ f − 1 }` (the `f`-FT-diameter
+//! with respect to the source), every `f`-FT-BFS structure built by the
+//! last-edge principle has at most `O(D_f(G)^f · n)` edges: each vertex gains
+//! at most one last edge per relevant fault sequence, and there are at most
+//! `D_f(G)^f` such sequences per vertex.  This module exposes the bound so
+//! the E4 experiment can compare it against measured structure sizes.
+
+use ftbfs_graph::properties::ft_eccentricity_estimate;
+use ftbfs_graph::{Graph, VertexId};
+
+/// The measured FT-diameter estimate together with the implied size bound.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FtDiameterBound {
+    /// The (sampled, hence lower-bound) estimate of `D_f(G)` from the source.
+    pub ft_diameter: u32,
+    /// The fault budget `f` the bound refers to.
+    pub f: usize,
+    /// The implied edge bound `D_f(G)^f · n` of Observation 1.6.
+    pub edge_bound: f64,
+}
+
+/// Computes the Observation 1.6 bound for `graph` with respect to `source`.
+///
+/// `samples`/`seed` control the sampled estimation of `D_f(G)` (exact for
+/// `f ≤ 1`).
+pub fn ft_diameter_bound(
+    graph: &Graph,
+    source: VertexId,
+    f: usize,
+    samples: usize,
+    seed: u64,
+) -> FtDiameterBound {
+    let d = ft_eccentricity_estimate(graph, source, f, samples, seed);
+    let n = graph.vertex_count() as f64;
+    FtDiameterBound {
+        ft_diameter: d,
+        f,
+        edge_bound: (d as f64).powi(f as i32) * n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::multi_failure_ftbfs;
+    use ftbfs_graph::{generators, TieBreak};
+
+    #[test]
+    fn bound_computation_matches_formula() {
+        let g = generators::complete(8);
+        let b = ft_diameter_bound(&g, VertexId(0), 2, 10, 1);
+        // In K_8 minus one edge every distance is at most 2.
+        assert!(b.ft_diameter <= 2);
+        assert_eq!(b.f, 2);
+        assert!((b.edge_bound - (b.ft_diameter as f64).powi(2) * 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_structure_respects_the_bound_on_low_diameter_graphs() {
+        // Dense random graph: FT-diameter stays tiny, so the Obs. 1.6 bound
+        // is far below n^2 and the measured structure must respect it.
+        let g = generators::connected_gnp(18, 0.45, 3);
+        let w = TieBreak::new(&g, 3);
+        let h = multi_failure_ftbfs(&g, &w, VertexId(0), 2);
+        let b = ft_diameter_bound(&g, VertexId(0), 2, 60, 3);
+        assert!(
+            (h.edge_count() as f64) <= b.edge_bound,
+            "structure has {} edges, bound is {}",
+            h.edge_count(),
+            b.edge_bound
+        );
+    }
+
+    #[test]
+    fn f1_bound_is_exact_eccentricity_times_n() {
+        let g = generators::path(10);
+        let b = ft_diameter_bound(&g, VertexId(0), 1, 5, 7);
+        assert_eq!(b.ft_diameter, 9);
+        assert!((b.edge_bound - 90.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,166 @@
+//! The output type of all constructions: a fault-tolerant BFS structure,
+//! i.e. a subgraph `H ⊆ G` represented by its edge set, together with the
+//! sources and the resilience level it was built for.
+
+use ftbfs_graph::{EdgeId, Graph, GraphView, VertexId};
+use std::collections::BTreeSet;
+
+/// A fault-tolerant (multi-source) BFS structure `H ⊆ G`.
+///
+/// The structure records which subgraph of `G` was selected, for which
+/// source set `S`, and against how many edge faults (`f`) it is meant to be
+/// resilient.  Whether it actually *is* resilient is checked by
+/// `ftbfs-verify`; the constructions in this crate guarantee it by design.
+///
+/// # Examples
+///
+/// ```
+/// use ftbfs_core::FtBfsStructure;
+/// use ftbfs_graph::{generators, EdgeId, VertexId};
+///
+/// let g = generators::cycle(5);
+/// let mut h = FtBfsStructure::new(vec![VertexId(0)], 1);
+/// h.insert(EdgeId(0));
+/// h.insert(EdgeId(1));
+/// h.insert(EdgeId(1));
+/// assert_eq!(h.edge_count(), 2);
+/// assert!(h.contains(EdgeId(0)));
+/// let view = h.as_view(&g);
+/// assert_eq!(view.surviving_edge_count(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FtBfsStructure {
+    sources: Vec<VertexId>,
+    resilience: usize,
+    edges: BTreeSet<EdgeId>,
+}
+
+impl FtBfsStructure {
+    /// Creates an empty structure for the given sources and resilience `f`.
+    pub fn new(sources: Vec<VertexId>, resilience: usize) -> Self {
+        FtBfsStructure {
+            sources,
+            resilience,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// The source set `S` the structure serves.
+    pub fn sources(&self) -> &[VertexId] {
+        &self.sources
+    }
+
+    /// The number of edge faults the structure is designed to tolerate.
+    pub fn resilience(&self) -> usize {
+        self.resilience
+    }
+
+    /// Number of edges in the structure (`|E(H)|` — the paper's cost
+    /// measure).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if edge `e` belongs to the structure.
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.edges.contains(&e)
+    }
+
+    /// Adds an edge to the structure; returns `true` if it was new.
+    pub fn insert(&mut self, e: EdgeId) -> bool {
+        self.edges.insert(e)
+    }
+
+    /// Adds every edge of the iterator.
+    pub fn extend<I: IntoIterator<Item = EdgeId>>(&mut self, edges: I) {
+        self.edges.extend(edges);
+    }
+
+    /// Iterator over the structure's edges in increasing id order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// The union of two structures (sources and resilience taken from
+    /// `self`).
+    pub fn union(&self, other: &FtBfsStructure) -> FtBfsStructure {
+        let mut edges = self.edges.clone();
+        edges.extend(other.edges.iter().copied());
+        FtBfsStructure {
+            sources: self.sources.clone(),
+            resilience: self.resilience,
+            edges,
+        }
+    }
+
+    /// A [`GraphView`] of `graph` restricted to exactly this structure's
+    /// edges — the subgraph `H` as a searchable view.
+    pub fn as_view<'g>(&self, graph: &'g Graph) -> GraphView<'g> {
+        let removed: Vec<EdgeId> = graph.edges().filter(|e| !self.edges.contains(e)).collect();
+        GraphView::new(graph).without_edges(removed)
+    }
+
+    /// The number of structure edges incident to `v` — used by the
+    /// per-vertex accounting experiments (`|H(v)|`, `|New(v)|`).
+    pub fn degree_in_structure(&self, graph: &Graph, v: VertexId) -> usize {
+        graph
+            .incident_edges(v)
+            .filter(|e| self.edges.contains(e))
+            .count()
+    }
+
+    /// The density ratio `|E(H)| / n^{5/3}` — the quantity Theorem 1.1
+    /// bounds by a constant for dual-failure structures.
+    pub fn density_exponent_ratio(&self, graph: &Graph, exponent: f64) -> f64 {
+        let n = graph.vertex_count() as f64;
+        self.edge_count() as f64 / n.powf(exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbfs_graph::generators;
+
+    #[test]
+    fn insertion_and_membership() {
+        let mut h = FtBfsStructure::new(vec![VertexId(0)], 2);
+        assert_eq!(h.resilience(), 2);
+        assert_eq!(h.sources(), &[VertexId(0)]);
+        assert!(h.insert(EdgeId(3)));
+        assert!(!h.insert(EdgeId(3)));
+        h.extend([EdgeId(1), EdgeId(2)]);
+        assert_eq!(h.edge_count(), 3);
+        let collected: Vec<_> = h.edges().collect();
+        assert_eq!(collected, vec![EdgeId(1), EdgeId(2), EdgeId(3)]);
+        assert!(h.contains(EdgeId(2)));
+        assert!(!h.contains(EdgeId(9)));
+    }
+
+    #[test]
+    fn union_and_view() {
+        let g = generators::cycle(6);
+        let mut a = FtBfsStructure::new(vec![VertexId(0)], 1);
+        a.extend([EdgeId(0), EdgeId(1)]);
+        let mut b = FtBfsStructure::new(vec![VertexId(1)], 1);
+        b.extend([EdgeId(1), EdgeId(2)]);
+        let u = a.union(&b);
+        assert_eq!(u.edge_count(), 3);
+        assert_eq!(u.sources(), &[VertexId(0)]);
+        let view = u.as_view(&g);
+        assert_eq!(view.surviving_edge_count(), 3);
+        assert!(view.allows_edge(EdgeId(2)));
+        assert!(!view.allows_edge(EdgeId(5)));
+    }
+
+    #[test]
+    fn structure_degree_and_density() {
+        let g = generators::star(4); // centre 0, leaves 1..=4
+        let mut h = FtBfsStructure::new(vec![VertexId(0)], 1);
+        h.extend(g.edges());
+        assert_eq!(h.degree_in_structure(&g, VertexId(0)), 4);
+        assert_eq!(h.degree_in_structure(&g, VertexId(1)), 1);
+        let ratio = h.density_exponent_ratio(&g, 1.0);
+        assert!((ratio - 4.0 / 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,385 @@
+//! Fault sets and restricted graph views.
+//!
+//! The constructions of the paper constantly work in subgraphs of `G`
+//! obtained by removing a few failed edges (`G ∖ F`), removing the interior
+//! of a shortest-path segment (`G(u_k, u_ℓ)` of Eq. (3)), removing a detour
+//! suffix (`G_D(w_ℓ)` of Eq. (4)), or replacing the edges incident to a
+//! vertex by a chosen subset (`G_{τ-1}(v)` in step (3) of `Cons2FTBFS`).
+//! [`GraphView`] expresses all of these as a cheap overlay over an immutable
+//! [`Graph`], so that searches never need to materialise the subgraph.
+
+use crate::graph::{EdgeId, Graph, VertexId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A set of at most a few failed edges (`F ⊆ E`, `|F| ≤ f`).
+///
+/// Fault sets are kept sorted and deduplicated so that equality and hashing
+/// are canonical, which the verification and enumeration code relies on.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct FaultSet {
+    edges: Vec<EdgeId>,
+}
+
+impl FaultSet {
+    /// The empty fault set (the fault-free case `F = ∅`).
+    pub fn empty() -> Self {
+        FaultSet { edges: Vec::new() }
+    }
+
+    /// A fault set containing a single failed edge.
+    pub fn single(e: EdgeId) -> Self {
+        FaultSet { edges: vec![e] }
+    }
+
+    /// A fault set containing two failed edges.
+    ///
+    /// The pair is canonicalised; the two edges may be equal, in which case
+    /// the set has size one.
+    pub fn pair(a: EdgeId, b: EdgeId) -> Self {
+        FaultSet::from_iter([a, b])
+    }
+
+    /// Builds a fault set from arbitrary edges, sorting and deduplicating.
+    pub fn from_iter<I: IntoIterator<Item = EdgeId>>(iter: I) -> Self {
+        let mut edges: Vec<EdgeId> = iter.into_iter().collect();
+        edges.sort_unstable();
+        edges.dedup();
+        FaultSet { edges }
+    }
+
+    /// Number of (distinct) failed edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if no edge has failed.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Returns `true` if `e` is one of the failed edges.
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.edges.binary_search(&e).is_ok()
+    }
+
+    /// The failed edges, sorted by id.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Returns a new fault set with `e` added.
+    pub fn with(&self, e: EdgeId) -> Self {
+        let mut edges = self.edges.clone();
+        edges.push(e);
+        FaultSet::from_iter(edges)
+    }
+
+    /// Union of two fault sets.
+    pub fn union(&self, other: &FaultSet) -> Self {
+        FaultSet::from_iter(self.edges.iter().chain(other.edges.iter()).copied())
+    }
+
+    /// Returns `true` if any failed edge lies on `path` (resolved in `graph`).
+    pub fn intersects_path(&self, graph: &Graph, path: &crate::path::Path) -> bool {
+        path.edge_pairs().any(|(a, b)| {
+            graph
+                .edge_between(a, b)
+                .map(|e| self.contains(e))
+                .unwrap_or(false)
+        })
+    }
+}
+
+impl fmt::Debug for FaultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{{")?;
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", e.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<EdgeId> for FaultSet {
+    fn from_iter<I: IntoIterator<Item = EdgeId>>(iter: I) -> Self {
+        FaultSet::from_iter(iter)
+    }
+}
+
+/// A restricted view of a graph: the base graph minus removed edges and
+/// vertices, optionally with the edges incident to one designated vertex
+/// replaced by an explicit allowed subset.
+///
+/// Views are cheap to clone and to build; searches (`bfs`, `dijkstra`)
+/// consult [`GraphView::allows_edge`] / [`GraphView::allows_vertex`] during
+/// traversal.
+///
+/// # Examples
+///
+/// ```
+/// use ftbfs_graph::{GraphBuilder, GraphView, VertexId, bfs};
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(VertexId(0), VertexId(1));
+/// b.add_edge(VertexId(1), VertexId(2));
+/// b.add_edge(VertexId(0), VertexId(3));
+/// b.add_edge(VertexId(3), VertexId(2));
+/// let g = b.build();
+///
+/// // Remove the edge (1,2): vertex 2 is now reached through 3.
+/// let e = g.edge_between(VertexId(1), VertexId(2)).unwrap();
+/// let view = GraphView::new(&g).without_edge(e);
+/// let res = bfs(&view, VertexId(0));
+/// assert_eq!(res.distance(VertexId(2)), Some(2));
+/// ```
+#[derive(Clone)]
+pub struct GraphView<'g> {
+    graph: &'g Graph,
+    removed_edges: HashSet<EdgeId>,
+    removed_vertices: HashSet<VertexId>,
+    /// If set, edges incident to `.0` are allowed only when contained in `.1`.
+    incident_restriction: Option<(VertexId, HashSet<EdgeId>)>,
+}
+
+impl<'g> GraphView<'g> {
+    /// The unrestricted view of `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        GraphView {
+            graph,
+            removed_edges: HashSet::new(),
+            removed_vertices: HashSet::new(),
+            incident_restriction: None,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Removes a single edge from the view.
+    pub fn without_edge(mut self, e: EdgeId) -> Self {
+        self.removed_edges.insert(e);
+        self
+    }
+
+    /// Removes every edge of `faults` from the view (`G ∖ F`).
+    pub fn without_faults(mut self, faults: &FaultSet) -> Self {
+        self.removed_edges.extend(faults.edges().iter().copied());
+        self
+    }
+
+    /// Removes the listed edges from the view.
+    pub fn without_edges<I: IntoIterator<Item = EdgeId>>(mut self, edges: I) -> Self {
+        self.removed_edges.extend(edges);
+        self
+    }
+
+    /// Removes the listed vertices (and implicitly all their incident edges)
+    /// from the view.
+    pub fn without_vertices<I: IntoIterator<Item = VertexId>>(mut self, vertices: I) -> Self {
+        self.removed_vertices.extend(vertices);
+        self
+    }
+
+    /// Re-allows a vertex that was previously removed (used by the
+    /// `∪ {u_k, v}` part of Eq. (3)).
+    pub fn keeping_vertex(mut self, v: VertexId) -> Self {
+        self.removed_vertices.remove(&v);
+        self
+    }
+
+    /// Restricts the edges incident to `v` to the given allowed set.  All
+    /// other edges incident to `v` behave as removed.  This models the graph
+    /// `G_{τ-1}(v) = (G ∖ E(v,G)) ∪ E_{τ-1}(v)` used by step (3) of
+    /// `Cons2FTBFS`.
+    pub fn with_incident_restriction<I: IntoIterator<Item = EdgeId>>(
+        mut self,
+        v: VertexId,
+        allowed: I,
+    ) -> Self {
+        self.incident_restriction = Some((v, allowed.into_iter().collect()));
+        self
+    }
+
+    /// Returns `true` if vertex `v` is present in the view.
+    #[inline]
+    pub fn allows_vertex(&self, v: VertexId) -> bool {
+        !self.removed_vertices.contains(&v)
+    }
+
+    /// Returns `true` if edge `e` is present in the view (both endpoints
+    /// present, the edge not removed, and the incident restriction — if any —
+    /// satisfied).
+    pub fn allows_edge(&self, e: EdgeId) -> bool {
+        if self.removed_edges.contains(&e) {
+            return false;
+        }
+        let ep = self.graph.endpoints(e);
+        if !self.allows_vertex(ep.u) || !self.allows_vertex(ep.v) {
+            return false;
+        }
+        if let Some((v, allowed)) = &self.incident_restriction {
+            if ep.contains(*v) && !allowed.contains(&e) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Iterates over the `(neighbour, edge)` pairs of `v` that survive the
+    /// restriction.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        let live = self.allows_vertex(v);
+        self.graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(move |&(u, e)| live && self.allows_vertex(u) && self.allows_edge(e))
+    }
+
+    /// Number of vertices of the underlying graph (including removed ones;
+    /// removed vertices simply have no surviving incident edges).
+    pub fn vertex_bound(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    /// Counts the edges surviving in the view.  Linear in `m`; intended for
+    /// tests and reports, not inner loops.
+    pub fn surviving_edge_count(&self) -> usize {
+        self.graph.edges().filter(|&e| self.allows_edge(e)).count()
+    }
+}
+
+impl fmt::Debug for GraphView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GraphView")
+            .field("graph", &self.graph)
+            .field("removed_edges", &self.removed_edges.len())
+            .field("removed_vertices", &self.removed_vertices.len())
+            .field(
+                "incident_restriction",
+                &self.incident_restriction.as_ref().map(|(v, s)| (*v, s.len())),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn square() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(v(0), v(1));
+        b.add_edge(v(1), v(2));
+        b.add_edge(v(2), v(3));
+        b.add_edge(v(3), v(0));
+        b.build()
+    }
+
+    #[test]
+    fn fault_set_canonicalisation() {
+        let e1 = EdgeId(3);
+        let e2 = EdgeId(1);
+        let f = FaultSet::pair(e1, e2);
+        assert_eq!(f.edges(), &[EdgeId(1), EdgeId(3)]);
+        assert_eq!(f.len(), 2);
+        assert!(f.contains(e1));
+        assert!(f.contains(e2));
+        assert!(!f.contains(EdgeId(0)));
+        let same = FaultSet::pair(e2, e1);
+        assert_eq!(f, same);
+        let dup = FaultSet::pair(e1, e1);
+        assert_eq!(dup.len(), 1);
+        assert!(FaultSet::empty().is_empty());
+    }
+
+    #[test]
+    fn fault_set_with_and_union() {
+        let f = FaultSet::single(EdgeId(5));
+        let g = f.with(EdgeId(2));
+        assert_eq!(g.edges(), &[EdgeId(2), EdgeId(5)]);
+        let h = g.union(&FaultSet::pair(EdgeId(5), EdgeId(9)));
+        assert_eq!(h.edges(), &[EdgeId(2), EdgeId(5), EdgeId(9)]);
+    }
+
+    #[test]
+    fn fault_set_intersects_path() {
+        let g = square();
+        let e01 = g.edge_between(v(0), v(1)).unwrap();
+        let f = FaultSet::single(e01);
+        let p = crate::path::Path::new(vec![v(3), v(0), v(1)]);
+        assert!(f.intersects_path(&g, &p));
+        let q = crate::path::Path::new(vec![v(1), v(2), v(3)]);
+        assert!(!f.intersects_path(&g, &q));
+    }
+
+    #[test]
+    fn view_edge_removal() {
+        let g = square();
+        let e = g.edge_between(v(0), v(1)).unwrap();
+        let view = GraphView::new(&g).without_edge(e);
+        assert!(!view.allows_edge(e));
+        assert_eq!(view.surviving_edge_count(), 3);
+        assert_eq!(view.neighbors(v(0)).count(), 1);
+        assert_eq!(view.neighbors(v(2)).count(), 2);
+    }
+
+    #[test]
+    fn view_vertex_removal_and_keeping() {
+        let g = square();
+        let view = GraphView::new(&g).without_vertices([v(1)]);
+        assert!(!view.allows_vertex(v(1)));
+        assert_eq!(view.neighbors(v(0)).count(), 1); // only 3 survives
+        assert_eq!(view.neighbors(v(1)).count(), 0);
+        let restored = GraphView::new(&g)
+            .without_vertices([v(1), v(2)])
+            .keeping_vertex(v(2));
+        assert!(restored.allows_vertex(v(2)));
+        assert!(!restored.allows_vertex(v(1)));
+    }
+
+    #[test]
+    fn view_incident_restriction() {
+        let g = square();
+        let e30 = g.edge_between(v(3), v(0)).unwrap();
+        let e23 = g.edge_between(v(2), v(3)).unwrap();
+        // Only the edge (3,0) is allowed at vertex 3.
+        let view = GraphView::new(&g).with_incident_restriction(v(3), [e30]);
+        assert!(view.allows_edge(e30));
+        assert!(!view.allows_edge(e23));
+        assert_eq!(view.neighbors(v(3)).count(), 1);
+        // Edges not incident to 3 are unaffected.
+        let e01 = g.edge_between(v(0), v(1)).unwrap();
+        assert!(view.allows_edge(e01));
+    }
+
+    #[test]
+    fn view_without_faults() {
+        let g = square();
+        let e01 = g.edge_between(v(0), v(1)).unwrap();
+        let e23 = g.edge_between(v(2), v(3)).unwrap();
+        let view = GraphView::new(&g).without_faults(&FaultSet::pair(e01, e23));
+        assert_eq!(view.surviving_edge_count(), 2);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let g = square();
+        let f = FaultSet::pair(EdgeId(0), EdgeId(2));
+        assert_eq!(format!("{f:?}"), "F{0,2}");
+        let view = GraphView::new(&g).without_edge(EdgeId(0));
+        let s = format!("{view:?}");
+        assert!(s.contains("removed_edges"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Cluster and hub graphs.
+//!
+//! These families have sparse (near-linear) optimal FT-BFS structures while
+//! still containing many edges, which is exactly the regime where the
+//! `O(log n)` approximation of Section 5 beats the worst-case-optimal
+//! `Cons2FTBFS` construction.  They are the workload of experiment E3.
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A hub-and-spokes graph: `hubs` fully-interconnected hub vertices, each
+/// spoke vertex connected to `attach` distinct hubs.  Vertex `0..hubs` are
+/// hubs, the rest are spokes.
+///
+/// # Panics
+///
+/// Panics if `hubs == 0` or `attach == 0` or `attach > hubs`.
+pub fn hub_and_spokes(hubs: usize, spokes: usize, attach: usize, seed: u64) -> Graph {
+    assert!(hubs > 0 && attach > 0 && attach <= hubs, "invalid hub parameters");
+    let mut r = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(hubs + spokes);
+    for i in 0..hubs {
+        for j in (i + 1)..hubs {
+            b.add_edge(VertexId::new(i), VertexId::new(j));
+        }
+    }
+    for s in 0..spokes {
+        let spoke = VertexId::new(hubs + s);
+        let mut chosen = std::collections::HashSet::new();
+        while chosen.len() < attach {
+            chosen.insert(r.gen_range(0..hubs));
+        }
+        for h in chosen {
+            b.add_edge(spoke, VertexId::new(h));
+        }
+    }
+    b.build()
+}
+
+/// A cluster graph: `clusters` dense clusters of `cluster_size` vertices each
+/// (every intra-cluster pair is an edge with probability `intra_p`), chained
+/// together by `bridges` parallel bridge edges between consecutive clusters.
+///
+/// Vertex ids are assigned cluster by cluster.
+///
+/// # Panics
+///
+/// Panics if any size parameter is zero or `bridges > cluster_size`.
+pub fn cluster_graph(
+    clusters: usize,
+    cluster_size: usize,
+    intra_p: f64,
+    bridges: usize,
+    seed: u64,
+) -> Graph {
+    assert!(clusters > 0 && cluster_size > 0, "cluster parameters must be positive");
+    assert!(bridges > 0 && bridges <= cluster_size, "bridges must be in 1..=cluster_size");
+    assert!((0.0..=1.0).contains(&intra_p), "probability must lie in [0,1]");
+    let mut r = ChaCha8Rng::seed_from_u64(seed ^ 0x5A5A_5A5A);
+    let n = clusters * cluster_size;
+    let mut b = GraphBuilder::new(n);
+    let vid = |c: usize, i: usize| VertexId::new(c * cluster_size + i);
+    for c in 0..clusters {
+        // A spanning path keeps each cluster connected regardless of `intra_p`.
+        for i in 0..cluster_size.saturating_sub(1) {
+            b.add_edge(vid(c, i), vid(c, i + 1));
+        }
+        for i in 0..cluster_size {
+            for j in (i + 1)..cluster_size {
+                if r.gen_bool(intra_p) {
+                    b.add_edge(vid(c, i), vid(c, j));
+                }
+            }
+        }
+    }
+    for c in 0..clusters.saturating_sub(1) {
+        for k in 0..bridges {
+            b.add_edge(vid(c, k), vid(c + 1, k));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::is_connected;
+
+    #[test]
+    fn hub_graph_shape() {
+        let g = hub_and_spokes(4, 20, 2, 1);
+        assert_eq!(g.vertex_count(), 24);
+        assert!(is_connected(&g));
+        // hub clique edges + 2 per spoke
+        assert_eq!(g.edge_count(), 6 + 40);
+        for s in 4..24 {
+            assert_eq!(g.degree(VertexId::new(s)), 2);
+        }
+    }
+
+    #[test]
+    fn hub_graph_deterministic() {
+        let a = hub_and_spokes(3, 10, 2, 9);
+        let b = hub_and_spokes(3, 10, 2, 9);
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    #[should_panic]
+    fn hub_graph_invalid_attach() {
+        let _ = hub_and_spokes(2, 5, 3, 0);
+    }
+
+    #[test]
+    fn cluster_graph_shape() {
+        let g = cluster_graph(3, 8, 0.5, 2, 4);
+        assert_eq!(g.vertex_count(), 24);
+        assert!(is_connected(&g));
+        // at least the spanning paths and bridges
+        assert!(g.edge_count() >= 3 * 7 + 2 * 2);
+    }
+
+    #[test]
+    fn cluster_graph_connected_even_with_zero_intra_probability() {
+        let g = cluster_graph(4, 5, 0.0, 1, 11);
+        assert!(is_connected(&g));
+        assert_eq!(g.edge_count(), 4 * 4 + 3);
+    }
+}

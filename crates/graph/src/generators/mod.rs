@@ -1,0 +1,24 @@
+//! Graph generators used as workloads by the tests, examples and experiment
+//! harness.
+//!
+//! Three families are provided:
+//!
+//! * [`structured`] — deterministic graphs (paths, cycles, grids, complete
+//!   and complete-bipartite graphs, stars, balanced binary trees);
+//! * [`random`] — Erdős–Rényi `G(n, p)` / `G(n, m)` graphs and connected
+//!   variants, random trees with extra chords;
+//! * [`hub`] — cluster/hub graphs whose optimal FT-BFS structures are sparse,
+//!   used by the approximation experiments (E3).
+//!
+//! Everything is re-exported at this level so callers can simply write
+//! `generators::gnp(...)`.
+
+pub mod hub;
+pub mod random;
+pub mod structured;
+
+pub use hub::{cluster_graph, hub_and_spokes};
+pub use random::{connected_gnp, gnm, gnp, random_tree, tree_plus_chords};
+pub use structured::{
+    complete, complete_bipartite, cycle, grid, path, star, balanced_binary_tree,
+};

@@ -1,0 +1,189 @@
+//! Random graph generators (Erdős–Rényi and random trees), all seeded and
+//! deterministic given the seed.
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Erdős–Rényi graph `G(n, p)`: every unordered pair is an edge independently
+/// with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability must lie in [0,1]");
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if r.gen_bool(p) {
+                b.add_edge(VertexId::new(i), VertexId::new(j));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi graph `G(n, m)`: exactly `m` distinct edges drawn uniformly at
+/// random (or all edges if `m` exceeds the number of pairs).
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let total_pairs = n * n.saturating_sub(1) / 2;
+    let m = m.min(total_pairs);
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    if total_pairs == 0 {
+        return b.build();
+    }
+    // For sparse requests, rejection-sample; for dense requests, shuffle all pairs.
+    if m * 3 < total_pairs {
+        while b.edge_count() < m {
+            let i = r.gen_range(0..n);
+            let j = r.gen_range(0..n);
+            if i != j {
+                b.add_edge(VertexId::new(i), VertexId::new(j));
+            }
+        }
+    } else {
+        let mut pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+        pairs.shuffle(&mut r);
+        for (i, j) in pairs.into_iter().take(m) {
+            b.add_edge(VertexId::new(i), VertexId::new(j));
+        }
+    }
+    b.build()
+}
+
+/// A uniformly random labelled tree on `n` vertices (via a random Prüfer-like
+/// attachment: vertex `i` attaches to a uniformly random earlier vertex after
+/// a random relabelling).
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut r);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let j = r.gen_range(0..i);
+        b.add_edge(VertexId::new(order[i]), VertexId::new(order[j]));
+    }
+    b.build()
+}
+
+/// A connected Erdős–Rényi-style graph: a random spanning tree plus each
+/// remaining pair independently with probability `p`.
+pub fn connected_gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability must lie in [0,1]");
+    let mut r = rng(seed ^ 0xABCD_EF01);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut r);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let j = r.gen_range(0..i);
+        b.add_edge(VertexId::new(order[i]), VertexId::new(order[j]));
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if r.gen_bool(p) {
+                b.add_edge(VertexId::new(i), VertexId::new(j));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A random tree plus `chords` uniformly random extra edges.  These graphs
+/// have sparse optimal FT-BFS structures and are the main workload of the
+/// approximation experiment (E3).
+pub fn tree_plus_chords(n: usize, chords: usize, seed: u64) -> Graph {
+    let mut r = rng(seed ^ 0x1357_9BDF);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut r);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let j = r.gen_range(0..i);
+        b.add_edge(VertexId::new(order[i]), VertexId::new(order[j]));
+    }
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = chords * 20 + 100;
+    while added < chords && attempts < max_attempts {
+        attempts += 1;
+        let i = r.gen_range(0..n);
+        let j = r.gen_range(0..n);
+        if i != j && b.add_edge(VertexId::new(i), VertexId::new(j)) {
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::is_connected;
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        let a = gnp(30, 0.2, 7);
+        let b = gnp(30, 0.2, 7);
+        assert_eq!(a.edge_count(), b.edge_count());
+        for e in a.edges() {
+            assert_eq!(a.endpoints(e), b.endpoints(e));
+        }
+        let c = gnp(30, 0.2, 8);
+        // Overwhelmingly likely to differ.
+        assert!(a.edge_count() != c.edge_count() || {
+            a.edges().any(|e| a.endpoints(e) != c.endpoints(e))
+        });
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).edge_count(), 0);
+        assert_eq!(gnp(10, 1.0, 1).edge_count(), 45);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(20, 30, 3);
+        assert_eq!(g.edge_count(), 30);
+        // Request more than possible: capped.
+        let h = gnm(5, 100, 3);
+        assert_eq!(h.edge_count(), 10);
+        // Dense request path.
+        let d = gnm(10, 40, 5);
+        assert_eq!(d.edge_count(), 40);
+    }
+
+    #[test]
+    fn random_tree_is_spanning_tree() {
+        for seed in 0..5 {
+            let g = random_tree(40, seed);
+            assert_eq!(g.edge_count(), 39);
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn connected_gnp_is_connected() {
+        for seed in 0..5 {
+            let g = connected_gnp(50, 0.05, seed);
+            assert!(is_connected(&g));
+            assert!(g.edge_count() >= 49);
+        }
+    }
+
+    #[test]
+    fn tree_plus_chords_counts() {
+        let g = tree_plus_chords(60, 15, 2);
+        assert!(is_connected(&g));
+        assert_eq!(g.edge_count(), 59 + 15);
+    }
+}

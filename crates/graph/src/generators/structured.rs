@@ -1,0 +1,195 @@
+//! Deterministic structured graph generators.
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+
+/// A simple path on `n` vertices (`n - 1` edges), vertices numbered along
+/// the path.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n > 0, "path requires at least one vertex");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n.saturating_sub(1) {
+        b.add_edge(VertexId::new(i), VertexId::new(i + 1));
+    }
+    b.build()
+}
+
+/// A cycle on `n ≥ 3` vertices.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle requires at least three vertices");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(VertexId::new(i), VertexId::new((i + 1) % n));
+    }
+    b.build()
+}
+
+/// An `rows × cols` grid graph; vertex `(r, c)` has id `r * cols + c`.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = r * cols + c;
+            if c + 1 < cols {
+                b.add_edge(VertexId::new(id), VertexId::new(id + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(VertexId::new(id), VertexId::new(id + cols));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(VertexId::new(i), VertexId::new(j));
+        }
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}`; the first `a` ids form one side.
+pub fn complete_bipartite(a: usize, b_size: usize) -> Graph {
+    let mut b = GraphBuilder::new(a + b_size);
+    for i in 0..a {
+        for j in 0..b_size {
+            b.add_edge(VertexId::new(i), VertexId::new(a + j));
+        }
+    }
+    b.build()
+}
+
+/// A star with `n` leaves (vertex 0 is the centre, `n + 1` vertices total).
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n + 1);
+    for i in 0..n {
+        b.add_edge(VertexId::new(0), VertexId::new(i + 1));
+    }
+    b.build()
+}
+
+/// A balanced binary tree with the given number of `levels` (a single root
+/// for `levels == 1`).  Vertex `i`'s children are `2i + 1` and `2i + 2`.
+///
+/// # Panics
+///
+/// Panics if `levels == 0`.
+pub fn balanced_binary_tree(levels: u32) -> Graph {
+    assert!(levels > 0, "tree must have at least one level");
+    let n = (1usize << levels) - 1;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        let left = 2 * i + 1;
+        let right = 2 * i + 2;
+        if left < n {
+            b.add_edge(VertexId::new(i), VertexId::new(left));
+        }
+        if right < n {
+            b.add_edge(VertexId::new(i), VertexId::new(right));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::is_connected;
+
+    #[test]
+    fn path_counts() {
+        let g = path(10);
+        assert_eq!(g.vertex_count(), 10);
+        assert_eq!(g.edge_count(), 9);
+        assert_eq!(g.degree(VertexId(0)), 1);
+        assert_eq!(g.degree(VertexId(5)), 2);
+        assert!(is_connected(&g));
+        assert_eq!(path(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_counts() {
+        let g = cycle(7);
+        assert_eq!(g.vertex_count(), 7);
+        assert_eq!(g.edge_count(), 7);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(4, 5);
+        assert_eq!(g.vertex_count(), 20);
+        assert_eq!(g.edge_count(), 4 * 4 + 5 * 3);
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(VertexId(0)), 2);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 5);
+        }
+    }
+
+    #[test]
+    fn bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.vertex_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.degree(VertexId(0)), 4);
+        assert_eq!(g.degree(VertexId(3)), 3);
+        assert!(!g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(0), VertexId(3)));
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star(5);
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.degree(VertexId(0)), 5);
+    }
+
+    #[test]
+    fn binary_tree_counts() {
+        let g = balanced_binary_tree(4);
+        assert_eq!(g.vertex_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(VertexId(0)), 2);
+        assert_eq!(g.degree(VertexId(14)), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_path_panics() {
+        let _ = path(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_cycle_panics() {
+        let _ = cycle(2);
+    }
+}

@@ -1,0 +1,147 @@
+//! A minimal text edge-list format for saving and loading graphs.
+//!
+//! The format is line oriented:
+//!
+//! ```text
+//! # comments start with '#'
+//! n <vertex-count>
+//! <u> <v>
+//! <u> <v>
+//! ...
+//! ```
+//!
+//! It exists so that experiment inputs/outputs can be inspected and rerun;
+//! it is intentionally not a general-purpose interchange format.
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+use std::fmt::Write as _;
+
+/// Errors produced when parsing the edge-list format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The `n <count>` header line is missing or malformed.
+    MissingHeader,
+    /// A line could not be parsed as two vertex indices.
+    MalformedLine {
+        /// 1-based line number of the offending line.
+        line: usize,
+    },
+    /// An edge endpoint is out of the declared vertex range.
+    VertexOutOfRange {
+        /// 1-based line number of the offending line.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingHeader => write!(f, "missing or malformed 'n <count>' header"),
+            ParseError::MalformedLine { line } => write!(f, "malformed edge on line {line}"),
+            ParseError::VertexOutOfRange { line } => {
+                write!(f, "vertex index out of range on line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialises a graph to the edge-list text format.
+pub fn to_edge_list(graph: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "n {}", graph.vertex_count());
+    for e in graph.edges() {
+        let ep = graph.endpoints(e);
+        let _ = writeln!(out, "{} {}", ep.u.0, ep.v.0);
+    }
+    out
+}
+
+/// Parses a graph from the edge-list text format.
+pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
+    let mut builder: Option<GraphBuilder> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if builder.is_none() {
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some("n"), Some(count), None) => {
+                    let n: usize = count.parse().map_err(|_| ParseError::MissingHeader)?;
+                    builder = Some(GraphBuilder::new(n));
+                    continue;
+                }
+                _ => return Err(ParseError::MissingHeader),
+            }
+        }
+        let b = builder.as_mut().expect("builder initialised above");
+        let mut parts = line.split_whitespace();
+        let (u, v) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(u), Some(v), None) => (u, v),
+            _ => return Err(ParseError::MalformedLine { line: line_no }),
+        };
+        let u: usize = u.parse().map_err(|_| ParseError::MalformedLine { line: line_no })?;
+        let v: usize = v.parse().map_err(|_| ParseError::MalformedLine { line: line_no })?;
+        if u >= b.vertex_count() || v >= b.vertex_count() {
+            return Err(ParseError::VertexOutOfRange { line: line_no });
+        }
+        b.add_edge(VertexId::new(u), VertexId::new(v));
+    }
+    builder.map(GraphBuilder::build).ok_or(ParseError::MissingHeader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = generators::grid(3, 4);
+        let text = to_edge_list(&g);
+        let h = from_edge_list(&text).unwrap();
+        assert_eq!(g.vertex_count(), h.vertex_count());
+        assert_eq!(g.edge_count(), h.edge_count());
+        for e in g.edges() {
+            let ep = g.endpoints(e);
+            assert!(h.has_edge(ep.u, ep.v));
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# a comment\n\nn 3\n0 1\n# another\n1 2\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(from_edge_list("").unwrap_err(), ParseError::MissingHeader);
+        assert_eq!(from_edge_list("x 3\n").unwrap_err(), ParseError::MissingHeader);
+        assert_eq!(
+            from_edge_list("n 3\n0\n").unwrap_err(),
+            ParseError::MalformedLine { line: 2 }
+        );
+        assert_eq!(
+            from_edge_list("n 3\n0 7\n").unwrap_err(),
+            ParseError::VertexOutOfRange { line: 2 }
+        );
+        assert_eq!(
+            from_edge_list("n 2\n0 a\n").unwrap_err(),
+            ParseError::MalformedLine { line: 2 }
+        );
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = ParseError::MalformedLine { line: 4 };
+        assert!(e.to_string().contains("line 4"));
+        assert!(ParseError::MissingHeader.to_string().contains("header"));
+    }
+}

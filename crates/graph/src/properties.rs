@@ -1,0 +1,206 @@
+//! Global graph properties: connectivity, components, diameter, degree
+//! statistics and the `f`-fault-tolerant diameter `D_f(G)` of Observation 1.6.
+
+use crate::bfs::bfs;
+use crate::fault::{FaultSet, GraphView};
+use crate::graph::{Graph, VertexId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Returns `true` if the graph is connected (vacuously true for the empty
+/// graph and single vertices).
+pub fn is_connected(graph: &Graph) -> bool {
+    if graph.vertex_count() <= 1 {
+        return true;
+    }
+    let res = bfs(&GraphView::new(graph), VertexId(0));
+    res.reached_count() == graph.vertex_count()
+}
+
+/// The connected components of the graph, each a sorted list of vertices;
+/// components are ordered by their smallest vertex.
+pub fn connected_components(graph: &Graph) -> Vec<Vec<VertexId>> {
+    let n = graph.vertex_count();
+    let mut seen = vec![false; n];
+    let mut components = Vec::new();
+    let view = GraphView::new(graph);
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let res = bfs(&view, VertexId::new(start));
+        let mut comp: Vec<VertexId> = res.reached_vertices().map(|(v, _)| v).collect();
+        comp.sort_unstable();
+        for &v in &comp {
+            seen[v.index()] = true;
+        }
+        components.push(comp);
+    }
+    components
+}
+
+/// The exact diameter of the graph (maximum eccentricity over all vertices),
+/// or `None` if the graph is disconnected or empty.
+///
+/// Runs `n` BFS traversals; intended for the small/medium graphs used in the
+/// experiments.
+pub fn diameter(graph: &Graph) -> Option<u32> {
+    if graph.vertex_count() == 0 || !is_connected(graph) {
+        return None;
+    }
+    let view = GraphView::new(graph);
+    let mut best = 0;
+    for v in graph.vertices() {
+        best = best.max(bfs(&view, v).eccentricity());
+    }
+    Some(best)
+}
+
+/// The eccentricity of `source`: the largest distance from it to any
+/// reachable vertex.
+pub fn eccentricity(graph: &Graph, source: VertexId) -> u32 {
+    bfs(&GraphView::new(graph), source).eccentricity()
+}
+
+/// Minimum, maximum and mean degree of the graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest vertex degree.
+    pub min: usize,
+    /// Largest vertex degree.
+    pub max: usize,
+    /// Average vertex degree (`2m / n`).
+    pub mean: f64,
+}
+
+/// Computes [`DegreeStats`] for the graph.  Returns zeros for the empty graph.
+pub fn degree_stats(graph: &Graph) -> DegreeStats {
+    let n = graph.vertex_count();
+    if n == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+        };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0;
+    for v in graph.vertices() {
+        let d = graph.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+    }
+    DegreeStats {
+        min,
+        max,
+        mean: 2.0 * graph.edge_count() as f64 / n as f64,
+    }
+}
+
+/// Estimates the `f`-fault-tolerant eccentricity of `source`:
+/// `max { dist(source, v, G ∖ F) : |F| ≤ f - 1, v reachable }`,
+/// the quantity `D_f(G)` of Observation 1.6 restricted to one source.
+///
+/// For `f ≤ 1` this is the plain eccentricity.  For larger `f`, the maximum
+/// is taken over `samples` random fault sets drawn from the edges of the
+/// graph (an exhaustive enumeration would be `O(m^{f-1})` BFS runs); the
+/// returned value is therefore a lower bound on the true FT-eccentricity,
+/// which is sufficient for the scaling experiment it supports.
+pub fn ft_eccentricity_estimate(
+    graph: &Graph,
+    source: VertexId,
+    f: usize,
+    samples: usize,
+    seed: u64,
+) -> u32 {
+    let base = eccentricity(graph, source);
+    if f <= 1 || graph.edge_count() == 0 {
+        return base;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let edges: Vec<_> = graph.edges().collect();
+    let mut best = base;
+    for _ in 0..samples {
+        let mut chosen = edges.clone();
+        chosen.shuffle(&mut rng);
+        let faults = FaultSet::from_iter(chosen.into_iter().take(f - 1));
+        let view = GraphView::new(graph).without_faults(&faults);
+        let res = bfs(&view, source);
+        // Only count vertices still reachable: D_f is defined over surviving
+        // distances.
+        best = best.max(res.eccentricity());
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn connectivity_checks() {
+        assert!(is_connected(&generators::cycle(5)));
+        assert!(is_connected(&generators::path(1)));
+        let mut b = crate::graph::GraphBuilder::new(4);
+        b.add_edge(VertexId(0), VertexId(1));
+        let g = b.build();
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn components_partition_vertices() {
+        let mut b = crate::graph::GraphBuilder::new(6);
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(2), VertexId(3));
+        b.add_edge(VertexId(3), VertexId(4));
+        let g = b.build();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![VertexId(0), VertexId(1)]);
+        assert_eq!(comps[1], vec![VertexId(2), VertexId(3), VertexId(4)]);
+        assert_eq!(comps[2], vec![VertexId(5)]);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn diameter_of_known_graphs() {
+        assert_eq!(diameter(&generators::path(10)), Some(9));
+        assert_eq!(diameter(&generators::cycle(10)), Some(5));
+        assert_eq!(diameter(&generators::complete(6)), Some(1));
+        assert_eq!(diameter(&generators::grid(3, 3)), Some(4));
+        let mut b = crate::graph::GraphBuilder::new(3);
+        b.add_edge(VertexId(0), VertexId(1));
+        assert_eq!(diameter(&b.build()), None);
+    }
+
+    #[test]
+    fn eccentricity_values() {
+        let g = generators::path(7);
+        assert_eq!(eccentricity(&g, VertexId(0)), 6);
+        assert_eq!(eccentricity(&g, VertexId(3)), 3);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = generators::star(6);
+        let stats = degree_stats(&g);
+        assert_eq!(stats.min, 1);
+        assert_eq!(stats.max, 6);
+        assert!((stats.mean - 12.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ft_eccentricity_at_least_plain() {
+        let g = generators::cycle(10);
+        let plain = eccentricity(&g, VertexId(0));
+        let ft = ft_eccentricity_estimate(&g, VertexId(0), 2, 20, 1);
+        assert!(ft >= plain);
+        // Removing one edge of a cycle makes it a path: eccentricity 9.
+        assert_eq!(ft, 9);
+        // f = 1 is exactly the plain eccentricity.
+        assert_eq!(ft_eccentricity_estimate(&g, VertexId(0), 1, 5, 1), plain);
+    }
+}

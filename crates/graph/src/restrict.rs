@@ -1,0 +1,175 @@
+//! The restricted graphs of Eq. (3) and Eq. (4) of the paper.
+//!
+//! * `G(u_k, u_ℓ) = (G ∖ V(π(u_k, u_ℓ))) ∪ {u_k, v}` — remove the interior of
+//!   the shortest-path segment between `u_k` and `u_ℓ` (keeping `u_k` itself
+//!   and the target `v`), so that any surviving `s–v` path must diverge from
+//!   `π(s, v)` at `u_k` or above.
+//! * `G_D(w_ℓ) = (G(x_τ, v) ∖ V(D_τ[w_ℓ, y_τ])) ∪ {w_ℓ}` — additionally
+//!   remove the suffix of a detour from `w_ℓ` on (keeping `w_ℓ`), so that any
+//!   surviving path diverges from the detour at `w_ℓ` or above.
+//!
+//! Both are expressed as [`GraphView`]s over the base graph.
+
+use crate::fault::{FaultSet, GraphView};
+use crate::graph::{Graph, VertexId};
+use crate::path::Path;
+
+/// Builds the restricted graph `G(u_k, u_ℓ)` of Eq. (3).
+///
+/// `pi` must be the canonical path `π(s, v)` (or any path containing the
+/// segment), `from` is `u_k`, `to` is `u_ℓ`, and `target` is the vertex `v`
+/// that must stay in the graph even if it lies on the removed segment.
+/// The removed vertex set is `V(π(u_k, u_ℓ)) ∖ {u_k, v}`.
+pub fn pi_segment_restricted<'g>(
+    graph: &'g Graph,
+    pi: &Path,
+    from: VertexId,
+    to: VertexId,
+    target: VertexId,
+) -> GraphView<'g> {
+    let segment = pi.subpath(from, to);
+    let removed: Vec<VertexId> = segment
+        .vertices()
+        .iter()
+        .copied()
+        .filter(|&x| x != from && x != target)
+        .collect();
+    GraphView::new(graph).without_vertices(removed)
+}
+
+/// Builds the restricted graph `G(u_k, u_ℓ) ∖ F`: the Eq. (3) graph with a
+/// fault set additionally removed.  This is the graph in which step (1) and
+/// step (3) of `Cons2FTBFS` search for replacement paths with a prescribed
+/// earliest divergence point.
+pub fn pi_segment_restricted_without<'g>(
+    graph: &'g Graph,
+    pi: &Path,
+    from: VertexId,
+    to: VertexId,
+    target: VertexId,
+    faults: &FaultSet,
+) -> GraphView<'g> {
+    pi_segment_restricted(graph, pi, from, to, target).without_faults(faults)
+}
+
+/// Builds the restricted graph `G_D(w_ℓ)` of Eq. (4): starting from
+/// `G(x_τ, v)` (expressed by `base`), remove the detour suffix
+/// `D_τ[w_ℓ, y_τ]` except the vertex `w_ℓ` itself (and never remove
+/// `target`).
+pub fn detour_suffix_restricted<'g>(
+    base: GraphView<'g>,
+    detour: &Path,
+    from: VertexId,
+    target: VertexId,
+) -> GraphView<'g> {
+    let suffix = detour.suffix(from);
+    let removed: Vec<VertexId> = suffix
+        .vertices()
+        .iter()
+        .copied()
+        .filter(|&x| x != from && x != target)
+        .collect();
+    base.without_vertices(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs;
+    use crate::graph::{GraphBuilder, VertexId};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// A path 0-1-2-3-4 plus a parallel "detour" 0-5-6-4 and a chord 1-6.
+    fn test_graph() -> Graph {
+        let mut b = GraphBuilder::new(7);
+        b.add_path(&[v(0), v(1), v(2), v(3), v(4)]);
+        b.add_path(&[v(0), v(5), v(6), v(4)]);
+        b.add_edge(v(1), v(6));
+        b.build()
+    }
+
+    #[test]
+    fn pi_segment_interior_removed() {
+        let g = test_graph();
+        let pi = Path::new(vec![v(0), v(1), v(2), v(3), v(4)]);
+        // Remove interior of pi[1,3]: vertices 2 and 3 go, 1 stays, 4 (target) stays.
+        let view = pi_segment_restricted(&g, &pi, v(1), v(3), v(4));
+        assert!(view.allows_vertex(v(1)));
+        assert!(!view.allows_vertex(v(2)));
+        assert!(!view.allows_vertex(v(3)));
+        assert!(view.allows_vertex(v(4)));
+        // 4 is still reachable from 0 via the detour 0-5-6-4.
+        let res = bfs(&view, v(0));
+        assert_eq!(res.distance(v(4)), Some(3));
+    }
+
+    #[test]
+    fn pi_segment_keeps_target_when_on_segment() {
+        let g = test_graph();
+        let pi = Path::new(vec![v(0), v(1), v(2), v(3), v(4)]);
+        let view = pi_segment_restricted(&g, &pi, v(1), v(4), v(4));
+        assert!(view.allows_vertex(v(4)));
+        assert!(!view.allows_vertex(v(3)));
+        // Any surviving s-4 path must diverge from pi at 1 or above.
+        let res = bfs(&view, v(0));
+        let p = res.path_to(v(4)).unwrap();
+        assert!(!p.contains_vertex(v(2)));
+        assert!(!p.contains_vertex(v(3)));
+    }
+
+    #[test]
+    fn pi_segment_with_faults() {
+        let g = test_graph();
+        let pi = Path::new(vec![v(0), v(1), v(2), v(3), v(4)]);
+        let e05 = g.edge_between(v(0), v(5)).unwrap();
+        let view = pi_segment_restricted_without(
+            &g,
+            &pi,
+            v(1),
+            v(4),
+            v(4),
+            &FaultSet::single(e05),
+        );
+        // Without 0-5 and the pi interior, route is 0-1-6-4.
+        let res = bfs(&view, v(0));
+        assert_eq!(res.distance(v(4)), Some(3));
+        let p = res.path_to(v(4)).unwrap();
+        assert!(p.contains_vertex(v(6)));
+    }
+
+    #[test]
+    fn detour_suffix_removal() {
+        let g = test_graph();
+        let detour = Path::new(vec![v(0), v(5), v(6), v(4)]);
+        let base = GraphView::new(&g);
+        // Remove the detour suffix from 5 on (but keep 5 and the target 4).
+        let view = detour_suffix_restricted(base, &detour, v(5), v(4));
+        assert!(view.allows_vertex(v(5)));
+        assert!(!view.allows_vertex(v(6)));
+        assert!(view.allows_vertex(v(4)));
+        let res = bfs(&view, v(0));
+        // 4 reachable only along the pi path now.
+        assert_eq!(res.distance(v(4)), Some(4));
+    }
+
+    #[test]
+    fn detour_suffix_composes_with_pi_restriction() {
+        let g = test_graph();
+        let pi = Path::new(vec![v(0), v(1), v(2), v(3), v(4)]);
+        let detour = Path::new(vec![v(1), v(6), v(4)]);
+        // G(1, v): remove pi interior below 1.
+        let base = pi_segment_restricted(&g, &pi, v(1), v(4), v(4));
+        // Additionally remove the detour suffix from 6 on.
+        let view = detour_suffix_restricted(base, &detour, v(6), v(4));
+        assert!(view.allows_vertex(v(6)));
+        assert!(!view.allows_vertex(v(2)));
+        // The only surviving route to 4 diverges from the detour at 6... but
+        // the detour edge (6,4) is still allowed since only vertices after 6
+        // are removed and 4 is the kept target.
+        let res = bfs(&view, v(0));
+        assert_eq!(res.distance(v(4)), Some(3));
+    }
+}

@@ -1,0 +1,4 @@
+//! Test-only crate: the actual content lives in `tests/`, which exercises
+//! the whole workspace end to end (constructions → verification → analysis →
+//! lower bounds).  The library target exists only so Cargo accepts the
+//! package.

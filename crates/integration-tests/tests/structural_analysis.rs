@@ -1,0 +1,156 @@
+//! Cross-crate structural tests: the analysis machinery (kernel graphs,
+//! detour configurations, path classes) applied to real construction records
+//! must satisfy the structural claims of Section 3.
+
+use ftbfs_analysis::{classify_construction, configuration_census, DetourConfiguration, KernelGraph};
+use ftbfs_core::dual::DualFtBfsBuilder;
+use ftbfs_graph::{generators, Graph, TieBreak, VertexId};
+use ftbfs_lowerbound::GStarGraph;
+
+fn build_with_records(g: &Graph, seed: u64) -> ftbfs_core::dual::DualFtBfs {
+    let w = TieBreak::new(g, seed);
+    DualFtBfsBuilder::new(g, &w, VertexId(0))
+        .record_paths(true)
+        .build()
+}
+
+#[test]
+fn recorded_detours_are_edge_disjoint_from_pi() {
+    for seed in 0..3u64 {
+        let g = generators::connected_gnp(30, 0.12, seed);
+        let r = build_with_records(&g, seed);
+        for rec in &r.records {
+            for dr in &rec.detours {
+                let d = &dr.decomposition.detour;
+                // Claim 3.4: the detour meets pi only at its endpoints.
+                for vtx in d.path.vertices() {
+                    if *vtx != d.x && *vtx != d.y {
+                        assert!(
+                            !rec.pi.contains_vertex(*vtx),
+                            "detour interior vertex {vtx:?} lies on pi"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn kernel_graph_contains_second_faults_of_new_ending_paths() {
+    // Empirical check of the Lemma 3.14 consequence: the second fault of
+    // every recorded new-ending (π,D) path lies inside the kernel of that
+    // vertex's detours (its detour prefix up to the fault is in the kernel).
+    for seed in [1u64, 5, 9] {
+        let g = generators::connected_gnp(40, 0.1, seed);
+        let r = build_with_records(&g, seed);
+        for rec in &r.records {
+            if rec.new_ending.is_empty() {
+                continue;
+            }
+            let detours: Vec<_> = rec
+                .detours
+                .iter()
+                .map(|d| d.decomposition.detour.clone())
+                .collect();
+            let kernel = KernelGraph::build(&rec.pi, &detours);
+            for ne in &rec.new_ending {
+                let d = &detours[ne.detour_index];
+                let ep = g.endpoints(ne.second_fault);
+                assert!(
+                    kernel.covers_fault(d, ep.u, ep.v),
+                    "second fault {:?} of a new-ending path escapes the kernel",
+                    ne.second_fault
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dependent_detour_pairs_are_never_nested_or_non_nested() {
+    // Claims 3.8 and 3.9: dependent detours (sharing a vertex) cannot be in
+    // the nested or non-nested configuration.
+    let graphs = vec![
+        generators::connected_gnp(50, 0.1, 2),
+        generators::grid(7, 7),
+        GStarGraph::single_source(2, 3, 8).graph,
+    ];
+    for g in &graphs {
+        let r = build_with_records(g, 3);
+        for rec in &r.records {
+            let detours: Vec<_> = rec
+                .detours
+                .iter()
+                .map(|d| &d.decomposition.detour)
+                .filter(|d| !d.is_empty())
+                .collect();
+            for i in 0..detours.len() {
+                for j in (i + 1)..detours.len() {
+                    let a = ftbfs_analysis::classify_detour_pair(&rec.pi, detours[i], detours[j]);
+                    if a.dependent {
+                        assert_ne!(a.configuration, DetourConfiguration::Nested);
+                        assert_ne!(a.configuration, DetourConfiguration::NonNested);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn census_totals_match_pair_counts() {
+    let g = generators::connected_gnp(40, 0.12, 7);
+    let r = build_with_records(&g, 7);
+    let census = configuration_census(&r.records);
+    let by_config_total: usize = census.by_configuration.values().sum();
+    assert_eq!(by_config_total, census.total_pairs());
+    assert_eq!(
+        census.dependent_pairs,
+        census.forward_pairs + census.reverse_pairs
+    );
+}
+
+#[test]
+fn per_vertex_new_edges_stay_below_the_theorem_bound_with_small_constant() {
+    // Not a proof — a regression guard: on these workloads max |New(v)| must
+    // stay below 4 * n^{2/3} (Theorem 1.1's per-vertex bound with a small
+    // constant) and the (π,π) class below 4 * sqrt(n).
+    let workloads = vec![
+        generators::connected_gnp(60, 0.08, 3),
+        generators::connected_gnp(90, 0.06, 4),
+        GStarGraph::single_source(2, 3, 12).graph,
+    ];
+    for g in &workloads {
+        let r = build_with_records(g, 11);
+        let summary = classify_construction(g, &r);
+        let n = g.vertex_count() as f64;
+        assert!(
+            (summary.max_new_edges as f64) <= 4.0 * n.powf(2.0 / 3.0),
+            "max |New(v)| = {} exceeds 4 n^(2/3) = {}",
+            summary.max_new_edges,
+            4.0 * n.powf(2.0 / 3.0)
+        );
+        for vc in &summary.per_vertex {
+            assert!(
+                (vc.counts.pi_pi as f64) <= 4.0 * n.sqrt(),
+                "per-vertex (π,π) count {} exceeds 4 sqrt(n)",
+                vc.counts.pi_pi
+            );
+        }
+    }
+}
+
+#[test]
+fn classification_is_exhaustive_over_new_ending_records() {
+    let g = generators::connected_gnp(50, 0.1, 13);
+    let r = build_with_records(&g, 13);
+    let summary = classify_construction(&g, &r);
+    let recorded_pid: usize = r.records.iter().map(|rec| rec.new_ending.len()).sum();
+    let recorded_pipi: usize = r.records.iter().map(|rec| rec.pi_pi_new.len()).sum();
+    assert_eq!(
+        summary.totals.total(),
+        recorded_pid + recorded_pipi,
+        "every recorded new-ending path is classified exactly once"
+    );
+}

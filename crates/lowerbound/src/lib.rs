@@ -1,0 +1,33 @@
+//! # ftbfs-lowerbound
+//!
+//! Lower-bound graph families for `f`-failure FT-MBFS structures, from
+//! Section 4 of *Dual Failure Resilient BFS Structure* (Parter, PODC 2015).
+//!
+//! * [`gf`] — the recursive gadgets `G_1(d)` and `G_f(d)` with their leaf
+//!   labels and the structural properties of Lemma 4.3;
+//! * [`gstar`] — the full lower-bound graphs `G*_f` (single source) and the
+//!   multi-source variant, with `Ω(σ^{1/(f+1)} n^{2-1/(f+1)})` forced
+//!   bipartite edges (Theorem 1.2 / Theorem 4.1);
+//! * [`witness`] — computational verification that every forced edge really
+//!   is necessary under its witness fault set.
+//!
+//! # Example
+//!
+//! ```
+//! use ftbfs_lowerbound::{GStarGraph, count_unnecessary_edges};
+//!
+//! let gs = GStarGraph::single_source(2, 2, 3);
+//! assert!(gs.forced_edge_count() >= 12);
+//! assert_eq!(count_unnecessary_edges(&gs), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gf;
+pub mod gstar;
+pub mod witness;
+
+pub use gf::{build_g1, build_gf, GfComponent, GfGraph, Leaf};
+pub use gstar::{lower_bound_formula, GStarGraph};
+pub use witness::{check_edge_necessity, count_unnecessary_edges, NecessityCheck};

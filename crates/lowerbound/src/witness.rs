@@ -1,0 +1,111 @@
+//! Verification that the bipartite edges of `G*_f` are necessary.
+//!
+//! The lower-bound argument of Theorem 4.1 says: for every `x ∈ X` and every
+//! leaf `z`, there is a fault set `F` with `|F| ≤ f` under which any
+//! `f`-failure FT-BFS structure missing the edge `(x, z)` reports a strictly
+//! larger distance to `x` than the graph does.  This module checks that claim
+//! computationally for concrete instances: it removes the edge, applies the
+//! witness fault set and compares BFS distances.
+
+use crate::gstar::GStarGraph;
+use ftbfs_graph::{bfs, GraphView, VertexId};
+
+/// The outcome of checking one (source, leaf, x) triple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NecessityCheck {
+    /// Distance from the source to `x` in `G ∖ F`.
+    pub with_edge: Option<u32>,
+    /// Distance from the source to `x` in `(G ∖ {(x,z)}) ∖ F`.
+    pub without_edge: Option<u32>,
+}
+
+impl NecessityCheck {
+    /// Returns `true` if removing the bipartite edge strictly hurts the
+    /// distance (including disconnecting `x`), i.e. the edge is necessary.
+    pub fn edge_is_necessary(&self) -> bool {
+        match (self.with_edge, self.without_edge) {
+            (Some(a), Some(b)) => b > a,
+            (Some(_), None) => true,
+            _ => false,
+        }
+    }
+}
+
+/// Checks necessity of the bipartite edge between `x` and the given leaf of
+/// the given gadget copy, using the construction's witness fault set.
+pub fn check_edge_necessity(
+    gs: &GStarGraph,
+    copy: usize,
+    leaf_index: usize,
+    x: VertexId,
+) -> NecessityCheck {
+    let leaf = gs.gadgets[copy].leaves[leaf_index].vertex;
+    let source = gs.sources[copy];
+    let witness = gs.necessity_witness(copy, leaf_index);
+    let edge = gs
+        .graph
+        .edge_between(x, leaf)
+        .expect("bipartite edge exists between X and every leaf");
+
+    let with_view = GraphView::new(&gs.graph).without_faults(&witness);
+    let with_edge = bfs(&with_view, source).distance(x);
+    let without_view = GraphView::new(&gs.graph)
+        .without_faults(&witness)
+        .without_edge(edge);
+    let without_edge = bfs(&without_view, source).distance(x);
+    NecessityCheck {
+        with_edge,
+        without_edge,
+    }
+}
+
+/// Checks every bipartite edge of the instance and returns the number of
+/// edges whose necessity check failed (zero for a correct construction).
+pub fn count_unnecessary_edges(gs: &GStarGraph) -> usize {
+    let mut failures = 0;
+    for (copy, leaf_index, _leaf) in gs.leaves().collect::<Vec<_>>() {
+        for &x in &gs.x_vertices {
+            if !check_edge_necessity(gs, copy, leaf_index, x).edge_is_necessary() {
+                failures += 1;
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_bipartite_edge_is_necessary_f1() {
+        let gs = GStarGraph::single_source(1, 4, 3);
+        assert_eq!(count_unnecessary_edges(&gs), 0);
+    }
+
+    #[test]
+    fn every_bipartite_edge_is_necessary_f2() {
+        let gs = GStarGraph::single_source(2, 3, 3);
+        assert_eq!(count_unnecessary_edges(&gs), 0);
+    }
+
+    #[test]
+    fn every_bipartite_edge_is_necessary_f3_small() {
+        let gs = GStarGraph::single_source(3, 2, 2);
+        assert_eq!(count_unnecessary_edges(&gs), 0);
+    }
+
+    #[test]
+    fn multi_source_edges_are_necessary_from_their_copy_source() {
+        let gs = GStarGraph::multi_source(2, 2, 2, 3);
+        assert_eq!(count_unnecessary_edges(&gs), 0);
+    }
+
+    #[test]
+    fn check_reports_distances() {
+        let gs = GStarGraph::single_source(1, 3, 2);
+        let c = check_edge_necessity(&gs, 0, 0, gs.x_vertices[0]);
+        assert!(c.with_edge.is_some());
+        assert!(c.edge_is_necessary());
+    }
+}

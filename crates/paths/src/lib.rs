@@ -1,0 +1,51 @@
+//! # ftbfs-paths
+//!
+//! Replacement-path substrate for the reproduction of *Dual Failure
+//! Resilient BFS Structure* (Merav Parter, PODC 2015).
+//!
+//! This crate sits between the raw graph substrate (`ftbfs-graph`) and the
+//! FT-BFS constructions (`ftbfs-core`).  It provides:
+//!
+//! * [`detour`] — the three-segment decomposition
+//!   `P_{s,v,{e}} = π(s,x) ∘ D ∘ π(y,v)` of Claim 3.4 and the [`detour::Detour`]
+//!   type;
+//! * [`replacement`] — single-failure replacement paths, both canonical
+//!   (`SP(s,v,G∖{e},W)`) and with the earliest-divergence selection of step
+//!   (1) of `Cons2FTBFS`, plus the batch per-tree-edge driver used by the
+//!   single-failure FT-BFS construction;
+//! * [`dual`] — canonical dual-failure replacement paths and the
+//!   classification of fault pairs into `(π,π)` / `(π,D)` / irrelevant;
+//! * [`select`] — the earliest π-divergence and earliest D-divergence
+//!   searches over the restricted graphs of Eq. (3)/(4);
+//! * [`new_ending`] — the new-ending predicate and `LastE(·)` collection.
+//!
+//! # Example
+//!
+//! ```
+//! use ftbfs_graph::{generators, SpTree, TieBreak, VertexId};
+//! use ftbfs_paths::replacement::SingleFailureReplacer;
+//!
+//! let g = generators::cycle(8);
+//! let w = TieBreak::new(&g, 0);
+//! let tree = SpTree::new(&g, &w, VertexId(0));
+//! let rep = SingleFailureReplacer::new(&g, &w, &tree);
+//! let e = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+//! let dec = rep.earliest_divergence_replacement(VertexId(2), e).unwrap();
+//! // The replacement path for v=2 goes the long way around the cycle.
+//! assert_eq!(dec.reassemble().len(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detour;
+pub mod dual;
+pub mod new_ending;
+pub mod replacement;
+pub mod select;
+
+pub use detour::{decompose, Decomposition, Detour};
+pub use dual::{canonical_dual_replacement, classify_fault_pair, FaultPairKind};
+pub use new_ending::{is_new_ending, last_edges};
+pub use replacement::{canonical_replacement, for_each_tree_edge_failure, SingleFailureReplacer};
+pub use select::{earliest_detour_divergence, earliest_pi_divergence, DivergenceChoice};

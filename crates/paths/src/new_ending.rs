@@ -1,0 +1,76 @@
+//! New-ending path predicates.
+//!
+//! A replacement path is *new-ending* (relative to an evolving structure)
+//! when its last edge is not yet part of the structure at the moment the
+//! path is considered; only such paths contribute a new edge incident to the
+//! target vertex.  The definition is relative — the same path can be
+//! new-ending early in the construction and not later — so the predicate
+//! takes the current edge set explicitly.
+
+use ftbfs_graph::{EdgeId, Graph, Path};
+use std::collections::HashSet;
+
+/// Returns `true` if the last edge of `path` is **not** contained in
+/// `existing` (the current set of structure edges incident to the target),
+/// i.e. the path is new-ending relative to that set.
+///
+/// Single-vertex paths have no last edge and are never new-ending.
+pub fn is_new_ending(graph: &Graph, path: &Path, existing: &HashSet<EdgeId>) -> bool {
+    match path.last_edge_id(graph) {
+        Some(e) => !existing.contains(&e),
+        None => false,
+    }
+}
+
+/// Collects the last edges of an iterator of paths, deduplicated — the
+/// `LastE(·)` union that the constructions add to the structure.
+pub fn last_edges<'a, I>(graph: &Graph, paths: I) -> HashSet<EdgeId>
+where
+    I: IntoIterator<Item = &'a Path>,
+{
+    paths
+        .into_iter()
+        .filter_map(|p| p.last_edge_id(graph))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbfs_graph::{GraphBuilder, VertexId};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn new_ending_detection() {
+        let mut b = GraphBuilder::new(4);
+        b.add_path(&[v(0), v(1), v(3)]);
+        b.add_path(&[v(0), v(2), v(3)]);
+        let g = b.build();
+        let via1 = Path::new(vec![v(0), v(1), v(3)]);
+        let via2 = Path::new(vec![v(0), v(2), v(3)]);
+        let e13 = g.edge_between(v(1), v(3)).unwrap();
+        let mut existing = HashSet::new();
+        existing.insert(e13);
+        assert!(!is_new_ending(&g, &via1, &existing));
+        assert!(is_new_ending(&g, &via2, &existing));
+        assert!(!is_new_ending(&g, &Path::singleton(v(3)), &existing));
+    }
+
+    #[test]
+    fn last_edge_collection() {
+        let mut b = GraphBuilder::new(4);
+        b.add_path(&[v(0), v(1), v(3)]);
+        b.add_path(&[v(0), v(2), v(3)]);
+        let g = b.build();
+        let p1 = Path::new(vec![v(0), v(1), v(3)]);
+        let p2 = Path::new(vec![v(0), v(2), v(3)]);
+        let p3 = Path::new(vec![v(0), v(1), v(3)]); // duplicate last edge
+        let set = last_edges(&g, [&p1, &p2, &p3]);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&g.edge_between(v(1), v(3)).unwrap()));
+        assert!(set.contains(&g.edge_between(v(2), v(3)).unwrap()));
+    }
+}

@@ -1,0 +1,36 @@
+//! # ftbfs-verify
+//!
+//! Verification and query oracles for fault-tolerant BFS structures.
+//!
+//! * [`checker`] — exhaustive (`O(m^f)` fault sets) and sampled checks of the
+//!   defining property `dist(s, v, H ∖ F) = dist(s, v, G ∖ F)`;
+//! * [`report`] — verification reports with per-violation counterexamples;
+//! * [`oracle`] — a distance/routing oracle that answers post-failure
+//!   queries *inside* a structure, the usage model motivating the paper.
+//!
+//! The crate deliberately accepts structures as plain edge-id collections so
+//! it can verify output from any construction (including hand-built ones)
+//! without depending on the construction crates.
+//!
+//! # Example
+//!
+//! ```
+//! use ftbfs_graph::{generators, VertexId};
+//! use ftbfs_verify::verify_exhaustive;
+//!
+//! let g = generators::cycle(6);
+//! // The whole graph trivially satisfies the FT-BFS property.
+//! let report = verify_exhaustive(&g, g.edges(), &[VertexId(0)], 2);
+//! assert!(report.is_valid());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod oracle;
+pub mod report;
+
+pub use checker::{verify_exhaustive, verify_sampled};
+pub use oracle::StructureOracle;
+pub use report::{VerificationReport, Violation};

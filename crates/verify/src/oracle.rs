@@ -1,0 +1,145 @@
+//! A dual-failure distance / routing oracle over a constructed structure.
+//!
+//! This is the "quality of usage" side of the paper's motivation (objective
+//! (2) in the introduction): once a sparse FT-BFS structure `H` has been
+//! purchased, routing queries after failures should be answered *inside* `H`
+//! and still be exact.  The oracle owns the structure's edge set and answers
+//! `dist(s, v, H ∖ F)` / shortest-route queries by running a BFS restricted
+//! to `H ∖ F` per query.
+
+use ftbfs_graph::{bfs, EdgeId, FaultSet, Graph, GraphView, Path, VertexId};
+use std::collections::HashSet;
+
+/// A query oracle over a fault-tolerant BFS structure.
+pub struct StructureOracle<'g> {
+    graph: &'g Graph,
+    source: VertexId,
+    structure: HashSet<EdgeId>,
+    removed: Vec<EdgeId>,
+}
+
+impl<'g> StructureOracle<'g> {
+    /// Creates an oracle for the structure given by `structure_edges`,
+    /// answering queries from `source`.
+    pub fn new<I>(graph: &'g Graph, source: VertexId, structure_edges: I) -> Self
+    where
+        I: IntoIterator<Item = EdgeId>,
+    {
+        let structure: HashSet<EdgeId> = structure_edges.into_iter().collect();
+        let removed = graph
+            .edges()
+            .filter(|e| !structure.contains(e))
+            .collect();
+        StructureOracle {
+            graph,
+            source,
+            structure,
+            removed,
+        }
+    }
+
+    /// The source all queries are answered from.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// Number of edges in the underlying structure.
+    pub fn structure_size(&self) -> usize {
+        self.structure.len()
+    }
+
+    /// The distance `dist(source, v, H ∖ F)`, or `None` if `v` is
+    /// unreachable inside the surviving structure.
+    pub fn distance(&self, v: VertexId, faults: &FaultSet) -> Option<u32> {
+        self.survivor_view(faults)
+            .map(|view| bfs(&view, self.source).distance(v))
+            .unwrap_or(None)
+    }
+
+    /// A shortest surviving route `source → v` inside `H ∖ F`.
+    pub fn route(&self, v: VertexId, faults: &FaultSet) -> Option<Path> {
+        let view = self.survivor_view(faults)?;
+        bfs(&view, self.source).path_to(v)
+    }
+
+    /// Distances to all vertices in one BFS sweep of `H ∖ F`.
+    pub fn all_distances(&self, faults: &FaultSet) -> Vec<Option<u32>> {
+        match self.survivor_view(faults) {
+            Some(view) => {
+                let res = bfs(&view, self.source);
+                self.graph.vertices().map(|v| res.distance(v)).collect()
+            }
+            None => vec![None; self.graph.vertex_count()],
+        }
+    }
+
+    /// Checks one query against ground truth computed in the full graph:
+    /// returns `true` if the structure's answer matches `dist(s, v, G ∖ F)`.
+    pub fn matches_ground_truth(&self, v: VertexId, faults: &FaultSet) -> bool {
+        let gview = GraphView::new(self.graph).without_faults(faults);
+        let expected = bfs(&gview, self.source).distance(v);
+        self.distance(v, faults) == expected
+    }
+
+    fn survivor_view(&self, faults: &FaultSet) -> Option<GraphView<'g>> {
+        Some(
+            GraphView::new(self.graph)
+                .without_edges(self.removed.iter().copied())
+                .without_faults(faults),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbfs_graph::generators;
+
+    #[test]
+    fn oracle_on_full_graph_matches_bfs() {
+        let g = generators::grid(3, 4);
+        let oracle = StructureOracle::new(&g, VertexId(0), g.edges());
+        assert_eq!(oracle.source(), VertexId(0));
+        assert_eq!(oracle.structure_size(), g.edge_count());
+        let plain = bfs(&GraphView::new(&g), VertexId(0));
+        for v in g.vertices() {
+            assert_eq!(oracle.distance(v, &FaultSet::empty()), plain.distance(v));
+            assert!(oracle.matches_ground_truth(v, &FaultSet::empty()));
+        }
+        let all = oracle.all_distances(&FaultSet::empty());
+        assert_eq!(all.len(), g.vertex_count());
+        assert_eq!(all[11], plain.distance(VertexId(11)));
+    }
+
+    #[test]
+    fn routes_avoid_failed_edges_and_missing_structure_edges() {
+        let g = generators::cycle(8);
+        let oracle = StructureOracle::new(&g, VertexId(0), g.edges());
+        let e01 = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        let f = FaultSet::single(e01);
+        let route = oracle.route(VertexId(1), &f).unwrap();
+        assert_eq!(route.len(), 7);
+        assert!(!route.contains_edge(VertexId(0), VertexId(1)));
+        // With two failures splitting the cycle, vertex 4 becomes unreachable.
+        let e45 = g.edge_between(VertexId(4), VertexId(5)).unwrap();
+        let e34 = g.edge_between(VertexId(3), VertexId(4)).unwrap();
+        let f2 = FaultSet::pair(e45, e34);
+        assert_eq!(oracle.distance(VertexId(4), &f2), None);
+        assert!(oracle.route(VertexId(4), &f2).is_none());
+    }
+
+    #[test]
+    fn sparse_structure_gives_larger_distances_when_insufficient() {
+        let g = generators::cycle(6);
+        // Keep only a BFS tree (drop edge 0): distance answers are correct
+        // fault-free but wrong once the structure is asked about a failure it
+        // cannot absorb.
+        let edges: Vec<EdgeId> = g.edges().filter(|&e| e != EdgeId(0)).collect();
+        let oracle = StructureOracle::new(&g, VertexId(0), edges);
+        assert!(oracle.matches_ground_truth(VertexId(3), &FaultSet::empty()));
+        // Failing edge (2,3) cuts vertex 2 off inside H (edge (0,1) is
+        // missing from the structure), while G still reaches it via 0-1-2.
+        let failed = g.edge_between(VertexId(2), VertexId(3)).unwrap();
+        assert!(!oracle.matches_ground_truth(VertexId(2), &FaultSet::single(failed)));
+    }
+}

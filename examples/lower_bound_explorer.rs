@@ -1,0 +1,58 @@
+//! Lower-bound explorer: build the worst-case family `G*_f` of Section 4 and
+//! watch the forced edge count approach `n^{2-1/(f+1)}`.
+//!
+//! Run with `cargo run --release --example lower_bound_explorer`.
+
+use ftbfs_lowerbound::{check_edge_necessity, count_unnecessary_edges, lower_bound_formula, GStarGraph};
+
+fn main() {
+    println!("The lower-bound family G*_f forces Ω(n^(2-1/(f+1))) edges into ANY f-failure FT-BFS structure.\n");
+
+    for f in [1usize, 2] {
+        println!("--- f = {f} ---");
+        println!(
+            "{:>4} {:>7} {:>12} {:>14} {:>8}",
+            "d", "n", "forced edges", "n^(2-1/(f+1))", "ratio"
+        );
+        for d in [2usize, 3, 4, 5] {
+            let gs = GStarGraph::single_source(f, d, 2 * d.pow(f as u32));
+            let n = gs.vertex_count();
+            let forced = gs.forced_edge_count();
+            let bound = lower_bound_formula(f, 1, n);
+            println!(
+                "{:>4} {:>7} {:>12} {:>14.0} {:>8.4}",
+                d,
+                n,
+                forced,
+                bound,
+                forced as f64 / bound
+            );
+        }
+        println!();
+    }
+
+    // Show one concrete necessity witness in full detail.
+    let gs = GStarGraph::single_source(2, 3, 4);
+    println!(
+        "concrete instance: G*_2 with d=3 → {} vertices, {} forced bipartite edges",
+        gs.vertex_count(),
+        gs.forced_edge_count()
+    );
+    let leaf_index = 1;
+    let witness = gs.necessity_witness(0, leaf_index);
+    let x = gs.x_vertices[0];
+    let check = check_edge_necessity(&gs, 0, leaf_index, x);
+    println!(
+        "witness fault set for leaf #{leaf_index} and x={x}: {witness:?} → distance to x is {:?} with the bipartite edge and {:?} without it",
+        check.with_edge, check.without_edge
+    );
+    assert!(check.edge_is_necessary());
+
+    let unnecessary = count_unnecessary_edges(&gs);
+    println!(
+        "checking all {} forced edges of this instance: {} failed the necessity test (expected 0).",
+        gs.forced_edge_count(),
+        unnecessary
+    );
+    assert_eq!(unnecessary, 0);
+}

@@ -1,0 +1,53 @@
+//! Multi-source Minimum FT-MBFS via the Section 5 approximation algorithm.
+//!
+//! A content-delivery operator has several ingress points (sources) and wants
+//! the cheapest subgraph that preserves exact distances from *every* ingress
+//! under up to `f` link failures.  The greedy set-cover approximation handles
+//! all sources jointly and is compared against the union of per-source
+//! constructive structures.
+//!
+//! Run with `cargo run --release --example multi_source_approximation`.
+
+use ftbfs_core::{approx_minimum_ftmbfs, multi_failure_ftmbfs};
+use ftbfs_graph::{generators, TieBreak, VertexId};
+use ftbfs_verify::verify_exhaustive;
+
+fn main() {
+    let graph = generators::hub_and_spokes(4, 24, 2, 5);
+    let sources = [VertexId(0), VertexId(1), VertexId(2)];
+    let f = 1usize;
+    let w = TieBreak::new(&graph, 5);
+
+    println!(
+        "graph: {} vertices, {} edges; sources {:?}; tolerating up to {f} failure(s)\n",
+        graph.vertex_count(),
+        graph.edge_count(),
+        sources
+    );
+
+    let union = multi_failure_ftmbfs(&graph, &w, &sources, f);
+    let approx = approx_minimum_ftmbfs(&graph, &sources, f);
+
+    let union_report = verify_exhaustive(&graph, union.edges(), &sources, f);
+    let approx_report = verify_exhaustive(&graph, approx.edges(), &sources, f);
+
+    println!("union of per-source constructions : {} edges — {}", union.edge_count(), union_report);
+    println!("set-cover approximation (Sec. 5)  : {} edges — {}", approx.edge_count(), approx_report);
+    assert!(union_report.is_valid());
+    assert!(approx_report.is_valid());
+
+    let spanning_lower_bound = graph.vertex_count() - 1;
+    println!(
+        "\nany connected structure needs at least {spanning_lower_bound} edges; the approximation is within {:.2}x of that trivial lower bound (Theorem 1.3 guarantees O(log n) of the true optimum).",
+        approx.edge_count() as f64 / spanning_lower_bound as f64
+    );
+
+    if approx.edge_count() <= union.edge_count() {
+        println!(
+            "on this hub-like instance the joint optimisation saves {} edges over the per-source union.",
+            union.edge_count() - approx.edge_count()
+        );
+    } else {
+        println!("on this instance the per-source union happens to be smaller; the approximation still carries the O(log n) worst-case guarantee.");
+    }
+}

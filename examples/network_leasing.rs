@@ -1,0 +1,61 @@
+//! Network leasing: the paper's motivating scenario (Section 1).
+//!
+//! The edges of a communication network are channels that can be leased.
+//! The operator wants to lease the *cheapest* subset of channels that still
+//! routes traffic from a data centre (the source) along exact shortest paths
+//! even if up to two channels fail.  This example compares the leasing cost
+//! (number of channels) of: the whole network, a plain BFS tree (no fault
+//! tolerance), a single-failure FT-BFS structure, and the dual-failure
+//! structure of the paper, and shows what goes wrong with the cheaper
+//! options.
+//!
+//! Run with `cargo run --release --example network_leasing`.
+
+use ftbfs_core::{bfs_tree_size, dual_failure_ftbfs, single_failure_ftbfs};
+use ftbfs_graph::{generators, TieBreak, VertexId};
+use ftbfs_verify::verify_exhaustive;
+
+fn main() {
+    // A metropolitan network: 4 dense district clusters chained by 2 parallel
+    // trunk links each.
+    let network = generators::cluster_graph(4, 10, 0.35, 2, 7);
+    let source = VertexId(0);
+    let w = TieBreak::new(&network, 7);
+
+    println!(
+        "network: {} routers, {} channels available for lease\n",
+        network.vertex_count(),
+        network.edge_count()
+    );
+
+    let tree_cost = bfs_tree_size(&network, &w, source);
+    let single = single_failure_ftbfs(&network, &w, source);
+    let dual = dual_failure_ftbfs(&network, &w, source);
+
+    println!("leasing options (cost = number of channels):");
+    println!("  whole network          : {:>4}", network.edge_count());
+    println!("  BFS tree (no faults)   : {:>4}", tree_cost);
+    println!("  1-failure FT-BFS       : {:>4}", single.edge_count());
+    println!("  2-failure FT-BFS (paper): {:>4}", dual.edge_count());
+    println!();
+
+    // The single-failure structure may fail under some pair of faults, while
+    // the dual structure survives all pairs — verified exhaustively.
+    let single_under_two = verify_exhaustive(&network, single.edges(), &[source], 2);
+    let dual_under_two = verify_exhaustive(&network, dual.edges(), &[source], 2);
+    let single_under_one = verify_exhaustive(&network, single.edges(), &[source], 1);
+
+    println!("resilience check (exhaustive over all fault sets):");
+    println!("  1-failure structure vs single faults : {single_under_one}");
+    println!("  1-failure structure vs fault pairs   : {single_under_two}");
+    println!("  2-failure structure vs fault pairs   : {dual_under_two}");
+
+    assert!(single_under_one.is_valid());
+    assert!(dual_under_two.is_valid());
+    if let Some(v) = single_under_two.first_violation() {
+        println!(
+            "\nexample outage the cheaper lease cannot absorb: {v}\n→ the extra {} channels of the dual-failure lease buy exact routing under any two channel failures.",
+            dual.edge_count() - single.edge_count()
+        );
+    }
+}
