@@ -87,7 +87,12 @@ fn interferes(graph: &Graph, rec: &VertexRecord, p: &NewEndingRecord, q: &NewEnd
 /// Returns `true` if `p` π-interferes with `q`: `p` interferes with `q` and
 /// the first fault of `p` lies on `π(y(D(q)), v)`, i.e. below the re-entry
 /// point of `q`'s detour.
-fn pi_interferes(graph: &Graph, rec: &VertexRecord, p: &NewEndingRecord, q: &NewEndingRecord) -> bool {
+fn pi_interferes(
+    graph: &Graph,
+    rec: &VertexRecord,
+    p: &NewEndingRecord,
+    q: &NewEndingRecord,
+) -> bool {
     if !interferes(graph, rec, p, q) {
         return false;
     }

@@ -61,7 +61,11 @@ pub struct DetourPairAnalysis {
 /// the paper's `First(D_a, D_b)`.
 pub fn first_common_vertex(a: &Detour, b: &Detour) -> Option<VertexId> {
     let b_set: HashSet<VertexId> = b.path.vertices().iter().copied().collect();
-    a.path.vertices().iter().copied().find(|v| b_set.contains(v))
+    a.path
+        .vertices()
+        .iter()
+        .copied()
+        .find(|v| b_set.contains(v))
 }
 
 /// The last vertex of `a` (walking from its start) that also lies on `b` —

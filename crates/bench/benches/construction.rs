@@ -14,7 +14,9 @@ fn workload(n: usize) -> ftbfs_graph::Graph {
 
 fn bench_tree(c: &mut Criterion) {
     let mut group = c.benchmark_group("bfs_tree");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for n in [60usize, 120, 240] {
         let g = workload(n);
         let w = TieBreak::new(&g, 1);
@@ -27,7 +29,9 @@ fn bench_tree(c: &mut Criterion) {
 
 fn bench_single(c: &mut Criterion) {
     let mut group = c.benchmark_group("single_failure_ftbfs");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for n in [60usize, 120, 240] {
         let g = workload(n);
         let w = TieBreak::new(&g, 1);
@@ -40,7 +44,9 @@ fn bench_single(c: &mut Criterion) {
 
 fn bench_dual(c: &mut Criterion) {
     let mut group = c.benchmark_group("dual_failure_ftbfs");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     for n in [40usize, 80, 140] {
         let g = workload(n);
         let w = TieBreak::new(&g, 1);
@@ -67,7 +73,9 @@ fn bench_dual(c: &mut Criterion) {
 
 fn bench_approx(c: &mut Criterion) {
     let mut group = c.benchmark_group("approx_minimum_ftmbfs");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for n in [16usize, 24] {
         let g = generators::tree_plus_chords(n, n / 3, 7);
         group.bench_with_input(BenchmarkId::new("f=1", n), &n, |b, _| {

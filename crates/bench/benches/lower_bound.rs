@@ -7,7 +7,9 @@ use std::time::Duration;
 
 fn bench_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("gstar_construction");
-    group.sample_size(20).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(4));
     for d in [3usize, 5, 7] {
         group.bench_with_input(BenchmarkId::new("f=2", d), &d, |b, &d| {
             b.iter(|| GStarGraph::single_source(2, d, 2 * d * d).vertex_count())
@@ -18,7 +20,9 @@ fn bench_construction(c: &mut Criterion) {
 
 fn bench_necessity_check(c: &mut Criterion) {
     let mut group = c.benchmark_group("gstar_necessity_check");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for d in [2usize, 3] {
         let gs = GStarGraph::single_source(2, d, d * d);
         group.bench_with_input(BenchmarkId::new("f=2", d), &d, |b, _| {

@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_oracle_queries(c: &mut Criterion) {
     let mut group = c.benchmark_group("oracle_distance_query");
-    group.sample_size(20).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(4));
     for n in [80usize, 160, 320] {
         let g = generators::connected_gnp(n, 6.0 / (n as f64 - 1.0), 21);
         let w = TieBreak::new(&g, 21);

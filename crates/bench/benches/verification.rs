@@ -9,16 +9,16 @@ use std::time::Duration;
 
 fn bench_exhaustive(c: &mut Criterion) {
     let mut group = c.benchmark_group("verify_exhaustive_f2");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for n in [10usize, 14, 18] {
         let g = generators::tree_plus_chords(n, n / 2, 3);
         let w = TieBreak::new(&g, 3);
         let h = dual_failure_ftbfs(&g, &w, VertexId(0));
         let edges: Vec<_> = h.edges().collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                verify_exhaustive(&g, edges.iter().copied(), &[VertexId(0)], 2).is_valid()
-            })
+            b.iter(|| verify_exhaustive(&g, edges.iter().copied(), &[VertexId(0)], 2).is_valid())
         });
     }
     group.finish();
@@ -26,7 +26,9 @@ fn bench_exhaustive(c: &mut Criterion) {
 
 fn bench_sampled(c: &mut Criterion) {
     let mut group = c.benchmark_group("verify_sampled_f2");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for n in [60usize, 120] {
         let g = generators::connected_gnp(n, 5.0 / (n as f64 - 1.0), 9);
         let w = TieBreak::new(&g, 9);

@@ -20,7 +20,12 @@ fn census_row(name: &str, g: &Graph, seed: u64, table: &mut Table) {
         .build();
     let census = configuration_census(&r.records);
     let get = |c: DetourConfiguration| -> String {
-        census.by_configuration.get(&c).copied().unwrap_or(0).to_string()
+        census
+            .by_configuration
+            .get(&c)
+            .copied()
+            .unwrap_or(0)
+            .to_string()
     };
     table.row(vec![
         name.to_string(),
@@ -57,11 +62,31 @@ fn main() {
             "rev",
         ],
     );
-    census_row("gnp(n=60, deg≈5)", &generators::connected_gnp(60, 5.0 / 59.0, 3), 3, &mut table);
-    census_row("gnp(n=100, deg≈6)", &generators::connected_gnp(100, 6.0 / 99.0, 4), 4, &mut table);
+    census_row(
+        "gnp(n=60, deg≈5)",
+        &generators::connected_gnp(60, 5.0 / 59.0, 3),
+        3,
+        &mut table,
+    );
+    census_row(
+        "gnp(n=100, deg≈6)",
+        &generators::connected_gnp(100, 6.0 / 99.0, 4),
+        4,
+        &mut table,
+    );
     census_row("grid 8x8", &generators::grid(8, 8), 5, &mut table);
-    census_row("hub(5, 40, 2)", &generators::hub_and_spokes(5, 40, 2, 6), 6, &mut table);
-    census_row("cluster(4 x 10)", &generators::cluster_graph(4, 10, 0.3, 2, 7), 7, &mut table);
+    census_row(
+        "hub(5, 40, 2)",
+        &generators::hub_and_spokes(5, 40, 2, 6),
+        6,
+        &mut table,
+    );
+    census_row(
+        "cluster(4 x 10)",
+        &generators::cluster_graph(4, 10, 0.3, 2, 7),
+        7,
+        &mut table,
+    );
     let gs = GStarGraph::single_source(2, 3, 12);
     census_row("G*_2 (d=3)", &gs.graph, 8, &mut table);
     table.print();

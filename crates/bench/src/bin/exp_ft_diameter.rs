@@ -13,10 +13,22 @@ fn main() {
     println!("E4: Observation 1.6 — FT-diameter bound D_f(G)^f * n vs measured size\n");
 
     let workloads: Vec<(String, ftbfs_graph::Graph)> = vec![
-        ("dense gnp(n=40, p=0.35)".into(), generators::connected_gnp(40, 0.35, 1)),
-        ("dense gnp(n=60, p=0.25)".into(), generators::connected_gnp(60, 0.25, 2)),
-        ("hub(5, 40, 3)".into(), generators::hub_and_spokes(5, 40, 3, 3)),
-        ("sparse gnp(n=60, deg≈4)".into(), generators::connected_gnp(60, 4.0 / 59.0, 4)),
+        (
+            "dense gnp(n=40, p=0.35)".into(),
+            generators::connected_gnp(40, 0.35, 1),
+        ),
+        (
+            "dense gnp(n=60, p=0.25)".into(),
+            generators::connected_gnp(60, 0.25, 2),
+        ),
+        (
+            "hub(5, 40, 3)".into(),
+            generators::hub_and_spokes(5, 40, 3, 3),
+        ),
+        (
+            "sparse gnp(n=60, deg≈4)".into(),
+            generators::connected_gnp(60, 4.0 / 59.0, 4),
+        ),
         ("grid 7x7".into(), generators::grid(7, 7)),
     ];
 

@@ -71,7 +71,14 @@ fn main() {
     // Multi-source sweep for f = 2.
     let mut table = Table::new(
         "multi-source G*_2 (d = 3)",
-        &["sigma", "n", "forced |E(B)|", "formula", "ratio", "unnecessary"],
+        &[
+            "sigma",
+            "n",
+            "forced |E(B)|",
+            "formula",
+            "ratio",
+            "unnecessary",
+        ],
     );
     for sigma in [1usize, 2, 4] {
         let gs = GStarGraph::multi_source(2, 3, sigma, 18);

@@ -43,10 +43,34 @@ fn main() {
             "max |New(v)|",
         ],
     );
-    classify_row("gnp(n=60, deg≈5)", &generators::connected_gnp(60, 5.0 / 59.0, 11), VertexId(0), 11, &mut table);
-    classify_row("gnp(n=120, deg≈6)", &generators::connected_gnp(120, 6.0 / 119.0, 12), VertexId(0), 12, &mut table);
-    classify_row("grid 8x8", &generators::grid(8, 8), VertexId(0), 13, &mut table);
-    classify_row("cluster(4 x 10)", &generators::cluster_graph(4, 10, 0.3, 2, 14), VertexId(0), 14, &mut table);
+    classify_row(
+        "gnp(n=60, deg≈5)",
+        &generators::connected_gnp(60, 5.0 / 59.0, 11),
+        VertexId(0),
+        11,
+        &mut table,
+    );
+    classify_row(
+        "gnp(n=120, deg≈6)",
+        &generators::connected_gnp(120, 6.0 / 119.0, 12),
+        VertexId(0),
+        12,
+        &mut table,
+    );
+    classify_row(
+        "grid 8x8",
+        &generators::grid(8, 8),
+        VertexId(0),
+        13,
+        &mut table,
+    );
+    classify_row(
+        "cluster(4 x 10)",
+        &generators::cluster_graph(4, 10, 0.3, 2, 14),
+        VertexId(0),
+        14,
+        &mut table,
+    );
     let gs = GStarGraph::single_source(2, 3, 12);
     classify_row("G*_2 (d=3)", &gs.graph, gs.sources[0], 15, &mut table);
     let gs4 = GStarGraph::single_source(2, 4, 24);

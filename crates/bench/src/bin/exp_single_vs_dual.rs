@@ -12,7 +12,15 @@ fn main() {
 
     let mut table = Table::new(
         "random connected G(n,p), average degree ≈ 6",
-        &["n", "m", "|T0|", "|H1| single", "|H2| dual", "H2/H1", "H2/m"],
+        &[
+            "n",
+            "m",
+            "|T0|",
+            "|H1| single",
+            "|H2| dual",
+            "H2/H1",
+            "H2/m",
+        ],
     );
     let mut xs = Vec::new();
     let mut y1 = Vec::new();

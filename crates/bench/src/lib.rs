@@ -100,7 +100,10 @@ pub struct PowerFit {
 ///
 /// Panics if fewer than two points are given or any value is non-positive.
 pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> PowerFit {
-    assert!(xs.len() == ys.len() && xs.len() >= 2, "need at least two points");
+    assert!(
+        xs.len() == ys.len() && xs.len() >= 2,
+        "need at least two points"
+    );
     assert!(
         xs.iter().chain(ys.iter()).all(|&v| v > 0.0),
         "power-law fit requires positive values"

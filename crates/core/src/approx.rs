@@ -32,10 +32,7 @@ pub fn enumerate_fault_sets(graph: &Graph, f: usize) -> Vec<FaultSet> {
     for _ in 0..f {
         let mut next_level = Vec::new();
         for combo in &current {
-            let start = combo
-                .last()
-                .map(|e| e.index() + 1)
-                .unwrap_or(0);
+            let start = combo.last().map(|e| e.index() + 1).unwrap_or(0);
             for e in &edges[start.min(edges.len())..] {
                 let mut c = combo.clone();
                 c.push(*e);
@@ -54,11 +51,7 @@ pub fn enumerate_fault_sets(graph: &Graph, f: usize) -> Vec<FaultSet> {
 /// # Panics
 ///
 /// Panics if `sources` is empty.
-pub fn approx_minimum_ftmbfs(
-    graph: &Graph,
-    sources: &[VertexId],
-    f: usize,
-) -> FtBfsStructure {
+pub fn approx_minimum_ftmbfs(graph: &Graph, sources: &[VertexId], f: usize) -> FtBfsStructure {
     assert!(!sources.is_empty(), "at least one source is required");
     let fault_sets = enumerate_fault_sets(graph, f);
 

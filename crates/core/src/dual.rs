@@ -23,9 +23,7 @@
 
 use crate::multi::multi_failure_ftbfs;
 use crate::structure::FtBfsStructure;
-use ftbfs_graph::{
-    dijkstra, EdgeId, FaultSet, Graph, GraphView, Path, SpTree, TieBreak, VertexId,
-};
+use ftbfs_graph::{dijkstra, EdgeId, FaultSet, Graph, GraphView, Path, SpTree, TieBreak, VertexId};
 use ftbfs_paths::detour::{Decomposition, Detour};
 use ftbfs_paths::replacement::SingleFailureReplacer;
 use ftbfs_paths::select::{earliest_detour_divergence, earliest_pi_divergence};
@@ -434,11 +432,7 @@ pub fn dual_failure_ftbfs(graph: &Graph, w: &TieBreak, source: VertexId) -> FtBf
 
 /// Convenience wrapper: multi-source dual-failure FT-MBFS (union of the
 /// per-source structures).
-pub fn dual_failure_ftmbfs(
-    graph: &Graph,
-    w: &TieBreak,
-    sources: &[VertexId],
-) -> FtBfsStructure {
+pub fn dual_failure_ftmbfs(graph: &Graph, w: &TieBreak, sources: &[VertexId]) -> FtBfsStructure {
     let mut h = FtBfsStructure::new(sources.to_vec(), 2);
     for &s in sources {
         h.extend(dual_failure_ftbfs(graph, w, s).edges());

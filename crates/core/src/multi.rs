@@ -119,17 +119,7 @@ fn explore(
         if let Some(last) = path.last_edge_id(graph) {
             h.insert(last);
         }
-        explore(
-            graph,
-            w,
-            source,
-            v,
-            &path,
-            next,
-            remaining - 1,
-            visited,
-            h,
-        );
+        explore(graph, w, source, v, &path, next, remaining - 1, visited, h);
     }
 }
 

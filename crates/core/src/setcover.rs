@@ -81,7 +81,7 @@ mod tests {
         let sets = vec![vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![0, 4]];
         let r = greedy_set_cover(5, &sets);
         assert!(r.uncoverable.is_empty());
-        let mut covered = vec![false; 5];
+        let mut covered = [false; 5];
         for &i in &r.chosen {
             for &x in &sets[i] {
                 covered[x] = true;
@@ -125,7 +125,7 @@ mod tests {
         let sets = vec![vec![0, 0, 1, 9], vec![1, 2]];
         let r = greedy_set_cover(3, &sets);
         assert!(r.uncoverable.is_empty());
-        let mut covered = vec![false; 3];
+        let mut covered = [false; 3];
         for &i in &r.chosen {
             for &x in &sets[i] {
                 if x < 3 {

@@ -52,11 +52,7 @@ pub fn single_failure_ftbfs(graph: &Graph, w: &TieBreak, source: VertexId) -> Ft
 
 /// Builds a single-failure FT-MBFS structure for a set of sources: the union
 /// of the single-source structures (the multi-source form studied in [PP13]).
-pub fn single_failure_ftmbfs(
-    graph: &Graph,
-    w: &TieBreak,
-    sources: &[VertexId],
-) -> FtBfsStructure {
+pub fn single_failure_ftmbfs(graph: &Graph, w: &TieBreak, sources: &[VertexId]) -> FtBfsStructure {
     let mut h = FtBfsStructure::new(sources.to_vec(), 1);
     for &s in sources {
         let part = single_failure_ftbfs(graph, w, s);

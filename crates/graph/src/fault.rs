@@ -40,14 +40,6 @@ impl FaultSet {
         FaultSet::from_iter([a, b])
     }
 
-    /// Builds a fault set from arbitrary edges, sorting and deduplicating.
-    pub fn from_iter<I: IntoIterator<Item = EdgeId>>(iter: I) -> Self {
-        let mut edges: Vec<EdgeId> = iter.into_iter().collect();
-        edges.sort_unstable();
-        edges.dedup();
-        FaultSet { edges }
-    }
-
     /// Number of (distinct) failed edges.
     pub fn len(&self) -> usize {
         self.edges.len()
@@ -105,8 +97,12 @@ impl fmt::Debug for FaultSet {
 }
 
 impl FromIterator<EdgeId> for FaultSet {
+    /// Builds a fault set from arbitrary edges, sorting and deduplicating.
     fn from_iter<I: IntoIterator<Item = EdgeId>>(iter: I) -> Self {
-        FaultSet::from_iter(iter)
+        let mut edges: Vec<EdgeId> = iter.into_iter().collect();
+        edges.sort_unstable();
+        edges.dedup();
+        FaultSet { edges }
     }
 }
 
@@ -263,7 +259,10 @@ impl fmt::Debug for GraphView<'_> {
             .field("removed_vertices", &self.removed_vertices.len())
             .field(
                 "incident_restriction",
-                &self.incident_restriction.as_ref().map(|(v, s)| (*v, s.len())),
+                &self
+                    .incident_restriction
+                    .as_ref()
+                    .map(|(v, s)| (*v, s.len())),
             )
             .finish()
     }

@@ -17,7 +17,10 @@ use rand_chacha::ChaCha8Rng;
 ///
 /// Panics if `hubs == 0` or `attach == 0` or `attach > hubs`.
 pub fn hub_and_spokes(hubs: usize, spokes: usize, attach: usize, seed: u64) -> Graph {
-    assert!(hubs > 0 && attach > 0 && attach <= hubs, "invalid hub parameters");
+    assert!(
+        hubs > 0 && attach > 0 && attach <= hubs,
+        "invalid hub parameters"
+    );
     let mut r = ChaCha8Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(hubs + spokes);
     for i in 0..hubs {
@@ -54,9 +57,18 @@ pub fn cluster_graph(
     bridges: usize,
     seed: u64,
 ) -> Graph {
-    assert!(clusters > 0 && cluster_size > 0, "cluster parameters must be positive");
-    assert!(bridges > 0 && bridges <= cluster_size, "bridges must be in 1..=cluster_size");
-    assert!((0.0..=1.0).contains(&intra_p), "probability must lie in [0,1]");
+    assert!(
+        clusters > 0 && cluster_size > 0,
+        "cluster parameters must be positive"
+    );
+    assert!(
+        bridges > 0 && bridges <= cluster_size,
+        "bridges must be in 1..=cluster_size"
+    );
+    assert!(
+        (0.0..=1.0).contains(&intra_p),
+        "probability must lie in [0,1]"
+    );
     let mut r = ChaCha8Rng::seed_from_u64(seed ^ 0x5A5A_5A5A);
     let n = clusters * cluster_size;
     let mut b = GraphBuilder::new(n);

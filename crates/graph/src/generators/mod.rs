@@ -19,6 +19,4 @@ pub mod structured;
 
 pub use hub::{cluster_graph, hub_and_spokes};
 pub use random::{connected_gnp, gnm, gnp, random_tree, tree_plus_chords};
-pub use structured::{
-    complete, complete_bipartite, cycle, grid, path, star, balanced_binary_tree,
-};
+pub use structured::{balanced_binary_tree, complete, complete_bipartite, cycle, grid, path, star};

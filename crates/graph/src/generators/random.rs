@@ -139,9 +139,11 @@ mod tests {
         }
         let c = gnp(30, 0.2, 8);
         // Overwhelmingly likely to differ.
-        assert!(a.edge_count() != c.edge_count() || {
-            a.edges().any(|e| a.endpoints(e) != c.endpoints(e))
-        });
+        assert!(
+            a.edge_count() != c.edge_count() || {
+                a.edges().any(|e| a.endpoints(e) != c.endpoints(e))
+            }
+        );
     }
 
     #[test]

@@ -128,7 +128,10 @@ impl Endpoints {
         } else if x == self.v {
             self.u
         } else {
-            panic!("vertex {x:?} is not an endpoint of edge ({:?},{:?})", self.u, self.v)
+            panic!(
+                "vertex {x:?} is not an endpoint of edge ({:?},{:?})",
+                self.u, self.v
+            )
         }
     }
 

@@ -84,14 +84,20 @@ pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
             (Some(u), Some(v), None) => (u, v),
             _ => return Err(ParseError::MalformedLine { line: line_no }),
         };
-        let u: usize = u.parse().map_err(|_| ParseError::MalformedLine { line: line_no })?;
-        let v: usize = v.parse().map_err(|_| ParseError::MalformedLine { line: line_no })?;
+        let u: usize = u
+            .parse()
+            .map_err(|_| ParseError::MalformedLine { line: line_no })?;
+        let v: usize = v
+            .parse()
+            .map_err(|_| ParseError::MalformedLine { line: line_no })?;
         if u >= b.vertex_count() || v >= b.vertex_count() {
             return Err(ParseError::VertexOutOfRange { line: line_no });
         }
         b.add_edge(VertexId::new(u), VertexId::new(v));
     }
-    builder.map(GraphBuilder::build).ok_or(ParseError::MissingHeader)
+    builder
+        .map(GraphBuilder::build)
+        .ok_or(ParseError::MissingHeader)
 }
 
 #[cfg(test)]
@@ -123,7 +129,10 @@ mod tests {
     #[test]
     fn error_cases() {
         assert_eq!(from_edge_list("").unwrap_err(), ParseError::MissingHeader);
-        assert_eq!(from_edge_list("x 3\n").unwrap_err(), ParseError::MissingHeader);
+        assert_eq!(
+            from_edge_list("x 3\n").unwrap_err(),
+            ParseError::MissingHeader
+        );
         assert_eq!(
             from_edge_list("n 3\n0\n").unwrap_err(),
             ParseError::MalformedLine { line: 2 }

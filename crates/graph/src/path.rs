@@ -37,9 +37,15 @@ impl Path {
     /// Panics if the sequence is empty or contains an immediate repetition
     /// (`... v v ...`), which would denote a zero-length self-loop step.
     pub fn new(vertices: Vec<VertexId>) -> Self {
-        assert!(!vertices.is_empty(), "a path must contain at least one vertex");
+        assert!(
+            !vertices.is_empty(),
+            "a path must contain at least one vertex"
+        );
         for pair in vertices.windows(2) {
-            assert_ne!(pair[0], pair[1], "a path must not repeat a vertex consecutively");
+            assert_ne!(
+                pair[0], pair[1],
+                "a path must not repeat a vertex consecutively"
+            );
         }
         Path { vertices }
     }
@@ -113,9 +119,9 @@ impl Path {
     pub fn edge_ids(&self, graph: &Graph) -> Vec<crate::graph::EdgeId> {
         self.edge_pairs()
             .map(|(a, b)| {
-                graph
-                    .edge_between(a, b)
-                    .unwrap_or_else(|| panic!("path step ({a:?},{b:?}) is not an edge of the graph"))
+                graph.edge_between(a, b).unwrap_or_else(|| {
+                    panic!("path step ({a:?},{b:?}) is not an edge of the graph")
+                })
             })
             .collect()
     }
@@ -142,7 +148,8 @@ impl Path {
 
     /// Returns `true` if the unordered edge `{a, b}` is traversed by the path.
     pub fn contains_edge(&self, a: VertexId, b: VertexId) -> bool {
-        self.edge_pairs().any(|(x, y)| (x == a && y == b) || (x == b && y == a))
+        self.edge_pairs()
+            .any(|(x, y)| (x == a && y == b) || (x == b && y == a))
     }
 
     /// The subpath `P[a, b]` between the first occurrences of vertices `a`

@@ -125,14 +125,7 @@ mod tests {
         let g = test_graph();
         let pi = Path::new(vec![v(0), v(1), v(2), v(3), v(4)]);
         let e05 = g.edge_between(v(0), v(5)).unwrap();
-        let view = pi_segment_restricted_without(
-            &g,
-            &pi,
-            v(1),
-            v(4),
-            v(4),
-            &FaultSet::single(e05),
-        );
+        let view = pi_segment_restricted_without(&g, &pi, v(1), v(4), v(4), &FaultSet::single(e05));
         // Without 0-5 and the pi interior, route is 0-1-6-4.
         let res = bfs(&view, v(0));
         assert_eq!(res.distance(v(4)), Some(3));

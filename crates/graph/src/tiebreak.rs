@@ -179,6 +179,9 @@ mod tests {
             }
         }
         // With ~2^20 possible values and 499 edges, collisions are very rare.
-        assert!(collisions <= 2, "too many perturbation collisions: {collisions}");
+        assert!(
+            collisions <= 2,
+            "too many perturbation collisions: {collisions}"
+        );
     }
 }

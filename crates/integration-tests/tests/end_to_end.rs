@@ -14,10 +14,16 @@ fn small_workloads() -> Vec<(String, Graph)> {
         ("cycle(9)".into(), generators::cycle(9)),
         ("grid(3,4)".into(), generators::grid(3, 4)),
         ("complete(7)".into(), generators::complete(7)),
-        ("tree+chords(13,5)".into(), generators::tree_plus_chords(13, 5, 4)),
+        (
+            "tree+chords(13,5)".into(),
+            generators::tree_plus_chords(13, 5, 4),
+        ),
         ("gnp(14, 0.2)".into(), generators::connected_gnp(14, 0.2, 8)),
         ("hub(3,8,2)".into(), generators::hub_and_spokes(3, 8, 2, 5)),
-        ("cluster(2x6)".into(), generators::cluster_graph(2, 6, 0.4, 2, 6)),
+        (
+            "cluster(2x6)".into(),
+            generators::cluster_graph(2, 6, 0.4, 2, 6),
+        ),
     ]
 }
 
@@ -53,7 +59,10 @@ fn canonical_and_paper_selections_both_verify_and_contain_the_tree() {
         for h in [&paper, &canonical] {
             let report = verify_exhaustive(&g, h.edges(), &[VertexId(0)], 2);
             assert!(report.is_valid(), "{name}: {report}");
-            assert!(h.edge_count() >= g.vertex_count() - 1 || !ftbfs_graph::properties::is_connected(&g));
+            assert!(
+                h.edge_count() >= g.vertex_count() - 1
+                    || !ftbfs_graph::properties::is_connected(&g)
+            );
         }
     }
 }
@@ -109,14 +118,17 @@ fn multi_failure_f3_structure_handles_triple_faults_on_a_tiny_graph() {
     for i in 0..edges.len() {
         for j in (i + 1)..edges.len() {
             for k in (j + 1)..edges.len() {
-                let faults =
-                    ftbfs_graph::FaultSet::from_iter([edges[i], edges[j], edges[k]]);
+                let faults = ftbfs_graph::FaultSet::from_iter([edges[i], edges[j], edges[k]]);
                 let gview = ftbfs_graph::GraphView::new(&g).without_faults(&faults);
                 let hview = h.as_view(&g).without_faults(&faults);
                 let gd = ftbfs_graph::bfs(&gview, VertexId(0));
                 let hd = ftbfs_graph::bfs(&hview, VertexId(0));
                 for v in g.vertices() {
-                    assert_eq!(gd.distance(v), hd.distance(v), "triple fault {faults:?} at {v:?}");
+                    assert_eq!(
+                        gd.distance(v),
+                        hd.distance(v),
+                        "triple fault {faults:?} at {v:?}"
+                    );
                 }
             }
         }

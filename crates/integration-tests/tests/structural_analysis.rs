@@ -2,7 +2,9 @@
 //! detour configurations, path classes) applied to real construction records
 //! must satisfy the structural claims of Section 3.
 
-use ftbfs_analysis::{classify_construction, configuration_census, DetourConfiguration, KernelGraph};
+use ftbfs_analysis::{
+    classify_construction, configuration_census, DetourConfiguration, KernelGraph,
+};
 use ftbfs_core::dual::DualFtBfsBuilder;
 use ftbfs_graph::{generators, Graph, TieBreak, VertexId};
 use ftbfs_lowerbound::GStarGraph;

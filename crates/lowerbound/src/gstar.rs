@@ -56,7 +56,10 @@ impl GStarGraph {
     ///
     /// Panics if any parameter is zero.
     pub fn multi_source(f: usize, d: usize, sigma: usize, x_count: usize) -> Self {
-        assert!(f >= 1 && d >= 1 && sigma >= 1 && x_count >= 1, "parameters must be positive");
+        assert!(
+            f >= 1 && d >= 1 && sigma >= 1 && x_count >= 1,
+            "parameters must be positive"
+        );
         let mut builder = GraphBuilder::new(0);
         let mut gadgets = Vec::with_capacity(sigma);
         for _ in 0..sigma {

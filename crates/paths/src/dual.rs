@@ -115,7 +115,10 @@ mod tests {
         let f2 = FaultSet::pair(e01, e12);
         let p = canonical_dual_replacement(&g, &w, v(0), v(2), &f2).unwrap();
         assert!(!f2.intersects_path(&g, &p));
-        assert_eq!(p.len() as u32, replacement_distance(&g, &w, v(0), v(2), &f2).unwrap());
+        assert_eq!(
+            p.len() as u32,
+            replacement_distance(&g, &w, v(0), v(2), &f2).unwrap()
+        );
     }
 
     #[test]

@@ -81,11 +81,7 @@ impl<'a> SingleFailureReplacer<'a> {
     /// # Panics
     ///
     /// Panics if `v` is unreachable in `G` or `e` does not lie on `π(s, v)`.
-    pub fn earliest_divergence_replacement(
-        &self,
-        v: VertexId,
-        e: EdgeId,
-    ) -> Option<Decomposition> {
+    pub fn earliest_divergence_replacement(&self, v: VertexId, e: EdgeId) -> Option<Decomposition> {
         let pi = self.tree.pi(v).expect("target must be reachable in G");
         let ep = self.graph.endpoints(e);
         assert!(
@@ -99,8 +95,7 @@ impl<'a> SingleFailureReplacer<'a> {
         );
         let upper = if pos_u < pos_v { ep.u } else { ep.v };
         let faults = FaultSet::single(e);
-        let choice =
-            earliest_pi_divergence(self.graph, self.w, &pi, v, upper, upper, &faults)?;
+        let choice = earliest_pi_divergence(self.graph, self.w, &pi, v, upper, upper, &faults)?;
         // The selected path has a unique divergence point and therefore
         // decomposes into prefix ∘ detour ∘ suffix (Claim 3.4).  If the path
         // came from the canonical fallback it may not decompose; in that case
@@ -139,10 +134,12 @@ fn fallback_decomposition(pi: &Path, p: &Path) -> Option<Decomposition> {
     }
     let x = verts[i - 1];
     // Last vertex of p that lies on pi.
-    let j = (0..verts.len()).rev().find(|&k| pi_set.contains(&verts[k]))?;
+    let j = (0..verts.len())
+        .rev()
+        .find(|&k| pi_set.contains(&verts[k]))?;
     let y = verts[j];
     let prefix = Path::new(pi.vertices()[..i].to_vec());
-    let detour_path = if j >= i - 1 && j > i - 1 {
+    let detour_path = if j >= i {
         Path::new(verts[i - 1..=j].to_vec())
     } else {
         Path::singleton(x)

@@ -67,9 +67,7 @@ pub fn earliest_pi_divergence(
     let base_view = GraphView::new(graph).without_faults(faults);
     let optimum = dijkstra(&base_view, w, pi.source(), Some(target)).hops(target)?;
 
-    let limit_pos = pi
-        .position(limit)
-        .expect("divergence limit must lie on pi");
+    let limit_pos = pi.position(limit).expect("divergence limit must lie on pi");
 
     // Binary search the smallest k in 0..=limit_pos whose restricted distance
     // equals the optimum.  The predicate is monotone: larger k removes fewer
@@ -147,7 +145,8 @@ pub fn earliest_detour_divergence(
         // to the π-restricted optimum (divergence at x, ignoring the detour
         // preference).  This mirrors the algorithm's behaviour of only
         // imposing the detour preference "under certain conditions".
-        let view = pi_segment_restricted(graph, pi, detour.x, target, target).without_faults(faults);
+        let view =
+            pi_segment_restricted(graph, pi, detour.x, target, target).without_faults(faults);
         let path = dijkstra(&view, w, pi.source(), Some(target)).path_to(target)?;
         let divergence = path.first_divergence_from(&detour.path).unwrap_or(detour.x);
         return Some(DivergenceChoice { divergence, path });
@@ -202,16 +201,8 @@ mod tests {
         assert_eq!(pi.len(), 4);
         let (a, b) = pi.last_edge().unwrap();
         let failed = g.edge_between(a, b).unwrap();
-        let choice = earliest_pi_divergence(
-            &g,
-            &w,
-            &pi,
-            v(4),
-            a,
-            a,
-            &FaultSet::single(failed),
-        )
-        .unwrap();
+        let choice =
+            earliest_pi_divergence(&g, &w, &pi, v(4), a, a, &FaultSet::single(failed)).unwrap();
         assert_eq!(choice.divergence, v(0));
         assert_eq!(choice.path.len(), 4);
         let dec = decompose(&pi, &choice.path).unwrap();
@@ -232,16 +223,8 @@ mod tests {
         let tree = SpTree::new(&g, &w, v(0));
         let pi = tree.pi(v(4)).unwrap();
         let e34 = g.edge_between(v(3), v(4)).unwrap();
-        let choice = earliest_pi_divergence(
-            &g,
-            &w,
-            &pi,
-            v(4),
-            v(3),
-            v(3),
-            &FaultSet::single(e34),
-        )
-        .unwrap();
+        let choice =
+            earliest_pi_divergence(&g, &w, &pi, v(4), v(3), v(3), &FaultSet::single(e34)).unwrap();
         assert_eq!(choice.divergence, v(2));
         assert!(choice.path.contains_vertex(v(8)));
         assert_eq!(choice.path.len(), 4);
@@ -254,16 +237,9 @@ mod tests {
         let tree = SpTree::new(&g, &w, v(0));
         let pi = tree.pi(v(3)).unwrap();
         let e23 = g.edge_between(v(2), v(3)).unwrap();
-        assert!(earliest_pi_divergence(
-            &g,
-            &w,
-            &pi,
-            v(3),
-            v(2),
-            v(2),
-            &FaultSet::single(e23)
-        )
-        .is_none());
+        assert!(
+            earliest_pi_divergence(&g, &w, &pi, v(3), v(2), v(2), &FaultSet::single(e23)).is_none()
+        );
     }
 
     #[test]

@@ -26,10 +26,7 @@ impl<'g> StructureOracle<'g> {
         I: IntoIterator<Item = EdgeId>,
     {
         let structure: HashSet<EdgeId> = structure_edges.into_iter().collect();
-        let removed = graph
-            .edges()
-            .filter(|e| !structure.contains(e))
-            .collect();
+        let removed = graph.edges().filter(|e| !structure.contains(e)).collect();
         StructureOracle {
             graph,
             source,

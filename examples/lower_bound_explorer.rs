@@ -3,7 +3,9 @@
 //!
 //! Run with `cargo run --release --example lower_bound_explorer`.
 
-use ftbfs_lowerbound::{check_edge_necessity, count_unnecessary_edges, lower_bound_formula, GStarGraph};
+use ftbfs_lowerbound::{
+    check_edge_necessity, count_unnecessary_edges, lower_bound_formula, GStarGraph,
+};
 
 fn main() {
     println!("The lower-bound family G*_f forces Ω(n^(2-1/(f+1))) edges into ANY f-failure FT-BFS structure.\n");

@@ -31,8 +31,16 @@ fn main() {
     let union_report = verify_exhaustive(&graph, union.edges(), &sources, f);
     let approx_report = verify_exhaustive(&graph, approx.edges(), &sources, f);
 
-    println!("union of per-source constructions : {} edges — {}", union.edge_count(), union_report);
-    println!("set-cover approximation (Sec. 5)  : {} edges — {}", approx.edge_count(), approx_report);
+    println!(
+        "union of per-source constructions : {} edges — {}",
+        union.edge_count(),
+        union_report
+    );
+    println!(
+        "set-cover approximation (Sec. 5)  : {} edges — {}",
+        approx.edge_count(),
+        approx_report
+    );
     assert!(union_report.is_valid());
     assert!(approx_report.is_valid());
 

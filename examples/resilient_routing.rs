@@ -38,7 +38,8 @@ fn main() {
         let target = VertexId(rng.gen_range(1..graph.vertex_count()) as u32);
 
         let in_structure = oracle.distance(target, &faults);
-        let in_graph = bfs(&GraphView::new(&graph).without_faults(&faults), source).distance(target);
+        let in_graph =
+            bfs(&GraphView::new(&graph).without_faults(&faults), source).distance(target);
         assert_eq!(
             in_structure, in_graph,
             "round {round}: structure and graph disagree for {target} under {faults:?}"
@@ -47,7 +48,9 @@ fn main() {
         if in_graph.is_none() {
             disconnections += 1;
         } else if round < 5 {
-            let route = oracle.route(target, &faults).expect("reachable target has a route");
+            let route = oracle
+                .route(target, &faults)
+                .expect("reachable target has a route");
             println!(
                 "event {round}: links {faults:?} down, route to {target} = {} hops {:?}",
                 route.len(),

@@ -1,0 +1,249 @@
+//! Minimal stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, vendored because the build environment has no network access.
+//!
+//! Supported surface (what the workspace's property tests use):
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(...)]` header and `arg in strategy` parameters;
+//! * range strategies over integers and floats (`8usize..18`,
+//!   `0.15f64..0.4`, …);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`].
+//!
+//! Each generated test runs `config.cases` deterministic cases seeded from
+//! the test's name, so failures are reproducible run-to-run.  On failure
+//! the panic message includes the case number and the sampled arguments.
+//! There is **no shrinking** and no persistence of failing seeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test-runner configuration and the deterministic case RNG.
+
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    ///
+    /// Only `cases` changes behaviour; the other fields exist so struct
+    /// literals written against the real crate keep compiling.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+        /// Accepted for compatibility; the stand-in never shrinks.
+        pub max_shrink_iters: u32,
+        /// Accepted for compatibility; the stand-in never rejects.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 0,
+                max_global_rejects: 0,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases, like `ProptestConfig::with_cases`.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    /// Derives a per-test deterministic RNG from the test's name.
+    pub fn deterministic_rng(test_name: &str) -> ChaCha8Rng {
+        // FNV-1a over the name keeps distinct tests on distinct streams.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        ChaCha8Rng::seed_from_u64(hash)
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies (ranges only).
+
+    use rand::{Rng, RngCore};
+
+    /// Something that can produce values for a property-test argument.
+    pub trait Strategy {
+        /// The produced value type.
+        type Value;
+
+        /// Samples one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs, mirroring
+    //! `proptest::prelude::*`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item becomes a zero-arg
+/// test that samples the strategies `config.cases` times from a
+/// deterministic per-test RNG and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items!({ $config } $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            { $crate::test_runner::ProptestConfig::default() }
+            $($rest)*
+        );
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ({ $config:expr }) => {};
+    (
+        { $config:expr }
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::deterministic_rng(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(payload) = result {
+                    let described = format!(
+                        concat!("case {} of ", stringify!($name), "(", $(stringify!($arg), " = {:?}, ",)+ ")"),
+                        case, $(&$arg),+
+                    );
+                    eprintln!("proptest failure: {described}");
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items!({ $config } $($rest)*);
+    };
+}
+
+/// `assert!` under a property: panics (failing the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// `assert_eq!` under a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// `assert_ne!` under a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+        /// Sampled values respect their ranges and the config runs.
+        #[test]
+        fn ranges_stay_in_bounds(n in 8usize..18, p in 0.15f64..0.4, seed in 0u64..500) {
+            prop_assert!((8..18).contains(&n));
+            prop_assert!((0.15..0.4).contains(&p));
+            prop_assert!(seed < 500);
+        }
+    }
+
+    proptest! {
+        /// The default config also works (no config header).
+        #[test]
+        fn default_config_runs(x in 0u32..10) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(x + 1, x + 1);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_per_name() {
+        use rand::RngCore;
+        let mut a = crate::test_runner::deterministic_rng("t");
+        let mut b = crate::test_runner::deterministic_rng("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,171 @@
+//! Minimal stand-in for the [`rand_chacha`](https://crates.io/crates/rand_chacha)
+//! crate, vendored because the build environment has no network access.
+//!
+//! The block function is a genuine ChaCha implementation (RFC 8439 layout,
+//! 64-bit block counter, zero nonce) parameterised over the round count, so
+//! [`ChaCha8Rng`] / [`ChaCha12Rng`] / [`ChaCha20Rng`] really do the
+//! advertised amount of mixing.  Streams are deterministic per seed but not
+//! bit-compatible with the real crate (which uses a different word order
+//! for its RNG output); the workspace only relies on determinism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+fn chacha_block<const ROUNDS: usize>(key: &[u32; 8], counter: u64) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CHACHA_CONST);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    // state[14], state[15]: zero nonce (one stream per seed).
+    let initial = state;
+    for _ in 0..ROUNDS / 2 {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (w, i) in state.iter_mut().zip(initial) {
+        *w = w.wrapping_add(i);
+    }
+    state
+}
+
+/// A ChaCha-based generator with a compile-time round count.
+#[derive(Clone, Debug)]
+pub struct ChaChaRng<const ROUNDS: usize> {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    idx: usize,
+}
+
+/// ChaCha with 8 rounds — the workspace's workhorse generator.
+pub type ChaCha8Rng = ChaChaRng<8>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<12>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+impl<const ROUNDS: usize> RngCore for ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx == 16 {
+            self.buf = chacha_block::<ROUNDS>(&self.key, self.counter);
+            self.counter = self.counter.wrapping_add(1);
+            self.idx = 0;
+        }
+        let word = self.buf[self.idx];
+        self.idx += 1;
+        word
+    }
+}
+
+impl<const ROUNDS: usize> SeedableRng for ChaChaRng<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks(4)) {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(chunk);
+            *word = u32::from_le_bytes(b);
+        }
+        ChaChaRng {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(2015);
+        let mut b = ChaCha8Rng::seed_from_u64(2015);
+        for _ in 0..200 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "seeds 1 and 2 produced {same}/64 equal words");
+    }
+
+    #[test]
+    fn rfc8439_block_function_matches_known_vector() {
+        // RFC 8439 §2.3.2 test vector: 20 rounds, key 00..1f, counter 1,
+        // nonce 000000090000004a00000000.  Our RNG layout fixes the nonce
+        // to zero, so exercise the block function directly with the
+        // vector's nonce spliced into the counter words.
+        let mut key = [0u32; 8];
+        for (i, w) in key.iter_mut().enumerate() {
+            let b = (4 * i) as u32;
+            *w = u32::from_le_bytes([b as u8, b as u8 + 1, b as u8 + 2, b as u8 + 3]);
+        }
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        state[4..12].copy_from_slice(&key);
+        state[12] = 1;
+        state[13] = 0x0900_0000;
+        state[14] = 0x4a00_0000;
+        state[15] = 0;
+        let initial = state;
+        for _ in 0..10 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (w, i) in state.iter_mut().zip(initial) {
+            *w = w.wrapping_add(i);
+        }
+        assert_eq!(state[0], 0xe4e7_f110);
+        assert_eq!(state[15], 0x4e3c_50a2);
+    }
+
+    #[test]
+    fn gen_range_uniformity_smoke() {
+        let mut r = ChaCha8Rng::seed_from_u64(9);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            buckets[r.gen_range(0..10usize)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((800..1200).contains(&b), "bucket {i} = {b}");
+        }
+    }
+}
