@@ -58,6 +58,15 @@ fn bench_dual(c: &mut Criterion) {
                     .edge_count()
             })
         });
+        group.bench_with_input(BenchmarkId::new("paper-4threads", n), &n, |b, _| {
+            b.iter(|| {
+                DualFtBfsBuilder::new(&g, &w, VertexId(0))
+                    .threads(4)
+                    .build()
+                    .structure
+                    .edge_count()
+            })
+        });
         group.bench_with_input(BenchmarkId::new("canonical", n), &n, |b, _| {
             b.iter(|| {
                 DualFtBfsBuilder::new(&g, &w, VertexId(0))

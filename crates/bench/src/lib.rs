@@ -2,7 +2,7 @@
 //!
 //! Shared experiment harness for the FT-BFS reproduction: workload sweeps,
 //! aligned table printing, and log–log exponent fitting.  The experiment
-//! binaries in `src/bin/` (E1–E8, see `DESIGN.md` and `EXPERIMENTS.md`) use
+//! binaries in `src/bin/` (E1–E9, see `DESIGN.md` and `EXPERIMENTS.md`) use
 //! these helpers to regenerate the quantities behind every theorem and
 //! figure of the paper; the Criterion benches in `benches/` measure wall
 //! clock costs (B1–B4).

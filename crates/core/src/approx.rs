@@ -20,7 +20,7 @@
 
 use crate::setcover::greedy_set_cover;
 use crate::structure::FtBfsStructure;
-use ftbfs_graph::{bfs, EdgeId, FaultSet, Graph, GraphView, VertexId};
+use ftbfs_graph::{EdgeId, FaultSet, Graph, SearchEngine, VertexId};
 
 /// Enumerates every fault set `F ⊆ E(G)` with `|F| ≤ f`, including the empty
 /// set.  The count is `Σ_{k≤f} C(m, k)`; callers are expected to keep `f`
@@ -55,17 +55,20 @@ pub fn approx_minimum_ftmbfs(graph: &Graph, sources: &[VertexId], f: usize) -> F
     assert!(!sources.is_empty(), "at least one source is required");
     let fault_sets = enumerate_fault_sets(graph, f);
 
-    // Precompute dist(s_k, ·, G ∖ F) for every source and fault set.
-    // distances[k][fi][v] = Option<u32>.
+    // Precompute dist(s_k, ·, G ∖ F) for every source and fault set, all
+    // through one reusable search engine (one BFS per ⟨source, F⟩ pair).
+    let mut engine = SearchEngine::new();
     let distances: Vec<Vec<Vec<Option<u32>>>> = sources
         .iter()
         .map(|&s| {
             fault_sets
                 .iter()
                 .map(|fs| {
-                    let view = GraphView::new(graph).without_faults(fs);
-                    let res = bfs(&view, s);
-                    graph.vertices().map(|v| res.distance(v)).collect()
+                    engine.overlay.begin(graph);
+                    engine.overlay.remove_faults(fs);
+                    let view = engine.overlay.view(graph);
+                    let res = engine.workspace.bfs(&view, s);
+                    graph.vertices().map(|v| res.hops(v)).collect()
                 })
                 .collect()
         })
@@ -124,7 +127,7 @@ pub fn approx_minimum_ftmbfs(graph: &Graph, sources: &[VertexId], f: usize) -> F
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftbfs_graph::generators;
+    use ftbfs_graph::{bfs, generators, GraphView};
 
     /// Exhaustively checks the f-FT-MBFS property for all fault sets of size
     /// ≤ f (small graphs only).

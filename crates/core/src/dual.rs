@@ -23,7 +23,7 @@
 
 use crate::multi::multi_failure_ftbfs;
 use crate::structure::FtBfsStructure;
-use ftbfs_graph::{dijkstra, EdgeId, FaultSet, Graph, GraphView, Path, SpTree, TieBreak, VertexId};
+use ftbfs_graph::{EdgeId, FaultSet, Graph, Path, SearchEngine, SpTree, TieBreak, VertexId};
 use ftbfs_paths::detour::{Decomposition, Detour};
 use ftbfs_paths::replacement::SingleFailureReplacer;
 use ftbfs_paths::select::{earliest_detour_divergence, earliest_pi_divergence};
@@ -132,6 +132,7 @@ pub struct DualFtBfsBuilder<'g> {
     source: VertexId,
     strategy: SelectionStrategy,
     record: bool,
+    threads: usize,
 }
 
 impl<'g> DualFtBfsBuilder<'g> {
@@ -144,6 +145,7 @@ impl<'g> DualFtBfsBuilder<'g> {
             source,
             strategy: SelectionStrategy::PaperPreference,
             record: false,
+            threads: 1,
         }
     }
 
@@ -156,6 +158,16 @@ impl<'g> DualFtBfsBuilder<'g> {
     /// Enables per-vertex construction records (needed by `ftbfs-analysis`).
     pub fn record_paths(mut self, record: bool) -> Self {
         self.record = record;
+        self
+    }
+
+    /// Number of worker threads for the per-vertex construction loop
+    /// (default 1).  The per-target computations of `Cons2FTBFS` are
+    /// independent, so the targets are split into contiguous chunks and the
+    /// partial results merged back in vertex-id order — the produced
+    /// structure and records are identical for every thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -175,17 +187,44 @@ impl<'g> DualFtBfsBuilder<'g> {
         let w = self.w;
         let source = self.source;
         let tree = SpTree::new(graph, w, source);
-        let replacer = SingleFailureReplacer::new(graph, w, &tree);
+
+        let targets: Vec<VertexId> = graph
+            .vertices()
+            .filter(|&v| v != source && tree.reaches(v))
+            .collect();
+        let threads = self.threads.min(targets.len().max(1));
+
+        // Each worker owns a replacer and a search engine; targets are split
+        // into contiguous chunks, so concatenating the per-chunk outputs in
+        // spawn order restores the global vertex-id order deterministically.
+        let run_chunk = |chunk: &[VertexId]| -> Vec<(Vec<EdgeId>, VertexRecord)> {
+            let replacer = SingleFailureReplacer::new(graph, w, &tree);
+            let mut engine = SearchEngine::new();
+            chunk
+                .iter()
+                .map(|&v| self.construct_for_vertex(&mut engine, &tree, &replacer, v))
+                .collect()
+        };
+        let results: Vec<(Vec<EdgeId>, VertexRecord)> = if threads <= 1 {
+            run_chunk(&targets)
+        } else {
+            let chunk_size = targets.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = targets
+                    .chunks(chunk_size)
+                    .map(|chunk| scope.spawn(move || run_chunk(chunk)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("construction worker panicked"))
+                    .collect()
+            })
+        };
 
         let mut h = FtBfsStructure::new(vec![source], 2);
         h.extend(tree.tree_edges().iter().copied());
         let mut records = Vec::new();
-
-        for v in graph.vertices() {
-            if v == source || !tree.reaches(v) {
-                continue;
-            }
-            let (edges_v, record) = self.construct_for_vertex(&tree, &replacer, v);
+        for (edges_v, record) in results {
             h.extend(edges_v);
             if self.record {
                 records.push(record);
@@ -201,6 +240,7 @@ impl<'g> DualFtBfsBuilder<'g> {
     /// (the selected last edges, including `E(v, T_0)`), plus the record.
     fn construct_for_vertex(
         &self,
+        engine: &mut SearchEngine,
         tree: &SpTree,
         replacer: &SingleFailureReplacer<'_>,
         v: VertexId,
@@ -219,13 +259,18 @@ impl<'g> DualFtBfsBuilder<'g> {
         let mut current: HashSet<EdgeId> = tree_incident.iter().copied().collect();
 
         // ---- Step (1): single faults on pi(s, v). -------------------------
+        // `detour_at_edge[i]` is the index into `detours` of the detour
+        // protecting the i-th π edge, so steps (2)/(3) can look a detour up
+        // in O(1) instead of scanning.
         let mut detours: Vec<DetourRecord> = Vec::new();
+        let mut detour_at_edge: Vec<Option<usize>> = vec![None; pi_edges.len()];
         for (idx, &e) in pi_edges.iter().enumerate() {
-            if let Some(dec) = replacer.earliest_divergence_replacement(v, e) {
+            if let Some(dec) = replacer.earliest_divergence_replacement(engine, v, e) {
                 let full = dec.reassemble();
                 if let Some(last) = full.last_edge_id(graph) {
                     current.insert(last);
                 }
+                detour_at_edge[idx] = Some(detours.len());
                 detours.push(DetourRecord {
                     protected_edge: e,
                     edge_index: idx,
@@ -239,19 +284,25 @@ impl<'g> DualFtBfsBuilder<'g> {
         for i in 0..pi_edges.len() {
             for j in (i + 1)..pi_edges.len() {
                 let faults = FaultSet::pair(pi_edges[i], pi_edges[j]);
-                let Some(target_hops) = fault_distance(graph, w, source, v, &faults) else {
+                let Some(target_hops) = fault_distance(engine, graph, source, v, &faults) else {
                     continue; // v disconnected under F: nothing to protect.
                 };
                 // First try the stitched path through the two detours.
                 let stitched = self
-                    .stitch_detours(&pi, &detours, i, j, v)
+                    .stitch_detours(&pi, &detours, &detour_at_edge, i, j, v)
                     .filter(|p| p.len() as u32 == target_hops)
                     .filter(|p| !faults.intersects_path(graph, p));
                 let chosen = match stitched {
                     Some(p) => p,
                     None => {
-                        let view = GraphView::new(graph).without_faults(&faults);
-                        match dijkstra(&view, w, source, Some(v)).path_to(v) {
+                        engine.overlay.begin(graph);
+                        engine.overlay.remove_faults(&faults);
+                        let view = engine.overlay.view(graph);
+                        match engine
+                            .workspace
+                            .dijkstra(&view, w, source, Some(v))
+                            .path_to(v)
+                        {
                             Some(p) => p,
                             None => continue,
                         }
@@ -286,26 +337,35 @@ impl<'g> DualFtBfsBuilder<'g> {
         let mut new_ending: Vec<NewEndingRecord> = Vec::new();
         for &(e_index, e, t, _t_pos) in &pairs {
             let faults = FaultSet::pair(e, t);
-            let Some(target_hops) = fault_distance(graph, w, source, v, &faults) else {
+            let Some(target_hops) = fault_distance(engine, graph, source, v, &faults) else {
                 continue;
             };
             // Is the pair already satisfied by the current structure at v?
-            let restricted = GraphView::new(graph)
-                .with_incident_restriction(v, current.iter().copied())
-                .without_faults(&faults);
-            let current_hops = dijkstra(&restricted, w, source, Some(v)).hops(v);
+            engine.overlay.begin(graph);
+            engine.overlay.restrict_incident(v, current.iter().copied());
+            engine.overlay.remove_faults(&faults);
+            let view = engine.overlay.view(graph);
+            let current_hops = engine.workspace.bfs_hops(&view, source, v);
             if current_hops == Some(target_hops) {
                 continue;
             }
             // New-ending: select with the divergence-point preferences.
-            let d_idx = detours
-                .iter()
-                .position(|dr| dr.edge_index == e_index)
-                .expect("pair was generated from an existing detour");
+            let d_idx =
+                detour_at_edge[e_index].expect("pair was generated from an existing detour");
             let detour = &detours[d_idx].decomposition.detour;
             let ep = graph.endpoints(e);
             let upper = upper_on_path(&pi, ep.u, ep.v);
-            let Some(choice) = earliest_pi_divergence(graph, w, &pi, v, upper, v, &faults) else {
+            let Some(choice) = earliest_pi_divergence(
+                engine,
+                graph,
+                w,
+                &pi,
+                v,
+                upper,
+                v,
+                &faults,
+                Some(target_hops),
+            ) else {
                 continue;
             };
             let (path, pi_div, d_div) = if choice.divergence == detour.x {
@@ -313,7 +373,17 @@ impl<'g> DualFtBfsBuilder<'g> {
                 // earliest detour-divergence preference.
                 let tp = graph.endpoints(t);
                 let upper_t = upper_on_detour(detour, tp.u, tp.v);
-                match earliest_detour_divergence(graph, w, &pi, detour, v, upper_t, &faults) {
+                match earliest_detour_divergence(
+                    engine,
+                    graph,
+                    w,
+                    &pi,
+                    detour,
+                    v,
+                    upper_t,
+                    &faults,
+                    Some(target_hops),
+                ) {
                     Some(c2) => (c2.path, choice.divergence, Some(c2.divergence)),
                     None => (choice.path, choice.divergence, None),
                 }
@@ -359,12 +429,13 @@ impl<'g> DualFtBfsBuilder<'g> {
         &self,
         pi: &Path,
         detours: &[DetourRecord],
+        detour_at_edge: &[Option<usize>],
         i: usize,
         j: usize,
         v: VertexId,
     ) -> Option<Path> {
-        let di = detours.iter().find(|d| d.edge_index == i)?;
-        let dj = detours.iter().find(|d| d.edge_index == j)?;
+        let di = &detours[detour_at_edge[i]?];
+        let dj = &detours[detour_at_edge[j]?];
         let d_i = &di.decomposition.detour;
         let d_j = &dj.decomposition.detour;
         let common: HashSet<VertexId> = d_i.path.vertices().iter().copied().collect();
@@ -388,16 +459,19 @@ impl<'g> DualFtBfsBuilder<'g> {
     }
 }
 
-/// The hop distance `dist(s, v, G ∖ F)`, or `None` if disconnected.
+/// The hop distance `dist(s, v, G ∖ F)`, or `None` if disconnected — a
+/// pure-distance query on the engine's unweighted fast path.
 fn fault_distance(
+    engine: &mut SearchEngine,
     graph: &Graph,
-    w: &TieBreak,
     source: VertexId,
     v: VertexId,
     faults: &FaultSet,
 ) -> Option<u32> {
-    let view = GraphView::new(graph).without_faults(faults);
-    dijkstra(&view, w, source, Some(v)).hops(v)
+    engine.overlay.begin(graph);
+    engine.overlay.remove_faults(faults);
+    let view = engine.overlay.view(graph);
+    engine.workspace.bfs_hops(&view, source, v)
 }
 
 /// Of the two endpoints of an edge on `path`, returns the one closer to the
@@ -443,7 +517,7 @@ pub fn dual_failure_ftmbfs(graph: &Graph, w: &TieBreak, sources: &[VertexId]) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftbfs_graph::{bfs, generators};
+    use ftbfs_graph::{bfs, generators, GraphView};
 
     /// Exhaustively checks the dual-failure FT-BFS property over all fault
     /// sets of size ≤ 2 (small graphs only).

@@ -24,7 +24,7 @@
 //! selection* baseline that `Cons2FTBFS` is compared against.
 
 use crate::structure::FtBfsStructure;
-use ftbfs_graph::{dijkstra, FaultSet, Graph, GraphView, Path, SpTree, TieBreak, VertexId};
+use ftbfs_graph::{FaultSet, Graph, Path, SearchEngine, SpTree, TieBreak, VertexId};
 use std::collections::HashSet;
 
 /// Builds an `f`-failure FT-BFS structure rooted at `source` using canonical
@@ -45,6 +45,7 @@ pub fn multi_failure_ftbfs(
     if f == 0 {
         return h;
     }
+    let mut engine = SearchEngine::new();
     for v in graph.vertices() {
         if v == source || !tree.reaches(v) {
             continue;
@@ -52,6 +53,7 @@ pub fn multi_failure_ftbfs(
         let pi = tree.pi(v).expect("reachable vertex has a canonical path");
         let mut visited: HashSet<FaultSet> = HashSet::new();
         explore(
+            &mut engine,
             graph,
             w,
             source,
@@ -88,6 +90,7 @@ pub fn multi_failure_ftmbfs(
 /// spawns a child fault set until the budget `remaining` is exhausted.
 #[allow(clippy::too_many_arguments)]
 fn explore(
+    engine: &mut SearchEngine,
     graph: &Graph,
     w: &TieBreak,
     source: VertexId,
@@ -109,9 +112,11 @@ fn explore(
         if next.len() == current.len() || !visited.insert(next.clone()) {
             continue;
         }
-        let view = GraphView::new(graph).without_faults(&next);
-        let sp = dijkstra(&view, w, source, Some(v));
-        let Some(path) = sp.path_to(v) else {
+        engine.overlay.begin(graph);
+        engine.overlay.remove_faults(&next);
+        let view = engine.overlay.view(graph);
+        let search = engine.workspace.dijkstra(&view, w, source, Some(v));
+        let Some(path) = search.path_to(v) else {
             // v disconnected under `next`: nothing to protect, and no deeper
             // fault set extending `next` along this branch is relevant.
             continue;
@@ -119,14 +124,25 @@ fn explore(
         if let Some(last) = path.last_edge_id(graph) {
             h.insert(last);
         }
-        explore(graph, w, source, v, &path, next, remaining - 1, visited, h);
+        explore(
+            engine,
+            graph,
+            w,
+            source,
+            v,
+            &path,
+            next,
+            remaining - 1,
+            visited,
+            h,
+        );
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftbfs_graph::{bfs, generators};
+    use ftbfs_graph::{bfs, generators, GraphView};
 
     /// Exhaustively checks the f-FT-BFS property for all fault sets of size
     /// ≤ f (small graphs only).

@@ -25,8 +25,10 @@ pub fn single_failure_ftbfs(graph: &Graph, w: &TieBreak, source: VertexId) -> Ft
     h.extend(tree.tree_edges().iter().copied());
 
     // For every failed tree edge e, one Dijkstra in G ∖ {e} yields the
-    // replacement paths for all targets at once; we add the last edge of the
-    // replacement path of every vertex whose canonical path used e.
+    // replacement paths for all targets at once (the batch driver reuses one
+    // epoch-stamped workspace/overlay pair across all edges, so the loop
+    // allocates nothing); we add the last edge of the replacement path of
+    // every vertex whose canonical path used e.
     for_each_tree_edge_failure(graph, w, &tree, |e, sp| {
         for v in graph.vertices() {
             if v == source {

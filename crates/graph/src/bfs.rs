@@ -6,7 +6,7 @@
 //! `F` with `|F| ≤ f`.  The verification crate runs this BFS on both sides of
 //! that equation.
 
-use crate::fault::GraphView;
+use crate::fault::Restriction;
 use crate::graph::{EdgeId, VertexId};
 use crate::path::Path;
 use std::collections::VecDeque;
@@ -83,7 +83,7 @@ impl BfsResult {
 /// Vertices and edges filtered out by the view are never traversed.  If the
 /// source itself is removed by the view, only the source is reported (at
 /// distance zero) and nothing else is reached.
-pub fn bfs(view: &GraphView<'_>, source: VertexId) -> BfsResult {
+pub fn bfs<R: Restriction>(view: &R, source: VertexId) -> BfsResult {
     let n = view.vertex_bound();
     let mut dist = vec![None; n];
     let mut parent = vec![None; n];
@@ -94,8 +94,8 @@ pub fn bfs(view: &GraphView<'_>, source: VertexId) -> BfsResult {
     }
     while let Some(u) = queue.pop_front() {
         let du = dist[u.index()].expect("queued vertex has a distance");
-        for (w, e) in view.neighbors(u) {
-            if dist[w.index()].is_none() {
+        for &(w, e) in view.base_graph().neighbors(u) {
+            if dist[w.index()].is_none() && view.allows_edge(e) {
                 dist[w.index()] = Some(du + 1);
                 parent[w.index()] = Some((u, e));
                 queue.push_back(w);
@@ -113,7 +113,7 @@ pub fn bfs(view: &GraphView<'_>, source: VertexId) -> BfsResult {
 ///
 /// Distances of vertices beyond the target's BFS layer are not guaranteed to
 /// be populated; the target's distance (if reachable) is exact.
-pub fn bfs_to_target(view: &GraphView<'_>, source: VertexId, target: VertexId) -> Option<u32> {
+pub fn bfs_to_target<R: Restriction>(view: &R, source: VertexId, target: VertexId) -> Option<u32> {
     if source == target {
         return Some(0);
     }
@@ -126,8 +126,8 @@ pub fn bfs_to_target(view: &GraphView<'_>, source: VertexId, target: VertexId) -
     }
     while let Some(u) = queue.pop_front() {
         let du = dist[u.index()].expect("queued vertex has a distance");
-        for (w, _) in view.neighbors(u) {
-            if dist[w.index()].is_none() {
+        for &(w, e) in view.base_graph().neighbors(u) {
+            if dist[w.index()].is_none() && view.allows_edge(e) {
                 dist[w.index()] = Some(du + 1);
                 if w == target {
                     return Some(du + 1);
@@ -142,6 +142,7 @@ pub fn bfs_to_target(view: &GraphView<'_>, source: VertexId, target: VertexId) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::GraphView;
     use crate::graph::{Graph, GraphBuilder};
 
     fn v(i: u32) -> VertexId {

@@ -4,13 +4,24 @@
 //! unique (with overwhelming probability) and is also hop-shortest, so the
 //! result doubles as the canonical shortest-path function `SP(s, v, G', W)`
 //! used throughout the paper.
+//!
+//! The free [`dijkstra`] function allocates an owned [`ShortestPaths`] per
+//! call and is the right tool for one-off queries and results that outlive
+//! the search (e.g. [`crate::sptree::SpTree`]).  Hot loops that issue many
+//! searches should use [`crate::workspace::SearchWorkspace`] instead, which
+//! runs the *same* algorithm (identical tie-breaking, identical early-exit
+//! semantics) over reusable epoch-stamped arrays: a per-vertex slot is valid
+//! only while its stamp matches the workspace's current epoch, so starting a
+//! new search invalidates all previous state in `O(1)` without reallocating
+//! or clearing.  Both entry points accept any [`Restriction`] — an owned
+//! [`crate::fault::GraphView`] or a borrowed
+//! [`crate::fault::OverlayView`].
 
-use crate::fault::GraphView;
+use crate::fault::Restriction;
 use crate::graph::{EdgeId, VertexId};
 use crate::path::Path;
 use crate::tiebreak::TieBreak;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::workspace::SearchWorkspace;
 
 /// Shortest-path distances and parents computed by [`dijkstra`].
 #[derive(Clone, Debug)]
@@ -21,6 +32,18 @@ pub struct ShortestPaths {
 }
 
 impl ShortestPaths {
+    /// Assembles a result from raw parts (used by the workspace exporter).
+    pub(crate) fn from_parts(
+        source: VertexId,
+        dist: Vec<Option<u64>>,
+        parent: Vec<Option<(VertexId, EdgeId)>>,
+    ) -> Self {
+        ShortestPaths {
+            source,
+            dist,
+            parent,
+        }
+    }
     /// The source vertex of the search.
     pub fn source(&self) -> VertexId {
         self.source
@@ -77,69 +100,24 @@ impl ShortestPaths {
 /// When `target` is `Some(t)`, the search stops as soon as `t` is settled;
 /// distances of vertices settled before `t` are exact, others may be missing.
 /// When `target` is `None`, all reachable vertices are settled.
-pub fn dijkstra(
-    view: &GraphView<'_>,
+///
+/// Allocates a fresh [`ShortestPaths`] per call; use
+/// [`SearchWorkspace::dijkstra`] in loops.
+pub fn dijkstra<R: Restriction>(
+    view: &R,
     w: &TieBreak,
     source: VertexId,
     target: Option<VertexId>,
 ) -> ShortestPaths {
-    let n = view.vertex_bound();
-    let mut dist: Vec<Option<u64>> = vec![None; n];
-    let mut parent: Vec<Option<(VertexId, EdgeId)>> = vec![None; n];
-    let mut settled = vec![false; n];
-    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-
-    dist[source.index()] = Some(0);
-    if view.allows_vertex(source) {
-        heap.push(Reverse((0, source.0)));
-    }
-
-    while let Some(Reverse((d, u_raw))) = heap.pop() {
-        let u = VertexId(u_raw);
-        if settled[u.index()] {
-            continue;
-        }
-        settled[u.index()] = true;
-        if target == Some(u) {
-            break;
-        }
-        for (x, e) in view.neighbors(u) {
-            if settled[x.index()] {
-                continue;
-            }
-            let nd = d + w.weight(e);
-            if dist[x.index()].map_or(true, |old| nd < old) {
-                dist[x.index()] = Some(nd);
-                parent[x.index()] = Some((u, e));
-                heap.push(Reverse((nd, x.0)));
-            }
-        }
-    }
-
-    // Distances of unsettled vertices are not final; blank them so callers
-    // never observe a non-optimal value.
-    for i in 0..n {
-        if !settled[i] {
-            dist[i] = None;
-            parent[i] = None;
-        }
-    }
-    if !settled[source.index()] {
-        // The source is always at distance zero even if isolated/removed.
-        dist[source.index()] = Some(0);
-    }
-
-    ShortestPaths {
-        source,
-        dist,
-        parent,
-    }
+    SearchWorkspace::new()
+        .dijkstra(view, w, source, target)
+        .to_shortest_paths()
 }
 
 /// Convenience wrapper: the `W`-weight of the shortest `source → target`
 /// path in `view`, or `None` if unreachable.
-pub fn shortest_weight(
-    view: &GraphView<'_>,
+pub fn shortest_weight<R: Restriction>(
+    view: &R,
     w: &TieBreak,
     source: VertexId,
     target: VertexId,
@@ -150,8 +128,8 @@ pub fn shortest_weight(
 /// Convenience wrapper: the unique `W`-shortest `source → target` path in
 /// `view`, or `None` if unreachable.  This is the paper's
 /// `SP(source, target, view, W)`.
-pub fn shortest_path(
-    view: &GraphView<'_>,
+pub fn shortest_path<R: Restriction>(
+    view: &R,
     w: &TieBreak,
     source: VertexId,
     target: VertexId,
@@ -163,6 +141,7 @@ pub fn shortest_path(
 mod tests {
     use super::*;
     use crate::bfs::bfs;
+    use crate::fault::GraphView;
     use crate::graph::{Graph, GraphBuilder};
 
     fn v(i: u32) -> VertexId {

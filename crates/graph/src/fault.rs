@@ -5,12 +5,54 @@
 //! of a shortest-path segment (`G(u_k, u_ℓ)` of Eq. (3)), removing a detour
 //! suffix (`G_D(w_ℓ)` of Eq. (4)), or replacing the edges incident to a
 //! vertex by a chosen subset (`G_{τ-1}(v)` in step (3) of `Cons2FTBFS`).
-//! [`GraphView`] expresses all of these as a cheap overlay over an immutable
-//! [`Graph`], so that searches never need to materialise the subgraph.
+//! Two representations are provided, both consumed by the searches through
+//! the [`Restriction`] trait:
+//!
+//! * [`GraphView`] — an owned, cheap-to-clone overlay backed by hash sets.
+//!   Convenient for one-off restrictions, tests and verification code.
+//! * [`ViewOverlay`] — a reusable, *epoch-stamped* scratch overlay backed by
+//!   dense per-vertex/per-edge stamp arrays.  Resetting it for a new
+//!   restriction ([`ViewOverlay::begin`]) is `O(1)`: the epoch counter is
+//!   bumped and every stale stamp instantly stops matching, so the millions
+//!   of restricted views built inside the `Cons2FTBFS` binary-search
+//!   predicates allocate nothing after the first use.
+//!
+//! # Epoch-stamping invariants
+//!
+//! A vertex (edge) is removed from the overlay's current restriction iff its
+//! stamp equals the overlay's current epoch.  `begin` increments the epoch,
+//! which implicitly clears every mark from earlier restrictions; stamps are
+//! `u64`, so the counter never wraps in practice.  The same invariant is used
+//! by [`crate::workspace::SearchWorkspace`] for its distance/parent arrays.
 
 use crate::graph::{EdgeId, Graph, VertexId};
 use std::collections::HashSet;
 use std::fmt;
+
+/// A restriction of a [`Graph`] to a subgraph, as consulted by the searches
+/// (`bfs`, `dijkstra`, [`crate::workspace::SearchWorkspace`]).
+///
+/// Implementations must be consistent: [`Restriction::allows_edge`] must
+/// return `false` whenever either endpoint of the edge is disallowed, so that
+/// search loops only need the edge check on top of the adjacency lists of
+/// [`Restriction::base_graph`].
+pub trait Restriction {
+    /// The underlying unrestricted graph.
+    fn base_graph(&self) -> &Graph;
+
+    /// Returns `true` if vertex `v` is present in the restriction.
+    fn allows_vertex(&self, v: VertexId) -> bool;
+
+    /// Returns `true` if edge `e` is present in the restriction (both
+    /// endpoints present and the edge itself not removed).
+    fn allows_edge(&self, e: EdgeId) -> bool;
+
+    /// Number of vertices of the underlying graph (including removed ones;
+    /// removed vertices simply have no surviving incident edges).
+    fn vertex_bound(&self) -> usize {
+        self.base_graph().vertex_count()
+    }
+}
 
 /// A set of at most a few failed edges (`F ⊆ E`, `|F| ≤ f`).
 ///
@@ -251,6 +293,168 @@ impl<'g> GraphView<'g> {
     }
 }
 
+impl Restriction for GraphView<'_> {
+    fn base_graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn allows_vertex(&self, v: VertexId) -> bool {
+        GraphView::allows_vertex(self, v)
+    }
+
+    fn allows_edge(&self, e: EdgeId) -> bool {
+        GraphView::allows_edge(self, e)
+    }
+}
+
+/// A reusable, epoch-stamped restriction scratch buffer.
+///
+/// One overlay serves an unbounded sequence of restrictions: call
+/// [`ViewOverlay::begin`] to start a fresh (empty) restriction, mark removals
+/// with [`ViewOverlay::remove_vertex`] / [`ViewOverlay::remove_edge`] /
+/// [`ViewOverlay::remove_faults`] / [`ViewOverlay::restrict_incident`], and
+/// obtain a [`Restriction`] via [`ViewOverlay::view`].  After the arrays have
+/// grown to the graph's size once, no call allocates.
+///
+/// See the module docs for the epoch-stamping invariants.
+///
+/// # Examples
+///
+/// ```
+/// use ftbfs_graph::{GraphBuilder, Restriction, VertexId, ViewOverlay};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(VertexId(0), VertexId(1));
+/// b.add_edge(VertexId(1), VertexId(2));
+/// let g = b.build();
+///
+/// let mut overlay = ViewOverlay::new();
+/// overlay.begin(&g);
+/// overlay.remove_vertex(VertexId(1));
+/// assert!(!overlay.view(&g).allows_vertex(VertexId(1)));
+///
+/// // Restarting is O(1): the previous removal no longer applies.
+/// overlay.begin(&g);
+/// assert!(overlay.view(&g).allows_vertex(VertexId(1)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ViewOverlay {
+    epoch: u64,
+    removed_vertex: Vec<u64>,
+    removed_edge: Vec<u64>,
+    /// Allowed-marks for the incident restriction, stamped with
+    /// `incident_serial` (not `epoch`) so every `restrict_incident` call
+    /// starts from a clean allowed set.
+    incident_allowed: Vec<u64>,
+    incident_serial: u64,
+    incident_vertex: Option<VertexId>,
+}
+
+impl ViewOverlay {
+    /// Creates an empty overlay; arrays grow lazily on first [`Self::begin`].
+    pub fn new() -> Self {
+        ViewOverlay::default()
+    }
+
+    /// Starts a fresh, empty restriction for `graph`.
+    ///
+    /// Bumps the epoch (invalidating all previous marks in `O(1)`) and grows
+    /// the stamp arrays if the graph is larger than any seen before.
+    pub fn begin(&mut self, graph: &Graph) {
+        self.epoch += 1;
+        if self.removed_vertex.len() < graph.vertex_count() {
+            self.removed_vertex.resize(graph.vertex_count(), 0);
+        }
+        if self.removed_edge.len() < graph.edge_count() {
+            self.removed_edge.resize(graph.edge_count(), 0);
+            self.incident_allowed.resize(graph.edge_count(), 0);
+        }
+        self.incident_vertex = None;
+    }
+
+    /// Removes vertex `v` (and implicitly all its incident edges) from the
+    /// current restriction.
+    #[inline]
+    pub fn remove_vertex(&mut self, v: VertexId) {
+        self.removed_vertex[v.index()] = self.epoch;
+    }
+
+    /// Removes edge `e` from the current restriction.
+    #[inline]
+    pub fn remove_edge(&mut self, e: EdgeId) {
+        self.removed_edge[e.index()] = self.epoch;
+    }
+
+    /// Removes every edge of `faults` from the current restriction (`G ∖ F`).
+    pub fn remove_faults(&mut self, faults: &FaultSet) {
+        for &e in faults.edges() {
+            self.remove_edge(e);
+        }
+    }
+
+    /// Restricts the edges incident to `v` to the given allowed set; all
+    /// other edges incident to `v` behave as removed (`G_{τ-1}(v)` of step
+    /// (3) of `Cons2FTBFS`).  At most one incident restriction is active at a
+    /// time: calling this again fully replaces the previous one (the
+    /// allowed-marks carry their own serial, so earlier marks cannot leak
+    /// into the new restriction).
+    pub fn restrict_incident<I: IntoIterator<Item = EdgeId>>(&mut self, v: VertexId, allowed: I) {
+        self.incident_serial += 1;
+        self.incident_vertex = Some(v);
+        for e in allowed {
+            self.incident_allowed[e.index()] = self.incident_serial;
+        }
+    }
+
+    /// The current restriction as a [`Restriction`] view over `graph`.
+    ///
+    /// `graph` must be the graph passed to the most recent [`Self::begin`].
+    pub fn view<'a>(&'a self, graph: &'a Graph) -> OverlayView<'a> {
+        debug_assert!(self.removed_vertex.len() >= graph.vertex_count());
+        debug_assert!(self.removed_edge.len() >= graph.edge_count());
+        OverlayView {
+            graph,
+            overlay: self,
+        }
+    }
+}
+
+/// A borrowed [`Restriction`] over a [`ViewOverlay`]'s current marks.
+#[derive(Clone, Copy, Debug)]
+pub struct OverlayView<'a> {
+    graph: &'a Graph,
+    overlay: &'a ViewOverlay,
+}
+
+impl Restriction for OverlayView<'_> {
+    fn base_graph(&self) -> &Graph {
+        self.graph
+    }
+
+    #[inline]
+    fn allows_vertex(&self, v: VertexId) -> bool {
+        self.overlay.removed_vertex[v.index()] != self.overlay.epoch
+    }
+
+    #[inline]
+    fn allows_edge(&self, e: EdgeId) -> bool {
+        let o = self.overlay;
+        if o.removed_edge[e.index()] == o.epoch {
+            return false;
+        }
+        let ep = self.graph.endpoints(e);
+        if !self.allows_vertex(ep.u) || !self.allows_vertex(ep.v) {
+            return false;
+        }
+        if let Some(iv) = o.incident_vertex {
+            if ep.contains(iv) && o.incident_allowed[e.index()] != o.incident_serial {
+                return false;
+            }
+        }
+        true
+    }
+}
+
 impl fmt::Debug for GraphView<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("GraphView")
@@ -370,6 +574,50 @@ mod tests {
         let e23 = g.edge_between(v(2), v(3)).unwrap();
         let view = GraphView::new(&g).without_faults(&FaultSet::pair(e01, e23));
         assert_eq!(view.surviving_edge_count(), 2);
+    }
+
+    #[test]
+    fn overlay_restrict_incident_replaces_previous_restriction() {
+        let g = square();
+        let e01 = g.edge_between(v(0), v(1)).unwrap();
+        let e30 = g.edge_between(v(3), v(0)).unwrap();
+        let e23 = g.edge_between(v(2), v(3)).unwrap();
+        let mut overlay = ViewOverlay::new();
+        overlay.begin(&g);
+        overlay.restrict_incident(v(0), [e01]);
+        // Second call in the same epoch: the earlier allowed-marks must not
+        // leak into the new restriction.
+        overlay.restrict_incident(v(3), [e23]);
+        let view = overlay.view(&g);
+        assert!(Restriction::allows_edge(&view, e23));
+        assert!(!Restriction::allows_edge(&view, e30));
+        // e01 is no longer incident-restricted (vertex 0 is not the subject).
+        assert!(Restriction::allows_edge(&view, e01));
+    }
+
+    #[test]
+    fn overlay_epoch_reset_clears_all_marks() {
+        let g = square();
+        let e01 = g.edge_between(v(0), v(1)).unwrap();
+        let mut overlay = ViewOverlay::new();
+        overlay.begin(&g);
+        overlay.remove_edge(e01);
+        overlay.remove_vertex(v(2));
+        overlay.restrict_incident(v(3), []);
+        {
+            let view = overlay.view(&g);
+            assert!(!Restriction::allows_edge(&view, e01));
+            assert!(!Restriction::allows_vertex(&view, v(2)));
+            assert_eq!(view.vertex_bound(), 4);
+        }
+        overlay.begin(&g);
+        let view = overlay.view(&g);
+        for e in g.edges() {
+            assert!(Restriction::allows_edge(&view, e));
+        }
+        for x in g.vertices() {
+            assert!(Restriction::allows_vertex(&view, x));
+        }
     }
 
     #[test]

@@ -12,12 +12,16 @@
 //!   vertex/edge ids;
 //! * [`Path`] — vertex-sequence paths with the segment algebra (`P[a,b]`,
 //!   `P1 ∘ P2`, `LastE(P)`, divergence points) used throughout the paper;
-//! * [`FaultSet`] / [`GraphView`] — fault sets `F` and restricted views
-//!   `G ∖ F`, vertex removals, and per-vertex incident-edge restrictions;
+//! * [`FaultSet`] / [`GraphView`] / [`ViewOverlay`] — fault sets `F` and
+//!   restricted views `G ∖ F` (owned or epoch-stamped reusable), vertex
+//!   removals, and per-vertex incident-edge restrictions, unified by the
+//!   [`Restriction`] trait;
 //! * [`TieBreak`] — the weight assignment `W` that makes shortest paths
 //!   unique while preserving hop-shortestness;
 //! * [`bfs`]/[`bfs_to_target`] and [`dijkstra`]/[`shortest_path`] — searches
 //!   over restricted views, unweighted and under `W`;
+//! * [`SearchWorkspace`] / [`SearchEngine`] — zero-allocation reusable
+//!   search state for the construction hot loops;
 //! * [`SpTree`] — the BFS/shortest-path tree `T_0(s)` and the canonical
 //!   paths `π(s, v)`;
 //! * [`restrict`] — the restricted graphs `G(u_k, u_ℓ)` (Eq. 3) and
@@ -57,11 +61,13 @@ pub mod properties;
 pub mod restrict;
 pub mod sptree;
 pub mod tiebreak;
+pub mod workspace;
 
 pub use bfs::{bfs, bfs_to_target, BfsResult};
 pub use dijkstra::{dijkstra, shortest_path, shortest_weight, ShortestPaths};
-pub use fault::{FaultSet, GraphView};
+pub use fault::{FaultSet, GraphView, OverlayView, Restriction, ViewOverlay};
 pub use graph::{EdgeId, Endpoints, Graph, GraphBuilder, VertexId};
 pub use path::Path;
 pub use sptree::SpTree;
 pub use tiebreak::TieBreak;
+pub use workspace::{Search, SearchEngine, SearchWorkspace};

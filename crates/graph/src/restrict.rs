@@ -8,11 +8,67 @@
 //!   remove the suffix of a detour from `w_ℓ` on (keeping `w_ℓ`), so that any
 //!   surviving path diverges from the detour at `w_ℓ` or above.
 //!
-//! Both are expressed as [`GraphView`]s over the base graph.
+//! Both are expressed in two equivalent forms: as owned [`GraphView`]s over
+//! the base graph (the `*_restricted` builders, convenient for one-off use
+//! and tests), and as mark sequences on a reusable epoch-stamped
+//! [`ViewOverlay`] (the `overlay_*` builders), which is what the
+//! binary-search predicates of `ftbfs-paths::select` use so that probing a
+//! candidate divergence point allocates nothing.
 
-use crate::fault::{FaultSet, GraphView};
+use crate::fault::{FaultSet, GraphView, ViewOverlay};
 use crate::graph::{Graph, VertexId};
 use crate::path::Path;
+
+/// Marks the Eq. (3) removal `V(π[from_pos, to_pos]) ∖ {π[from_pos], target}`
+/// on `overlay`: every vertex of the path segment between the two positions
+/// is removed except the segment's upper endpoint and the target.
+///
+/// The overlay must have been [`ViewOverlay::begin`]-started for the graph
+/// `pi` lives in; positions index into `pi.vertices()`.
+///
+/// # Panics
+///
+/// Panics if either position is out of range for `pi`.
+pub fn overlay_pi_segment(
+    overlay: &mut ViewOverlay,
+    pi: &Path,
+    from_pos: usize,
+    to_pos: usize,
+    target: VertexId,
+) {
+    let (lo, hi) = if from_pos <= to_pos {
+        (from_pos, to_pos)
+    } else {
+        (to_pos, from_pos)
+    };
+    let from = pi.vertices()[from_pos];
+    for &x in &pi.vertices()[lo..=hi] {
+        if x != from && x != target {
+            overlay.remove_vertex(x);
+        }
+    }
+}
+
+/// Marks the Eq. (4) removal `V(D[from_pos, …]) ∖ {D[from_pos], target}` on
+/// `overlay`: the suffix of the detour from the given position on is
+/// removed, keeping the divergence vertex itself and the target.
+///
+/// # Panics
+///
+/// Panics if `from_pos` is out of range for `detour`.
+pub fn overlay_detour_suffix(
+    overlay: &mut ViewOverlay,
+    detour: &Path,
+    from_pos: usize,
+    target: VertexId,
+) {
+    let from = detour.vertices()[from_pos];
+    for &x in &detour.vertices()[from_pos..] {
+        if x != from && x != target {
+            overlay.remove_vertex(x);
+        }
+    }
+}
 
 /// Builds the restricted graph `G(u_k, u_ℓ)` of Eq. (3).
 ///
@@ -146,6 +202,29 @@ mod tests {
         let res = bfs(&view, v(0));
         // 4 reachable only along the pi path now.
         assert_eq!(res.distance(v(4)), Some(4));
+    }
+
+    #[test]
+    fn overlay_builders_match_view_builders() {
+        use crate::fault::Restriction;
+        let g = test_graph();
+        let pi = Path::new(vec![v(0), v(1), v(2), v(3), v(4)]);
+        let detour = Path::new(vec![v(1), v(6), v(4)]);
+        let view = {
+            let base = pi_segment_restricted(&g, &pi, v(1), v(4), v(4));
+            detour_suffix_restricted(base, &detour, v(6), v(4))
+        };
+        let mut overlay = ViewOverlay::new();
+        overlay.begin(&g);
+        overlay_pi_segment(&mut overlay, &pi, 1, 4, v(4));
+        overlay_detour_suffix(&mut overlay, &detour, 1, v(4));
+        let oview = overlay.view(&g);
+        for x in g.vertices() {
+            assert_eq!(view.allows_vertex(x), Restriction::allows_vertex(&oview, x));
+        }
+        for e in g.edges() {
+            assert_eq!(view.allows_edge(e), Restriction::allows_edge(&oview, e));
+        }
     }
 
     #[test]

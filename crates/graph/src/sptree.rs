@@ -7,7 +7,7 @@
 //! this tree.
 
 use crate::dijkstra::{dijkstra, ShortestPaths};
-use crate::fault::GraphView;
+use crate::fault::{GraphView, Restriction};
 use crate::graph::{EdgeId, Graph, VertexId};
 use crate::path::Path;
 use crate::tiebreak::TieBreak;
@@ -43,7 +43,7 @@ impl SpTree {
     }
 
     /// Computes the shortest-path tree within a restricted view.
-    pub fn in_view(view: &GraphView<'_>, w: &TieBreak, source: VertexId) -> Self {
+    pub fn in_view<R: Restriction>(view: &R, w: &TieBreak, source: VertexId) -> Self {
         let sp = dijkstra(view, w, source, None);
         let mut tree_edges: Vec<EdgeId> = (0..view.vertex_bound())
             .filter_map(|i| sp.parent(VertexId::new(i)).map(|(_, e)| e))

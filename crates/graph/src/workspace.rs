@@ -1,0 +1,525 @@
+//! Zero-allocation reusable search state: [`SearchWorkspace`] and the
+//! combined [`SearchEngine`].
+//!
+//! `Cons2FTBFS` issues `Θ(|π|²)` shortest-path queries *per target vertex*;
+//! allocating fresh distance/parent arrays for each query dominates the
+//! construction cost on mid-size graphs.  The workspace keeps those arrays
+//! (plus the priority queue) alive across queries and invalidates them in
+//! `O(1)` between searches with the same epoch-stamping scheme as
+//! [`crate::fault::ViewOverlay`]:
+//!
+//! * a vertex's distance/parent slot is meaningful iff its *visit stamp*
+//!   equals the workspace's current epoch;
+//! * a vertex's distance is *final* iff its *settled stamp* equals the
+//!   current epoch (for the unweighted fast path, visiting and settling
+//!   coincide because FIFO order is monotone in distance);
+//! * starting a new search bumps the epoch, instantly invalidating all
+//!   stamps of earlier searches without touching the arrays.
+//!
+//! Two search modes are provided:
+//!
+//! * [`SearchWorkspace::dijkstra`] — the weighted search under the
+//!   tie-breaking assignment `W`, producing the canonical `SP(s, v, G', W)`
+//!   paths (identical results to [`crate::dijkstra::dijkstra`]);
+//! * [`SearchWorkspace::bfs`] / [`SearchWorkspace::bfs_hops`] — the
+//!   unweighted *hop-bucket* fast path.  Because `W`-weights are
+//!   hop-dominated (see [`crate::tiebreak`]), every `W`-shortest path is
+//!   hop-shortest, so pure-distance queries (`dist(s, v, G')` comparisons in
+//!   the divergence binary searches, `fault_distance`, replacement
+//!   distances) can use a plain FIFO bucket queue instead of a binary heap.
+//!   The hop counts agree exactly with what the weighted search would report.
+
+use crate::dijkstra::ShortestPaths;
+use crate::fault::{Restriction, ViewOverlay};
+use crate::graph::{EdgeId, VertexId};
+use crate::path::Path;
+use crate::tiebreak::TieBreak;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Sentinel meaning "no parent" in the packed parent arrays.
+const NO_PARENT: u32 = u32::MAX;
+
+/// Reusable search state; see the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use ftbfs_graph::{generators, GraphView, SearchWorkspace, TieBreak, VertexId};
+///
+/// let g = generators::grid(3, 3);
+/// let w = TieBreak::new(&g, 7);
+/// let view = GraphView::new(&g);
+/// let mut ws = SearchWorkspace::new();
+///
+/// let search = ws.dijkstra(&view, &w, VertexId(0), None);
+/// assert_eq!(search.hops(VertexId(8)), Some(4));
+///
+/// // The second search reuses the arrays of the first — no allocation.
+/// let hops = ws.bfs_hops(&view, VertexId(0), VertexId(8));
+/// assert_eq!(hops, Some(4));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SearchWorkspace {
+    epoch: u64,
+    /// Stamp of the last epoch in which `dist`/`parent_*` were written.
+    visited: Vec<u64>,
+    /// Stamp of the last epoch in which the vertex's distance became final.
+    settled: Vec<u64>,
+    dist: Vec<u64>,
+    parent_v: Vec<u32>,
+    parent_e: Vec<u32>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    queue: VecDeque<u32>,
+    n: usize,
+    source: VertexId,
+    weighted: bool,
+}
+
+impl Default for SearchWorkspace {
+    fn default() -> Self {
+        SearchWorkspace {
+            epoch: 0,
+            visited: Vec::new(),
+            settled: Vec::new(),
+            dist: Vec::new(),
+            parent_v: Vec::new(),
+            parent_e: Vec::new(),
+            heap: BinaryHeap::new(),
+            queue: VecDeque::new(),
+            n: 0,
+            source: VertexId(0),
+            weighted: false,
+        }
+    }
+}
+
+impl SearchWorkspace {
+    /// Creates an empty workspace; arrays grow lazily on first use.
+    pub fn new() -> Self {
+        SearchWorkspace::default()
+    }
+
+    /// Bumps the epoch and sizes the arrays for an `n`-vertex search.
+    fn prepare(&mut self, n: usize, source: VertexId, weighted: bool) {
+        self.epoch += 1;
+        if self.visited.len() < n {
+            self.visited.resize(n, 0);
+            self.settled.resize(n, 0);
+            self.dist.resize(n, 0);
+            self.parent_v.resize(n, NO_PARENT);
+            self.parent_e.resize(n, NO_PARENT);
+        }
+        self.n = n;
+        self.source = source;
+        self.weighted = weighted;
+        self.heap.clear();
+        self.queue.clear();
+    }
+
+    /// Writes a (tentative) label for `v`.
+    #[inline]
+    fn label(&mut self, v: VertexId, dist: u64, parent: Option<(VertexId, EdgeId)>) {
+        let i = v.index();
+        self.visited[i] = self.epoch;
+        self.dist[i] = dist;
+        match parent {
+            Some((p, e)) => {
+                self.parent_v[i] = p.0;
+                self.parent_e[i] = e.0;
+            }
+            None => {
+                self.parent_v[i] = NO_PARENT;
+                self.parent_e[i] = NO_PARENT;
+            }
+        }
+    }
+
+    /// Runs Dijkstra from `source` in the restricted `view` under weights
+    /// `w`, reusing this workspace's arrays.
+    ///
+    /// Semantics match [`crate::dijkstra::dijkstra`] exactly: with
+    /// `target = Some(t)` the search stops as soon as `t` is settled and only
+    /// settled vertices report distances; the source always reports distance
+    /// zero even if the view removed it.
+    pub fn dijkstra<'ws, R: Restriction>(
+        &'ws mut self,
+        view: &R,
+        w: &TieBreak,
+        source: VertexId,
+        target: Option<VertexId>,
+    ) -> Search<'ws> {
+        self.prepare(view.vertex_bound(), source, true);
+        let epoch = self.epoch;
+        self.label(source, 0, None);
+        if view.allows_vertex(source) {
+            self.heap.push(Reverse((0, source.0)));
+        }
+        while let Some(Reverse((d, u_raw))) = self.heap.pop() {
+            let u = VertexId(u_raw);
+            if self.settled[u.index()] == epoch {
+                continue;
+            }
+            self.settled[u.index()] = epoch;
+            if target == Some(u) {
+                break;
+            }
+            for &(x, e) in view.base_graph().neighbors(u) {
+                let xi = x.index();
+                if self.settled[xi] == epoch || !view.allows_edge(e) {
+                    continue;
+                }
+                let nd = d + w.weight(e);
+                if self.visited[xi] != epoch || nd < self.dist[xi] {
+                    self.label(x, nd, Some((u, e)));
+                    self.heap.push(Reverse((nd, x.0)));
+                }
+            }
+        }
+        Search { ws: self }
+    }
+
+    /// Runs the unweighted hop-bucket search (a BFS) from `source`, reusing
+    /// this workspace's arrays.  All reached vertices report final hop
+    /// distances; parents form a BFS tree (*not* the `W`-canonical one — use
+    /// [`Self::dijkstra`] when the path itself matters).
+    pub fn bfs<'ws, R: Restriction>(&'ws mut self, view: &R, source: VertexId) -> Search<'ws> {
+        self.prepare(view.vertex_bound(), source, false);
+        let epoch = self.epoch;
+        self.label(source, 0, None);
+        self.settled[source.index()] = epoch;
+        if view.allows_vertex(source) {
+            self.queue.push_back(source.0);
+        }
+        while let Some(u_raw) = self.queue.pop_front() {
+            let u = VertexId(u_raw);
+            let du = self.dist[u.index()];
+            for &(x, e) in view.base_graph().neighbors(u) {
+                let xi = x.index();
+                if self.visited[xi] == epoch || !view.allows_edge(e) {
+                    continue;
+                }
+                self.label(x, du + 1, Some((u, e)));
+                self.settled[xi] = epoch;
+                self.queue.push_back(x.0);
+            }
+        }
+        Search { ws: self }
+    }
+
+    /// The hop distance `dist(source, target, view)`, or `None` if
+    /// unreachable — the pure-distance fast path.
+    ///
+    /// Equivalent to running the weighted search and reading
+    /// [`Search::hops`], but uses the FIFO bucket queue and stops as soon as
+    /// the target is labelled.
+    pub fn bfs_hops<R: Restriction>(
+        &mut self,
+        view: &R,
+        source: VertexId,
+        target: VertexId,
+    ) -> Option<u32> {
+        if source == target {
+            return Some(0);
+        }
+        self.prepare(view.vertex_bound(), source, false);
+        let epoch = self.epoch;
+        self.label(source, 0, None);
+        if !view.allows_vertex(source) {
+            return None;
+        }
+        self.queue.push_back(source.0);
+        while let Some(u_raw) = self.queue.pop_front() {
+            let u = VertexId(u_raw);
+            let du = self.dist[u.index()];
+            for &(x, e) in view.base_graph().neighbors(u) {
+                let xi = x.index();
+                if self.visited[xi] == epoch || !view.allows_edge(e) {
+                    continue;
+                }
+                if x == target {
+                    return Some((du + 1) as u32);
+                }
+                self.label(x, du + 1, Some((u, e)));
+                self.queue.push_back(x.0);
+            }
+        }
+        None
+    }
+
+    /// Returns `true` if `v`'s distance is final in the current search.
+    #[inline]
+    fn is_final(&self, v: VertexId) -> bool {
+        self.settled[v.index()] == self.epoch
+    }
+}
+
+/// Read access to the most recent search of a [`SearchWorkspace`].
+///
+/// Borrowing the workspace guarantees the results cannot be invalidated by a
+/// later search while they are being read.
+#[derive(Debug)]
+pub struct Search<'ws> {
+    ws: &'ws SearchWorkspace,
+}
+
+impl Search<'_> {
+    /// The source vertex of the search.
+    pub fn source(&self) -> VertexId {
+        self.ws.source
+    }
+
+    /// The `W`-weight of the shortest path from the source to `v`, or `None`
+    /// if `v` was not (finally) reached.  Only meaningful for searches run
+    /// with [`SearchWorkspace::dijkstra`].
+    #[inline]
+    pub fn weight(&self, v: VertexId) -> Option<u64> {
+        debug_assert!(self.ws.weighted, "weight() requires a weighted search");
+        if self.ws.is_final(v) {
+            Some(self.ws.dist[v.index()])
+        } else if v == self.ws.source {
+            Some(0)
+        } else {
+            None
+        }
+    }
+
+    /// The hop distance from the source to `v`, or `None` if unreachable.
+    #[inline]
+    pub fn hops(&self, v: VertexId) -> Option<u32> {
+        if self.ws.is_final(v) {
+            let d = self.ws.dist[v.index()];
+            Some(if self.ws.weighted {
+                TieBreak::hops_of_weight(d)
+            } else {
+                d as u32
+            })
+        } else if v == self.ws.source {
+            Some(0)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if `v` was (finally) reached.
+    pub fn reached(&self, v: VertexId) -> bool {
+        self.ws.is_final(v) || v == self.ws.source
+    }
+
+    /// The parent of `v` in the search tree, with the tree edge.
+    pub fn parent(&self, v: VertexId) -> Option<(VertexId, EdgeId)> {
+        if !self.ws.is_final(v) {
+            return None;
+        }
+        let i = v.index();
+        if self.ws.parent_v[i] == NO_PARENT {
+            None
+        } else {
+            Some((VertexId(self.ws.parent_v[i]), EdgeId(self.ws.parent_e[i])))
+        }
+    }
+
+    /// Reconstructs the path from the source to `v` along search parents.
+    /// For weighted searches this is the unique `W`-shortest path.
+    pub fn path_to(&self, v: VertexId) -> Option<Path> {
+        if !self.ws.is_final(v) {
+            if v == self.ws.source {
+                return Some(Path::singleton(v));
+            }
+            return None;
+        }
+        let mut vertices = vec![v];
+        let mut cur = v;
+        while let Some((p, _)) = self.parent(cur) {
+            vertices.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.ws.source);
+        vertices.reverse();
+        Some(Path::new(vertices))
+    }
+
+    /// Exports the search into an owned [`ShortestPaths`].  Only meaningful
+    /// for searches run with [`SearchWorkspace::dijkstra`].
+    pub fn to_shortest_paths(&self) -> ShortestPaths {
+        debug_assert!(
+            self.ws.weighted,
+            "to_shortest_paths() requires a weighted search"
+        );
+        let n = self.ws.n;
+        let mut dist = vec![None; n];
+        let mut parent = vec![None; n];
+        for i in 0..n {
+            let v = VertexId::new(i);
+            if self.ws.is_final(v) {
+                dist[i] = Some(self.ws.dist[i]);
+                parent[i] = self.parent(v);
+            }
+        }
+        dist[self.ws.source.index()].get_or_insert(0);
+        ShortestPaths::from_parts(self.ws.source, dist, parent)
+    }
+}
+
+/// A [`SearchWorkspace`] paired with a [`ViewOverlay`]: everything one
+/// construction thread needs to run restricted searches without allocating.
+///
+/// The two halves are separate fields so that a borrowed overlay view and a
+/// mutable workspace borrow can coexist:
+///
+/// ```
+/// use ftbfs_graph::{generators, SearchEngine, VertexId};
+///
+/// let g = generators::cycle(6);
+/// let mut engine = SearchEngine::new();
+/// engine.overlay.begin(&g);
+/// engine.overlay.remove_vertex(VertexId(1));
+/// let view = engine.overlay.view(&g);
+/// let hops = engine.workspace.bfs_hops(&view, VertexId(0), VertexId(2));
+/// assert_eq!(hops, Some(4)); // forced the long way round
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SearchEngine {
+    /// The reusable search arrays and queues.
+    pub workspace: SearchWorkspace,
+    /// The reusable restriction scratch buffer.
+    pub overlay: ViewOverlay,
+}
+
+impl SearchEngine {
+    /// Creates an empty engine; all buffers grow lazily on first use.
+    pub fn new() -> Self {
+        SearchEngine::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use crate::fault::GraphView;
+    use crate::generators;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn workspace_dijkstra_matches_allocating_dijkstra() {
+        let g = generators::connected_gnp(30, 0.15, 5);
+        let w = TieBreak::new(&g, 9);
+        let view = GraphView::new(&g);
+        let mut ws = SearchWorkspace::new();
+        let reference = dijkstra(&view, &w, v(0), None);
+        let search = ws.dijkstra(&view, &w, v(0), None);
+        for x in g.vertices() {
+            assert_eq!(search.weight(x), reference.weight(x));
+            assert_eq!(search.hops(x), reference.hops(x));
+            assert_eq!(search.parent(x), reference.parent(x));
+            assert_eq!(search.path_to(x), reference.path_to(x));
+        }
+    }
+
+    #[test]
+    fn epoch_reuse_across_different_views() {
+        // Two searches on *different* views from one workspace: the second
+        // must not observe any state of the first.
+        let g = generators::grid(4, 4);
+        let w = TieBreak::new(&g, 3);
+        let mut ws = SearchWorkspace::new();
+
+        let full = GraphView::new(&g);
+        let first = ws.dijkstra(&full, &w, v(0), None).to_shortest_paths();
+        assert_eq!(first.hops(v(15)), Some(6));
+
+        let e01 = g.edge_between(v(0), v(1)).unwrap();
+        let e04 = g.edge_between(v(0), v(4)).unwrap();
+        let cut = GraphView::new(&g).without_edges([e01, e04]);
+        let second = ws.dijkstra(&cut, &w, v(0), None);
+        // v0 is isolated in the cut view: nothing else may be reported.
+        for x in g.vertices() {
+            if x == v(0) {
+                assert_eq!(second.hops(x), Some(0));
+            } else {
+                assert_eq!(second.hops(x), None, "stale epoch state leaked to {x:?}");
+            }
+        }
+        // And a third search on the full view is exact again.
+        let third = ws.dijkstra(&full, &w, v(0), None);
+        for x in g.vertices() {
+            assert_eq!(third.hops(x), first.hops(x));
+        }
+    }
+
+    #[test]
+    fn hop_bucket_fast_path_agrees_with_weighted_hops() {
+        for seed in 0..4u64 {
+            let g = generators::connected_gnp(40, 0.12, seed);
+            let w = TieBreak::new(&g, seed + 100);
+            let e = g.edge_between(g.endpoints(EdgeId(0)).u, g.endpoints(EdgeId(0)).v);
+            let view = GraphView::new(&g).without_edge(e.unwrap());
+            let mut ws = SearchWorkspace::new();
+            let reference = ws.dijkstra(&view, &w, v(0), None).to_shortest_paths();
+            for t in g.vertices() {
+                assert_eq!(
+                    ws.bfs_hops(&view, v(0), t),
+                    reference.hops(t),
+                    "fast-path mismatch at {t:?} (seed {seed})"
+                );
+            }
+            let full_bfs = ws.bfs(&view, v(0));
+            for t in g.vertices() {
+                assert_eq!(full_bfs.hops(t), reference.hops(t));
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_target_distances_are_exact() {
+        let g = generators::grid(5, 5);
+        let w = TieBreak::new(&g, 11);
+        let view = GraphView::new(&g);
+        let mut ws = SearchWorkspace::new();
+        let full = ws.dijkstra(&view, &w, v(0), None).to_shortest_paths();
+        for t in g.vertices() {
+            let search = ws.dijkstra(&view, &w, v(0), Some(t));
+            assert_eq!(search.weight(t), full.weight(t));
+        }
+    }
+
+    #[test]
+    fn removed_source_still_reports_distance_zero() {
+        let g = generators::cycle(5);
+        let w = TieBreak::new(&g, 2);
+        let view = GraphView::new(&g).without_vertices([v(0)]);
+        let mut ws = SearchWorkspace::new();
+        let search = ws.dijkstra(&view, &w, v(0), None);
+        assert_eq!(search.hops(v(0)), Some(0));
+        assert_eq!(search.weight(v(0)), Some(0));
+        assert!(search.reached(v(0)));
+        assert_eq!(search.hops(v(1)), None);
+        assert_eq!(search.path_to(v(0)), Some(Path::singleton(v(0))));
+        assert_eq!(ws.bfs_hops(&view, v(0), v(2)), None);
+    }
+
+    #[test]
+    fn engine_overlay_and_workspace_compose() {
+        let g = generators::grid(3, 3);
+        let w = TieBreak::new(&g, 1);
+        let mut engine = SearchEngine::new();
+
+        // Restriction 1: remove the centre vertex.
+        engine.overlay.begin(&g);
+        engine.overlay.remove_vertex(v(4));
+        let view = engine.overlay.view(&g);
+        assert_eq!(engine.workspace.bfs_hops(&view, v(0), v(8)), Some(4));
+        let search = engine.workspace.dijkstra(&view, &w, v(0), Some(v(8)));
+        assert!(!search.path_to(v(8)).unwrap().contains_vertex(v(4)));
+
+        // Restriction 2 (same engine, O(1) reset): remove nothing.
+        engine.overlay.begin(&g);
+        let view = engine.overlay.view(&g);
+        assert_eq!(engine.workspace.bfs_hops(&view, v(0), v(8)), Some(4));
+        assert_eq!(engine.workspace.bfs_hops(&view, v(0), v(4)), Some(2));
+    }
+}

@@ -1,0 +1,139 @@
+//! Golden-equivalence tests for the reusable search engine.
+//!
+//! The zero-allocation workspace, the epoch-stamped overlay restrictions,
+//! the unweighted fast path and the parallel per-vertex construction must
+//! all leave the produced dual-failure FT-BFS structure *bit-identical* to
+//! the pre-refactor implementation: same `W`-canonical paths, same selected
+//! last edges.  The expected fingerprints below were captured by running the
+//! original (allocating, serial) implementation on the seeded instances;
+//! any drift in path selection shows up as a fingerprint mismatch.
+
+use ftbfs_core::dual::{DualFtBfs, DualFtBfsBuilder};
+use ftbfs_graph::{generators, Graph, TieBreak, VertexId};
+
+/// FNV-1a over the sorted edge-id list — stable across platforms.
+fn fingerprint(result: &DualFtBfs) -> (usize, u64) {
+    let mut ids: Vec<u32> = result.structure.edges().map(|e| e.0).collect();
+    ids.sort_unstable();
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &e in &ids {
+        for b in e.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    (ids.len(), h)
+}
+
+/// The seeded instances with the edge counts and fingerprints produced by
+/// the pre-refactor serial implementation.
+fn golden_cases() -> Vec<(Graph, u64, usize, u64)> {
+    vec![
+        (
+            generators::connected_gnp(40, 0.12, 7),
+            11,
+            99,
+            0x11065eaddc7e5d45,
+        ),
+        (generators::grid(6, 7), 13, 71, 0x7fdbdd2eb335a412),
+        (
+            generators::tree_plus_chords(36, 30, 3),
+            17,
+            63,
+            0x3a65f64dca99db37,
+        ),
+        (
+            generators::connected_gnp(50, 0.2, 11),
+            23,
+            134,
+            0x70c070d98cf62b7f,
+        ),
+    ]
+}
+
+#[test]
+fn structure_matches_pre_refactor_golden_fingerprints() {
+    for (i, (g, wseed, expect_edges, expect_fnv)) in golden_cases().into_iter().enumerate() {
+        let w = TieBreak::new(&g, wseed);
+        let r = DualFtBfsBuilder::new(&g, &w, VertexId(0)).build();
+        let (edges, fnv) = fingerprint(&r);
+        assert_eq!(edges, expect_edges, "edge count drifted on golden case {i}");
+        assert_eq!(
+            fnv, expect_fnv,
+            "edge set drifted on golden case {i}: selection is no longer \
+             equivalent to the pre-refactor implementation"
+        );
+    }
+}
+
+#[test]
+fn parallel_construction_is_bit_identical_to_serial() {
+    for (g, wseed, _, _) in golden_cases() {
+        let w = TieBreak::new(&g, wseed);
+        let serial = DualFtBfsBuilder::new(&g, &w, VertexId(0))
+            .record_paths(true)
+            .build();
+        for threads in [2usize, 3, 4, 16] {
+            let parallel = DualFtBfsBuilder::new(&g, &w, VertexId(0))
+                .record_paths(true)
+                .threads(threads)
+                .build();
+            assert_eq!(
+                fingerprint(&serial),
+                fingerprint(&parallel),
+                "structure differs with {threads} threads"
+            );
+            // The per-vertex records must merge back in vertex-id order with
+            // identical selected paths.
+            assert_eq!(serial.records.len(), parallel.records.len());
+            for (a, b) in serial.records.iter().zip(parallel.records.iter()) {
+                assert_eq!(a.vertex, b.vertex);
+                assert_eq!(a.pi, b.pi);
+                assert_eq!(a.detours.len(), b.detours.len());
+                for (da, db) in a.detours.iter().zip(b.detours.iter()) {
+                    assert_eq!(da.protected_edge, db.protected_edge);
+                    assert_eq!(da.decomposition.reassemble(), db.decomposition.reassemble());
+                }
+                assert_eq!(a.new_ending.len(), b.new_ending.len());
+                for (na, nb) in a.new_ending.iter().zip(b.new_ending.iter()) {
+                    assert_eq!(na.path, nb.path);
+                    assert_eq!(na.pi_divergence, nb.pi_divergence);
+                    assert_eq!(na.detour_divergence, nb.detour_divergence);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_structures_still_verify_exhaustively() {
+    use ftbfs_graph::{bfs, FaultSet, GraphView};
+    let g = generators::connected_gnp(14, 0.2, 19);
+    let w = TieBreak::new(&g, 19);
+    let r = DualFtBfsBuilder::new(&g, &w, VertexId(0))
+        .threads(4)
+        .build();
+    let edges: Vec<_> = g.edges().collect();
+    let mut fault_sets = vec![FaultSet::empty()];
+    for &e in &edges {
+        fault_sets.push(FaultSet::single(e));
+    }
+    for i in 0..edges.len() {
+        for j in (i + 1)..edges.len() {
+            fault_sets.push(FaultSet::pair(edges[i], edges[j]));
+        }
+    }
+    for fs in fault_sets {
+        let gview = GraphView::new(&g).without_faults(&fs);
+        let hview = r.structure.as_view(&g).without_faults(&fs);
+        let gd = bfs(&gview, VertexId(0));
+        let hd = bfs(&hview, VertexId(0));
+        for v in g.vertices() {
+            assert_eq!(
+                gd.distance(v),
+                hd.distance(v),
+                "mismatch at v={v:?} under {fs:?}"
+            );
+        }
+    }
+}

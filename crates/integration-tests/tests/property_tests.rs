@@ -80,19 +80,20 @@ proptest! {
         let w = TieBreak::new(&g, seed);
         let tree = ftbfs_graph::SpTree::new(&g, &w, VertexId(0));
         let rep = SingleFailureReplacer::new(&g, &w, &tree);
+        let mut engine = ftbfs_graph::SearchEngine::new();
         for v in g.vertices() {
             if v == VertexId(0) || !tree.reaches(v) {
                 continue;
             }
             let pi = tree.pi(v).unwrap();
             for e in pi.edge_ids(&g) {
-                if let Some(dec) = rep.earliest_divergence_replacement(v, e) {
+                if let Some(dec) = rep.earliest_divergence_replacement(&mut engine, v, e) {
                     let p = dec.reassemble();
                     prop_assert_eq!(p.source(), VertexId(0));
                     prop_assert_eq!(p.target(), v);
                     let ep = g.endpoints(e);
                     prop_assert!(!p.contains_edge(ep.u, ep.v));
-                    let expected = rep.replacement_distance(v, e).unwrap();
+                    let expected = rep.replacement_distance(&mut engine, v, e).unwrap();
                     prop_assert_eq!(p.len() as u32, expected);
                     // Round-trip: decomposing the reassembled path again gives
                     // the same attachment points.

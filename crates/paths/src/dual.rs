@@ -1,7 +1,9 @@
 //! Dual-failure replacement paths `P_{s,v,F}` for `|F| ≤ 2` and the
 //! classification of fault pairs relative to `π(s, v)` and its detours.
 
-use ftbfs_graph::{dijkstra, EdgeId, FaultSet, Graph, GraphView, Path, TieBreak, VertexId};
+use ftbfs_graph::{
+    bfs_to_target, dijkstra, EdgeId, FaultSet, Graph, GraphView, Path, TieBreak, VertexId,
+};
 
 /// How a fault set relates to the canonical path `π(s, v)` and the detours of
 /// its single-failure replacement paths.  The paper's step (2) handles
@@ -81,15 +83,19 @@ pub fn canonical_dual_replacement(
 }
 
 /// The hop distance `dist(s, v, G ∖ F)`, or `None` if disconnected.
+///
+/// A pure-distance query: runs an unweighted targeted BFS (the `W`-weights
+/// cannot change hop distances, see `ftbfs_graph::tiebreak`), so no `W` is
+/// needed.
 pub fn replacement_distance(
     graph: &Graph,
-    w: &TieBreak,
+    _w: &TieBreak,
     source: VertexId,
     target: VertexId,
     faults: &FaultSet,
 ) -> Option<u32> {
     let view = GraphView::new(graph).without_faults(faults);
-    dijkstra(&view, w, source, Some(target)).hops(target)
+    bfs_to_target(&view, source, target)
 }
 
 #[cfg(test)]

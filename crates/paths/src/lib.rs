@@ -22,15 +22,18 @@
 //! # Example
 //!
 //! ```
-//! use ftbfs_graph::{generators, SpTree, TieBreak, VertexId};
+//! use ftbfs_graph::{generators, SearchEngine, SpTree, TieBreak, VertexId};
 //! use ftbfs_paths::replacement::SingleFailureReplacer;
 //!
 //! let g = generators::cycle(8);
 //! let w = TieBreak::new(&g, 0);
 //! let tree = SpTree::new(&g, &w, VertexId(0));
 //! let rep = SingleFailureReplacer::new(&g, &w, &tree);
+//! let mut engine = SearchEngine::new();
 //! let e = g.edge_between(VertexId(0), VertexId(1)).unwrap();
-//! let dec = rep.earliest_divergence_replacement(VertexId(2), e).unwrap();
+//! let dec = rep
+//!     .earliest_divergence_replacement(&mut engine, VertexId(2), e)
+//!     .unwrap();
 //! // The replacement path for v=2 goes the long way around the cycle.
 //! assert_eq!(dec.reassemble().len(), 6);
 //! ```

@@ -14,7 +14,8 @@
 use crate::detour::{decompose, Decomposition};
 use crate::select::earliest_pi_divergence;
 use ftbfs_graph::{
-    dijkstra, EdgeId, FaultSet, Graph, GraphView, Path, ShortestPaths, SpTree, TieBreak, VertexId,
+    dijkstra, EdgeId, FaultSet, Graph, GraphView, Path, Search, SearchEngine, SpTree, TieBreak,
+    VertexId,
 };
 
 /// Computes the canonical replacement path `SP(s, v, G ∖ {e}, W)`.
@@ -32,20 +33,24 @@ pub fn canonical_replacement(
 }
 
 /// Computes, for each failed tree edge, the full shortest-path information in
-/// `G ∖ {e}` and hands it to `visit(e, shortest_paths)`.
+/// `G ∖ {e}` and hands it to `visit(e, search)`.
 ///
 /// This is the batch form used by the single-failure FT-BFS construction: one
 /// Dijkstra per tree edge covers all targets at once.  Only edges of the
 /// shortest-path tree are relevant — failures of non-tree edges leave every
-/// `π(s, v)` intact.
+/// `π(s, v)` intact.  All searches share one workspace/overlay pair, so the
+/// loop allocates nothing after the first edge.
 pub fn for_each_tree_edge_failure<F>(graph: &Graph, w: &TieBreak, tree: &SpTree, mut visit: F)
 where
-    F: FnMut(EdgeId, &ShortestPaths),
+    F: FnMut(EdgeId, &Search<'_>),
 {
+    let mut engine = SearchEngine::new();
     for &e in tree.tree_edges() {
-        let view = GraphView::new(graph).without_edge(e);
-        let sp = dijkstra(&view, w, tree.source(), None);
-        visit(e, &sp);
+        engine.overlay.begin(graph);
+        engine.overlay.remove_edge(e);
+        let view = engine.overlay.view(graph);
+        let search = engine.workspace.dijkstra(&view, w, tree.source(), None);
+        visit(e, &search);
     }
 }
 
@@ -73,7 +78,8 @@ impl<'a> SingleFailureReplacer<'a> {
     }
 
     /// The replacement path `P_{s,v,{e}}` chosen with the earliest-divergence
-    /// preference, together with its Claim-3.4 decomposition.
+    /// preference, together with its Claim-3.4 decomposition.  Searches run
+    /// through the caller's `engine`.
     ///
     /// `e` must lie on `π(s, v)`.  Returns `None` if `v` is unreachable in
     /// `G ∖ {e}`.
@@ -81,7 +87,12 @@ impl<'a> SingleFailureReplacer<'a> {
     /// # Panics
     ///
     /// Panics if `v` is unreachable in `G` or `e` does not lie on `π(s, v)`.
-    pub fn earliest_divergence_replacement(&self, v: VertexId, e: EdgeId) -> Option<Decomposition> {
+    pub fn earliest_divergence_replacement(
+        &self,
+        engine: &mut SearchEngine,
+        v: VertexId,
+        e: EdgeId,
+    ) -> Option<Decomposition> {
         let pi = self.tree.pi(v).expect("target must be reachable in G");
         let ep = self.graph.endpoints(e);
         assert!(
@@ -95,7 +106,9 @@ impl<'a> SingleFailureReplacer<'a> {
         );
         let upper = if pos_u < pos_v { ep.u } else { ep.v };
         let faults = FaultSet::single(e);
-        let choice = earliest_pi_divergence(self.graph, self.w, &pi, v, upper, upper, &faults)?;
+        let choice = earliest_pi_divergence(
+            engine, self.graph, self.w, &pi, v, upper, upper, &faults, None,
+        )?;
         // The selected path has a unique divergence point and therefore
         // decomposes into prefix ∘ detour ∘ suffix (Claim 3.4).  If the path
         // came from the canonical fallback it may not decompose; in that case
@@ -112,9 +125,17 @@ impl<'a> SingleFailureReplacer<'a> {
 
     /// The hop length of the replacement path `P_{s,v,{e}}` (independent of
     /// the selection rule), or `None` if `v` is unreachable in `G ∖ {e}`.
-    pub fn replacement_distance(&self, v: VertexId, e: EdgeId) -> Option<u32> {
-        let view = GraphView::new(self.graph).without_edge(e);
-        dijkstra(&view, self.w, self.tree.source(), Some(v)).hops(v)
+    /// Runs the engine's unweighted fast path.
+    pub fn replacement_distance(
+        &self,
+        engine: &mut SearchEngine,
+        v: VertexId,
+        e: EdgeId,
+    ) -> Option<u32> {
+        engine.overlay.begin(self.graph);
+        engine.overlay.remove_edge(e);
+        let view = engine.overlay.view(self.graph);
+        engine.workspace.bfs_hops(&view, self.tree.source(), v)
     }
 }
 
@@ -213,18 +234,21 @@ mod tests {
         let w = TieBreak::new(&g, 7);
         let tree = SpTree::new(&g, &w, v(0));
         let rep = SingleFailureReplacer::new(&g, &w, &tree);
+        let mut engine = SearchEngine::new();
         // Fail the last edge of whichever length-4 route W selected as pi;
         // the parallel route provides a replacement diverging at the source.
         let pi = rep.pi(v(4)).unwrap();
         assert_eq!(pi.len(), 4);
         let (a, bb) = pi.last_edge().unwrap();
         let failed = g.edge_between(a, bb).unwrap();
-        let dec = rep.earliest_divergence_replacement(v(4), failed).unwrap();
+        let dec = rep
+            .earliest_divergence_replacement(&mut engine, v(4), failed)
+            .unwrap();
         // The earliest divergence point is the source itself.
         assert_eq!(dec.detour.x, v(0));
         assert_eq!(dec.detour.y, v(4));
         assert_eq!(dec.reassemble().len(), 4);
-        assert_eq!(rep.replacement_distance(v(4), failed), Some(4));
+        assert_eq!(rep.replacement_distance(&mut engine, v(4), failed), Some(4));
     }
 
     #[test]
@@ -233,9 +257,12 @@ mod tests {
         let w = TieBreak::new(&g, 2);
         let tree = SpTree::new(&g, &w, v(0));
         let rep = SingleFailureReplacer::new(&g, &w, &tree);
+        let mut engine = SearchEngine::new();
         let e12 = g.edge_between(v(1), v(2)).unwrap();
-        assert_eq!(rep.replacement_distance(v(3), e12), None);
-        assert!(rep.earliest_divergence_replacement(v(3), e12).is_none());
+        assert_eq!(rep.replacement_distance(&mut engine, v(3), e12), None);
+        assert!(rep
+            .earliest_divergence_replacement(&mut engine, v(3), e12)
+            .is_none());
     }
 
     #[test]
@@ -245,8 +272,9 @@ mod tests {
         let w = TieBreak::new(&g, 5);
         let tree = SpTree::new(&g, &w, v(0));
         let rep = SingleFailureReplacer::new(&g, &w, &tree);
+        let mut engine = SearchEngine::new();
         // Edge (7,8) is not on pi(0, 1).
         let e = g.edge_between(v(7), v(8)).unwrap();
-        let _ = rep.earliest_divergence_replacement(v(1), e);
+        let _ = rep.earliest_divergence_replacement(&mut engine, v(1), e);
     }
 }

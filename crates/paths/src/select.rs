@@ -9,10 +9,17 @@
 //! search, exploiting that removing *less* of the path/detour can only
 //! shorten distances (distances are monotone non-increasing in the candidate
 //! index).
+//!
+//! All searches run through a caller-provided
+//! [`SearchEngine`](ftbfs_graph::SearchEngine): the binary-search predicates
+//! compare *unweighted* distances, so they use the engine's hop-bucket fast
+//! path over an epoch-stamped overlay restriction and allocate nothing; only
+//! the final path extraction (and the rare fallback) runs a weighted Dijkstra
+//! to obtain the `W`-canonical path.
 
 use crate::detour::Detour;
-use ftbfs_graph::restrict::{detour_suffix_restricted, pi_segment_restricted};
-use ftbfs_graph::{dijkstra, FaultSet, Graph, GraphView, Path, TieBreak, VertexId};
+use ftbfs_graph::restrict::{overlay_detour_suffix, overlay_pi_segment};
+use ftbfs_graph::{FaultSet, Graph, Path, SearchEngine, TieBreak, VertexId};
 
 /// The outcome of an earliest-divergence search.
 #[derive(Clone, Debug)]
@@ -29,19 +36,22 @@ pub struct DivergenceChoice {
 ///
 /// The divergence-point preferences of the paper compare *unweighted*
 /// distances (`dist(s, v, ·)`); the tie-breaking weights only select a single
-/// path once the divergence point is fixed.
+/// path once the divergence point is fixed — so this runs the engine's
+/// unweighted fast path, not a weighted Dijkstra.
 fn restricted_hops(
+    engine: &mut SearchEngine,
     graph: &Graph,
-    w: &TieBreak,
     pi: &Path,
     k: usize,
-    segment_end: VertexId,
+    segment_end_pos: usize,
     target: VertexId,
     faults: &FaultSet,
 ) -> Option<u32> {
-    let from = pi.vertices()[k];
-    let view = pi_segment_restricted(graph, pi, from, segment_end, target).without_faults(faults);
-    dijkstra(&view, w, pi.source(), Some(target)).hops(target)
+    engine.overlay.begin(graph);
+    overlay_pi_segment(&mut engine.overlay, pi, k, segment_end_pos, target);
+    engine.overlay.remove_faults(faults);
+    let view = engine.overlay.view(graph);
+    engine.workspace.bfs_hops(&view, pi.source(), target)
 }
 
 /// Finds the replacement path for `faults` whose first divergence point from
@@ -52,10 +62,15 @@ fn restricted_hops(
 ///   upper endpoint `u_i` of the first failing edge);
 /// * `segment_end` — the end of the π-segment whose interior is removed in
 ///   the Eq. (3) restriction (`u_i` for step (1), `v` for step (3));
-/// * `target` — the vertex `v` the replacement path must reach.
+/// * `target` — the vertex `v` the replacement path must reach;
+/// * `known_optimum` — the hop distance `dist(s, target, G ∖ faults)` when
+///   the caller has already computed it (e.g. via a `fault_distance` check);
+///   passing it skips the base-view search entirely.
 ///
 /// Returns `None` if `target` is unreachable in `G ∖ faults`.
+#[allow(clippy::too_many_arguments)]
 pub fn earliest_pi_divergence(
+    engine: &mut SearchEngine,
     graph: &Graph,
     w: &TieBreak,
     pi: &Path,
@@ -63,42 +78,65 @@ pub fn earliest_pi_divergence(
     limit: VertexId,
     segment_end: VertexId,
     faults: &FaultSet,
+    known_optimum: Option<u32>,
 ) -> Option<DivergenceChoice> {
-    let base_view = GraphView::new(graph).without_faults(faults);
-    let optimum = dijkstra(&base_view, w, pi.source(), Some(target)).hops(target)?;
+    let source = pi.source();
+    let optimum = match known_optimum {
+        Some(h) => h,
+        None => {
+            engine.overlay.begin(graph);
+            engine.overlay.remove_faults(faults);
+            let view = engine.overlay.view(graph);
+            engine.workspace.bfs_hops(&view, source, target)?
+        }
+    };
 
     let limit_pos = pi.position(limit).expect("divergence limit must lie on pi");
+    let segment_end_pos = pi
+        .position(segment_end)
+        .expect("segment end must lie on pi");
 
     // Binary search the smallest k in 0..=limit_pos whose restricted distance
     // equals the optimum.  The predicate is monotone: larger k removes fewer
     // vertices, so the restricted distance is non-increasing in k.
-    let pred = |k: usize| -> bool {
-        restricted_hops(graph, w, pi, k, segment_end, target, faults) == Some(optimum)
+    let pred = |engine: &mut SearchEngine, k: usize| -> bool {
+        restricted_hops(engine, graph, pi, k, segment_end_pos, target, faults) == Some(optimum)
     };
     let mut lo = 0usize;
     let mut hi = limit_pos;
-    if !pred(hi) {
+    if !pred(engine, hi) {
         // No divergence point up to `limit` realises the optimum (the optimal
         // path re-joins π below the failing edge in a way the restriction
         // forbids).  Fall back to the canonical optimal path.
-        let path = dijkstra(&base_view, w, pi.source(), Some(target)).path_to(target)?;
-        let divergence = path.first_divergence_from(pi).unwrap_or(pi.source());
+        engine.overlay.begin(graph);
+        engine.overlay.remove_faults(faults);
+        let view = engine.overlay.view(graph);
+        let path = engine
+            .workspace
+            .dijkstra(&view, w, source, Some(target))
+            .path_to(target)?;
+        let divergence = path.first_divergence_from(pi).unwrap_or(source);
         return Some(DivergenceChoice { divergence, path });
     }
     while lo < hi {
         let mid = (lo + hi) / 2;
-        if pred(mid) {
+        if pred(engine, mid) {
             hi = mid;
         } else {
             lo = mid + 1;
         }
     }
     let k = lo;
-    let from = pi.vertices()[k];
-    let view = pi_segment_restricted(graph, pi, from, segment_end, target).without_faults(faults);
-    let path = dijkstra(&view, w, pi.source(), Some(target)).path_to(target)?;
+    engine.overlay.begin(graph);
+    overlay_pi_segment(&mut engine.overlay, pi, k, segment_end_pos, target);
+    engine.overlay.remove_faults(faults);
+    let view = engine.overlay.view(graph);
+    let path = engine
+        .workspace
+        .dijkstra(&view, w, source, Some(target))
+        .path_to(target)?;
     Some(DivergenceChoice {
-        divergence: from,
+        divergence: pi.vertices()[k],
         path,
     })
 }
@@ -110,10 +148,13 @@ pub fn earliest_pi_divergence(
 ///
 /// `fault_on_detour_upper` must be the upper endpoint `w_j` of the second
 /// failing edge `t_τ = (w_j, w_{j+1})` on the detour: candidate divergence
-/// points are `w_0, …, w_j`.
+/// points are `w_0, …, w_j`.  `known_optimum` is the hop distance
+/// `dist(s, target, G ∖ faults)` when the caller already has it.
 ///
 /// Returns `None` if `target` is unreachable in `G ∖ faults`.
+#[allow(clippy::too_many_arguments)]
 pub fn earliest_detour_divergence(
+    engine: &mut SearchEngine,
     graph: &Graph,
     w: &TieBreak,
     pi: &Path,
@@ -121,49 +162,73 @@ pub fn earliest_detour_divergence(
     target: VertexId,
     fault_on_detour_upper: VertexId,
     faults: &FaultSet,
+    known_optimum: Option<u32>,
 ) -> Option<DivergenceChoice> {
-    let base_view = GraphView::new(graph).without_faults(faults);
-    let optimum = dijkstra(&base_view, w, pi.source(), Some(target)).hops(target)?;
+    let source = pi.source();
+    let optimum = match known_optimum {
+        Some(h) => h,
+        None => {
+            engine.overlay.begin(graph);
+            engine.overlay.remove_faults(faults);
+            let view = engine.overlay.view(graph);
+            engine.workspace.bfs_hops(&view, source, target)?
+        }
+    };
 
     let upper_pos = detour
         .position(fault_on_detour_upper)
         .expect("second fault's upper endpoint must lie on the detour");
+    let x_pos = pi.position(detour.x).expect("detour start must lie on pi");
+    let target_pos = pi.position(target).expect("target is the end of pi");
 
-    let restricted = |l: usize| -> GraphView<'_> {
-        let base = pi_segment_restricted(graph, pi, detour.x, target, target);
-        let wl = detour.path.vertices()[l];
-        detour_suffix_restricted(base, &detour.path, wl, target).without_faults(faults)
+    // Fill the overlay with the Eq. (4) restriction for candidate l.
+    let fill = |engine: &mut SearchEngine, l: usize| {
+        engine.overlay.begin(graph);
+        overlay_pi_segment(&mut engine.overlay, pi, x_pos, target_pos, target);
+        overlay_detour_suffix(&mut engine.overlay, &detour.path, l, target);
+        engine.overlay.remove_faults(faults);
     };
-    let pred = |l: usize| -> bool {
-        dijkstra(&restricted(l), w, pi.source(), Some(target)).hops(target) == Some(optimum)
+    let pred = |engine: &mut SearchEngine, l: usize| -> bool {
+        fill(engine, l);
+        let view = engine.overlay.view(graph);
+        engine.workspace.bfs_hops(&view, source, target) == Some(optimum)
     };
 
     let mut lo = 0usize;
     let mut hi = upper_pos;
-    if !pred(hi) {
+    if !pred(engine, hi) {
         // No divergence point on the detour realises the optimum; fall back
         // to the π-restricted optimum (divergence at x, ignoring the detour
         // preference).  This mirrors the algorithm's behaviour of only
         // imposing the detour preference "under certain conditions".
-        let view =
-            pi_segment_restricted(graph, pi, detour.x, target, target).without_faults(faults);
-        let path = dijkstra(&view, w, pi.source(), Some(target)).path_to(target)?;
+        engine.overlay.begin(graph);
+        overlay_pi_segment(&mut engine.overlay, pi, x_pos, target_pos, target);
+        engine.overlay.remove_faults(faults);
+        let view = engine.overlay.view(graph);
+        let path = engine
+            .workspace
+            .dijkstra(&view, w, source, Some(target))
+            .path_to(target)?;
         let divergence = path.first_divergence_from(&detour.path).unwrap_or(detour.x);
         return Some(DivergenceChoice { divergence, path });
     }
     while lo < hi {
         let mid = (lo + hi) / 2;
-        if pred(mid) {
+        if pred(engine, mid) {
             hi = mid;
         } else {
             lo = mid + 1;
         }
     }
     let l = lo;
-    let wl = detour.path.vertices()[l];
-    let path = dijkstra(&restricted(l), w, pi.source(), Some(target)).path_to(target)?;
+    fill(engine, l);
+    let view = engine.overlay.view(graph);
+    let path = engine
+        .workspace
+        .dijkstra(&view, w, source, Some(target))
+        .path_to(target)?;
     Some(DivergenceChoice {
-        divergence: wl,
+        divergence: detour.path.vertices()[l],
         path,
     })
 }
@@ -201,8 +266,19 @@ mod tests {
         assert_eq!(pi.len(), 4);
         let (a, b) = pi.last_edge().unwrap();
         let failed = g.edge_between(a, b).unwrap();
-        let choice =
-            earliest_pi_divergence(&g, &w, &pi, v(4), a, a, &FaultSet::single(failed)).unwrap();
+        let mut engine = SearchEngine::new();
+        let choice = earliest_pi_divergence(
+            &mut engine,
+            &g,
+            &w,
+            &pi,
+            v(4),
+            a,
+            a,
+            &FaultSet::single(failed),
+            None,
+        )
+        .unwrap();
         assert_eq!(choice.divergence, v(0));
         assert_eq!(choice.path.len(), 4);
         let dec = decompose(&pi, &choice.path).unwrap();
@@ -223,11 +299,40 @@ mod tests {
         let tree = SpTree::new(&g, &w, v(0));
         let pi = tree.pi(v(4)).unwrap();
         let e34 = g.edge_between(v(3), v(4)).unwrap();
-        let choice =
-            earliest_pi_divergence(&g, &w, &pi, v(4), v(3), v(3), &FaultSet::single(e34)).unwrap();
+        let mut engine = SearchEngine::new();
+        let choice = earliest_pi_divergence(
+            &mut engine,
+            &g,
+            &w,
+            &pi,
+            v(4),
+            v(3),
+            v(3),
+            &FaultSet::single(e34),
+            None,
+        )
+        .unwrap();
         assert_eq!(choice.divergence, v(2));
         assert!(choice.path.contains_vertex(v(8)));
         assert_eq!(choice.path.len(), 4);
+    }
+
+    #[test]
+    fn known_optimum_matches_internally_computed_one() {
+        let g = graph_with_two_detours();
+        let w = TieBreak::new(&g, 3);
+        let tree = SpTree::new(&g, &w, v(0));
+        let pi = tree.pi(v(4)).unwrap();
+        let (a, b) = pi.last_edge().unwrap();
+        let failed = g.edge_between(a, b).unwrap();
+        let faults = FaultSet::single(failed);
+        let mut engine = SearchEngine::new();
+        let fresh =
+            earliest_pi_divergence(&mut engine, &g, &w, &pi, v(4), a, a, &faults, None).unwrap();
+        let seeded =
+            earliest_pi_divergence(&mut engine, &g, &w, &pi, v(4), a, a, &faults, Some(4)).unwrap();
+        assert_eq!(fresh.divergence, seeded.divergence);
+        assert_eq!(fresh.path, seeded.path);
     }
 
     #[test]
@@ -237,9 +342,19 @@ mod tests {
         let tree = SpTree::new(&g, &w, v(0));
         let pi = tree.pi(v(3)).unwrap();
         let e23 = g.edge_between(v(2), v(3)).unwrap();
-        assert!(
-            earliest_pi_divergence(&g, &w, &pi, v(3), v(2), v(2), &FaultSet::single(e23)).is_none()
-        );
+        let mut engine = SearchEngine::new();
+        assert!(earliest_pi_divergence(
+            &mut engine,
+            &g,
+            &w,
+            &pi,
+            v(3),
+            v(2),
+            v(2),
+            &FaultSet::single(e23),
+            None
+        )
+        .is_none());
     }
 
     #[test]
@@ -269,7 +384,19 @@ mod tests {
         let faults = FaultSet::pair(e12, e45);
         // Optimal length avoiding both faults: via 3-6-7-2 (len 4) or via
         // 3-4-8-2 (len 4).  Earliest detour divergence is vertex 3.
-        let choice = earliest_detour_divergence(&g, &w, &pi, &detour, v(2), v(4), &faults).unwrap();
+        let mut engine = SearchEngine::new();
+        let choice = earliest_detour_divergence(
+            &mut engine,
+            &g,
+            &w,
+            &pi,
+            &detour,
+            v(2),
+            v(4),
+            &faults,
+            None,
+        )
+        .unwrap();
         assert_eq!(choice.divergence, v(3));
         assert!(choice.path.contains_vertex(v(6)));
         assert_eq!(choice.path.len(), 4);
@@ -295,7 +422,19 @@ mod tests {
         let e12 = g.edge_between(v(1), v(2)).unwrap();
         let e45 = g.edge_between(v(4), v(5)).unwrap();
         let faults = FaultSet::pair(e12, e45);
-        let choice = earliest_detour_divergence(&g, &w, &pi, &detour, v(2), v(4), &faults).unwrap();
+        let mut engine = SearchEngine::new();
+        let choice = earliest_detour_divergence(
+            &mut engine,
+            &g,
+            &w,
+            &pi,
+            &detour,
+            v(2),
+            v(4),
+            &faults,
+            None,
+        )
+        .unwrap();
         assert_eq!(choice.path.len(), 2);
         assert!(choice.path.contains_vertex(v(7)));
     }
