@@ -1,0 +1,190 @@
+//! E10 — query-serving throughput: batched post-failure distance queries
+//! answered inside a frozen dual-failure FT-BFS structure, across thread
+//! counts, emitted both as an aligned table and as machine-readable
+//! `BENCH_query.json` so the query-side performance trajectory of the repo
+//! can be tracked PR over PR (the serving counterpart of E9's
+//! `BENCH_construction.json`).
+//!
+//! Usage:
+//!
+//! ```text
+//! exp_query_throughput [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the workloads to seconds-scale sizes for CI; `--out`
+//! overrides the JSON path (default `BENCH_query.json` in the current
+//! directory).
+//!
+//! The query mix models a serving tail: 25% fault-free (precomputed-tree
+//! fast path), 25% single-fault, 50% dual-fault, with fault edges drawn
+//! from the structure itself so most faulted queries do real work, and with
+//! repeats so the engines' fault-pair LRU sees realistic locality.
+
+use ftbfs_bench::Table;
+use ftbfs_core::dual::DualFtBfsBuilder;
+use ftbfs_graph::{generators, EdgeId, FaultSet, Graph, TieBreak, VertexId};
+use ftbfs_oracle::{Freeze, FrozenStructure, Query, ThroughputHarness};
+
+/// One measured configuration.
+struct Row {
+    generator: String,
+    n: usize,
+    m: usize,
+    structure_edges: usize,
+    threads: usize,
+    queries: usize,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Deterministic splitmix64 so the workload needs no RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds the serving-mix query batch described in the module docs.
+fn build_queries(g: &Graph, frozen: &FrozenStructure, count: usize, seed: u64) -> Vec<Query> {
+    let structure_edges: Vec<EdgeId> = (0..frozen.edge_count())
+        .map(|i| frozen.original_edge(i as u32))
+        .collect();
+    let mut state = seed;
+    // A small pool of "active failures" refreshed occasionally, so repeated
+    // fault pairs exercise the engines' LRU like a persisting outage would.
+    let mut active: Vec<(EdgeId, EdgeId)> = Vec::new();
+    let mut queries = Vec::with_capacity(count);
+    for i in 0..count {
+        if active.len() < 12 || splitmix64(&mut state) % 64 == 0 {
+            let a = structure_edges[splitmix64(&mut state) as usize % structure_edges.len()];
+            let b = structure_edges[splitmix64(&mut state) as usize % structure_edges.len()];
+            active.push((a, b));
+            if active.len() > 24 {
+                active.remove(0);
+            }
+        }
+        let target = VertexId((splitmix64(&mut state) as usize % g.vertex_count()) as u32);
+        let (a, b) = active[splitmix64(&mut state) as usize % active.len()];
+        let faults = match i % 4 {
+            0 => FaultSet::empty(),
+            1 => FaultSet::single(a),
+            _ => FaultSet::pair(a, b),
+        };
+        queries.push(Query::new(target, faults));
+    }
+    queries
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_query.json".to_string());
+
+    // The acceptance workload of the query-serving PR is
+    // connected_gnp(120, 0.08); smoke mode keeps the same shape tiny.
+    let workloads: Vec<(String, Graph)> = if smoke {
+        vec![(
+            "connected_gnp(40,0.15)".to_string(),
+            generators::connected_gnp(40, 0.15, 42),
+        )]
+    } else {
+        vec![
+            (
+                "connected_gnp(120,0.08)".to_string(),
+                generators::connected_gnp(120, 0.08, 42),
+            ),
+            (
+                "connected_gnp(300,0.035)".to_string(),
+                generators::connected_gnp(300, 0.035, 42),
+            ),
+        ]
+    };
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    let query_count = if smoke { 4_000 } else { 100_000 };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = Table::new(
+        "E10 — frozen-structure query throughput",
+        &[
+            "graph", "n", "m", "|E(H)|", "threads", "queries", "qps", "p50_us", "p99_us",
+        ],
+    );
+    for (name, g) in &workloads {
+        let w = TieBreak::new(g, 1);
+        let h = DualFtBfsBuilder::new(g, &w, VertexId(0)).build().structure;
+        let frozen = h.freeze(g);
+        let queries = build_queries(g, &frozen, query_count, 0xF7B0);
+        for &threads in thread_counts {
+            // One warm-up pass (per-thread engines populate their caches
+            // inside the run itself; the warm-up mainly stabilises timing),
+            // then qps from an uninstrumented run — per-query latency
+            // recording costs two clock reads per query, which would
+            // systematically understate throughput — and percentiles from a
+            // separate instrumented run.
+            let fast = ThroughputHarness::new(threads);
+            let _ = fast.run(&frozen, &queries);
+            let report = fast.run(&frozen, &queries);
+            let latency_report = fast.with_latencies(true).run(&frozen, &queries);
+            let p50 = latency_report.latency_percentile_ns(50.0).unwrap_or(0) as f64 / 1e3;
+            let p99 = latency_report.latency_percentile_ns(99.0).unwrap_or(0) as f64 / 1e3;
+            let row = Row {
+                generator: name.clone(),
+                n: g.vertex_count(),
+                m: g.edge_count(),
+                structure_edges: frozen.edge_count(),
+                threads,
+                queries: queries.len(),
+                qps: report.queries_per_sec(),
+                p50_us: p50,
+                p99_us: p99,
+            };
+            table.row(vec![
+                row.generator.clone(),
+                row.n.to_string(),
+                row.m.to_string(),
+                row.structure_edges.to_string(),
+                row.threads.to_string(),
+                row.queries.to_string(),
+                format!("{:.0}", row.qps),
+                format!("{:.2}", row.p50_us),
+                format!("{:.2}", row.p99_us),
+            ]);
+            rows.push(row);
+        }
+    }
+    print!("{}", table.render());
+
+    let mut json = String::from("{\n  \"experiment\": \"query_throughput\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"graph\": \"{}\", \"n\": {}, \"m\": {}, \"structure_edges\": {}, \
+             \"threads\": {}, \"queries\": {}, \"qps\": {:.1}, \"p50_us\": {:.3}, \
+             \"p99_us\": {:.3}}}{}\n",
+            json_escape(&r.generator),
+            r.n,
+            r.m,
+            r.structure_edges,
+            r.threads,
+            r.queries,
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_query.json");
+    println!("wrote {out_path}");
+}

@@ -12,6 +12,14 @@ use std::collections::BTreeSet;
 /// resilient.  Whether it actually *is* resilient is checked by
 /// `ftbfs-verify`; the constructions in this crate guarantee it by design.
 ///
+/// This type is optimised for being *built* (cheap inserts, unions, ordered
+/// iteration).  To *serve* post-failure distance queries at scale, compile
+/// it with the `ftbfs-oracle` crate's freeze entry point
+/// (`FrozenStructure::freeze(&graph, &structure)`, or
+/// `structure.freeze(&graph)` via the `Freeze` trait), which packs the edge
+/// set into a CSR adjacency, precomputes the fault-free BFS trees, and
+/// supports compact binary snapshots.
+///
 /// # Examples
 ///
 /// ```
@@ -42,6 +50,22 @@ impl FtBfsStructure {
             sources,
             resilience,
             edges: BTreeSet::new(),
+        }
+    }
+
+    /// Creates a structure directly from an edge collection (deduplicated).
+    ///
+    /// This is the inverse of dumping a structure via [`Self::edges`]; the
+    /// `ftbfs-oracle` crate uses it to reconstruct a mutable structure from
+    /// a frozen snapshot (`FrozenStructure::to_structure`).
+    pub fn from_edges<I>(sources: Vec<VertexId>, resilience: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = EdgeId>,
+    {
+        FtBfsStructure {
+            sources,
+            resilience,
+            edges: edges.into_iter().collect(),
         }
     }
 
@@ -135,6 +159,16 @@ mod tests {
         assert_eq!(collected, vec![EdgeId(1), EdgeId(2), EdgeId(3)]);
         assert!(h.contains(EdgeId(2)));
         assert!(!h.contains(EdgeId(9)));
+    }
+
+    #[test]
+    fn from_edges_roundtrips_and_dedups() {
+        let mut h = FtBfsStructure::new(vec![VertexId(2)], 2);
+        h.extend([EdgeId(4), EdgeId(1), EdgeId(9)]);
+        let rebuilt = FtBfsStructure::from_edges(vec![VertexId(2)], 2, h.edges());
+        assert_eq!(rebuilt, h);
+        let dedup = FtBfsStructure::from_edges(vec![VertexId(0)], 1, [EdgeId(3), EdgeId(3)]);
+        assert_eq!(dedup.edge_count(), 1);
     }
 
     #[test]

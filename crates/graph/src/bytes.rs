@@ -1,0 +1,200 @@
+//! Little-endian byte I/O helpers for compact binary snapshot formats.
+//!
+//! The text edge-list format of [`crate::io`] is meant for eyeballing; the
+//! query-serving subsystem (`ftbfs-oracle`) additionally persists frozen
+//! structures as *binary* snapshots with a magic header and a checksum.
+//! This module provides the shared primitives: fixed-width little-endian
+//! writers, a bounds-checked [`ByteReader`], and the FNV-1a checksum used to
+//! detect corrupted or truncated snapshot files.
+//!
+//! All integers are encoded little-endian so snapshots are byte-identical
+//! across platforms.
+
+use std::fmt;
+
+/// Appends a `u16` in little-endian order.
+#[inline]
+pub fn put_u16(buf: &mut Vec<u8>, value: u16) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a `u32` in little-endian order.
+#[inline]
+pub fn put_u32(buf: &mut Vec<u8>, value: u32) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+#[inline]
+pub fn put_u64(buf: &mut Vec<u8>, value: u64) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Error produced when a [`ByteReader`] runs out of input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ByteError {
+    /// Byte offset at which the read was attempted.
+    pub at: usize,
+    /// Number of bytes the read needed.
+    pub wanted: usize,
+    /// Number of bytes that were actually available.
+    pub available: usize,
+}
+
+impl fmt::Display for ByteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unexpected end of input at byte {}: wanted {} bytes, {} available",
+            self.at, self.wanted, self.available
+        )
+    }
+}
+
+impl std::error::Error for ByteError {}
+
+/// A bounds-checked cursor over a byte slice, the reading counterpart of the
+/// `put_*` writers.
+#[derive(Clone, Copy, Debug)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader positioned at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, pos: 0 }
+    }
+
+    /// Current byte offset from the start of the input.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Returns `true` if every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads `len` raw bytes.
+    pub fn take_bytes(&mut self, len: usize) -> Result<&'a [u8], ByteError> {
+        if self.remaining() < len {
+            return Err(ByteError {
+                at: self.pos,
+                wanted: len,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn take_u16(&mut self) -> Result<u16, ByteError> {
+        let b = self.take_bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, ByteError> {
+        let b = self.take_bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, ByteError> {
+        let b = self.take_bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+/// The 64-bit FNV-1a hash of `bytes` — the checksum used by binary
+/// snapshots (and as a cheap structural fingerprint).
+///
+/// FNV-1a is not cryptographic; it detects accidental corruption and
+/// truncation, which is all the snapshot formats need.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = Vec::new();
+        put_u16(&mut buf, 0xBEEF);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, 0x0123_4567_89AB_CDEF);
+        assert_eq!(buf.len(), 14);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.take_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.take_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert!(r.is_empty());
+        assert_eq!(r.position(), 14);
+    }
+
+    #[test]
+    fn encoding_is_little_endian() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0x0102_0304);
+        assert_eq!(buf, vec![0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn truncated_reads_error_with_context() {
+        let mut buf = Vec::new();
+        put_u16(&mut buf, 7);
+        let mut r = ByteReader::new(&buf);
+        r.take_u16().unwrap();
+        let err = r.take_u32().unwrap_err();
+        assert_eq!(
+            err,
+            ByteError {
+                at: 2,
+                wanted: 4,
+                available: 0
+            }
+        );
+        assert!(err.to_string().contains("byte 2"));
+        // The failed read does not advance the cursor.
+        assert_eq!(r.position(), 2);
+    }
+
+    #[test]
+    fn take_bytes_and_remaining() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut r = ByteReader::new(&data);
+        assert_eq!(r.take_bytes(2).unwrap(), &[1, 2]);
+        assert_eq!(r.remaining(), 3);
+        assert!(r.take_bytes(4).is_err());
+        assert_eq!(r.take_bytes(3).unwrap(), &[3, 4, 5]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn fnv_checksum_is_stable_and_sensitive() {
+        // Reference value of FNV-1a("") is the offset basis.
+        assert_eq!(fnv1a64(&[]), 0xcbf2_9ce4_8422_2325);
+        let a = fnv1a64(b"frozen structure");
+        let b = fnv1a64(b"frozen structurf");
+        assert_ne!(a, b);
+        assert_eq!(a, fnv1a64(b"frozen structure"));
+    }
+}

@@ -17,6 +17,11 @@ use crate::graph::{Graph, GraphBuilder, VertexId};
 use std::fmt::Write as _;
 
 /// Errors produced when parsing the edge-list format.
+///
+/// The enum is `#[non_exhaustive]`: the format intentionally stays small,
+/// but new error variants (e.g. for future header extensions) may be added
+/// in minor releases, so downstream `match`es must include a wildcard arm.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
     /// The `n <count>` header line is missing or malformed.
@@ -152,5 +157,36 @@ mod tests {
         let e = ParseError::MalformedLine { line: 4 };
         assert!(e.to_string().contains("line 4"));
         assert!(ParseError::MissingHeader.to_string().contains("header"));
+        assert!(ParseError::VertexOutOfRange { line: 9 }
+            .to_string()
+            .contains("line 9"));
+    }
+
+    #[test]
+    fn errors_are_std_errors_and_clone_eq_roundtrip() {
+        // Each variant survives a clone/eq round trip and implements
+        // `std::error::Error` (so it can ride in `Box<dyn Error>`).
+        let variants = [
+            ParseError::MissingHeader,
+            ParseError::MalformedLine { line: 2 },
+            ParseError::VertexOutOfRange { line: 3 },
+        ];
+        for v in &variants {
+            assert_eq!(v, &v.clone());
+            let boxed: Box<dyn std::error::Error> = Box::new(v.clone());
+            assert_eq!(boxed.to_string(), v.to_string());
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn serialisation_is_idempotent() {
+        // parse(to_edge_list(g)) re-serialises to the identical text: the
+        // writer emits edges in id order and the parser assigns ids in
+        // input order, so the format is a canonical fixed point.
+        let g = generators::connected_gnp(20, 0.2, 8);
+        let text = to_edge_list(&g);
+        let reparsed = from_edge_list(&text).unwrap();
+        assert_eq!(to_edge_list(&reparsed), text);
     }
 }

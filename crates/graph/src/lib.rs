@@ -29,7 +29,9 @@
 //! * [`generators`] — deterministic and random workload graphs;
 //! * [`properties`] — connectivity, diameter, degree statistics and the
 //!   FT-diameter estimate of Observation 1.6;
-//! * [`io`] — a small text edge-list format.
+//! * [`io`] — a small text edge-list format;
+//! * [`bytes`] — little-endian byte I/O and checksums shared by binary
+//!   snapshot formats (used by `ftbfs-oracle`'s frozen-structure snapshots).
 //!
 //! # Quick example
 //!
@@ -51,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod bfs;
+pub mod bytes;
 pub mod dijkstra;
 pub mod fault;
 pub mod generators;

@@ -1,0 +1,117 @@
+//! Allocation accounting for the query engine: after warm-up, dual-fault
+//! distance queries on the acceptance workload (`connected_gnp(120, 0.08)`)
+//! must allocate **nothing** — the whole point of the epoch-stamped
+//! workspace and the buffer-reusing fault-pair LRU.
+//!
+//! Measured with a counting wrapper around the system allocator, which
+//! needs `unsafe` for the `GlobalAlloc` impl — the one place in the
+//! workspace where the `unsafe_code` lint is locally allowed.
+
+#![allow(unsafe_code)]
+
+use ftbfs_core::dual::DualFtBfsBuilder;
+use ftbfs_graph::{generators, EdgeId, FaultSet, TieBreak, VertexId};
+use ftbfs_oracle::{Freeze, Query, QueryEngine};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation and reallocation routed through the global
+/// allocator (deallocations are free and not counted).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn dual_fault_queries_allocate_nothing_after_warmup() {
+    // The acceptance workload: the PR-2 construction instance.
+    let g = generators::connected_gnp(120, 0.08, 42);
+    let w = TieBreak::new(&g, 42);
+    let h = DualFtBfsBuilder::new(&g, &w, VertexId(0)).build().structure;
+    let frozen = h.freeze(&g);
+    let structure_edges: Vec<EdgeId> = h.edges().collect();
+
+    // Pre-build every query object: `FaultSet`s allocate, queries must not.
+    let fault_pairs: Vec<FaultSet> = (0..16)
+        .map(|i| {
+            FaultSet::pair(
+                structure_edges[i * 5 % structure_edges.len()],
+                structure_edges[(i * 9 + 2) % structure_edges.len()],
+            )
+        })
+        .collect();
+    let queries: Vec<Query> = (0..512)
+        .map(|i| {
+            Query::new(
+                VertexId((i * 7 % g.vertex_count()) as u32),
+                fault_pairs[i % fault_pairs.len()].clone(),
+            )
+        })
+        .collect();
+    let mut out = vec![None; queries.len()];
+
+    let mut engine = QueryEngine::new();
+    // Warm-up: sizes the workspace, populates the LRU (16 pairs through a
+    // capacity-8 cache exercises the eviction path too), then goes around
+    // again so every buffer has reached steady state.
+    for _ in 0..2 {
+        engine.batch_distances_into(&frozen, &queries, &mut out);
+    }
+
+    let before = allocation_count();
+    engine.batch_distances_into(&frozen, &queries, &mut out);
+    for (q, faults) in queries.iter().zip(fault_pairs.iter().cycle()) {
+        let _ = engine.distance(&frozen, q.target, faults);
+    }
+    let after = allocation_count();
+
+    assert_eq!(
+        after - before,
+        0,
+        "warmed-up dual-fault distance queries must not allocate"
+    );
+    // Sanity: the warmed-up answers are still real answers.
+    assert!(out.iter().filter(|d| d.is_some()).count() > out.len() / 2);
+}
+
+#[test]
+fn fault_free_queries_allocate_nothing_at_all_after_freeze() {
+    let g = generators::connected_gnp(120, 0.08, 43);
+    let w = TieBreak::new(&g, 43);
+    let h = DualFtBfsBuilder::new(&g, &w, VertexId(0)).build().structure;
+    let frozen = h.freeze(&g);
+    let empty = FaultSet::empty();
+    let mut engine = QueryEngine::new();
+    // One query to bind the engine (sizing its arrays allocates once).
+    let _ = engine.distance(&frozen, VertexId(1), &empty);
+
+    let before = allocation_count();
+    for v in g.vertices() {
+        let _ = engine.distance(&frozen, v, &empty);
+    }
+    let after = allocation_count();
+    assert_eq!(after - before, 0, "tree fast path must not allocate");
+    assert_eq!(engine.stats().searches, 0);
+}

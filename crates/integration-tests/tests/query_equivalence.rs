@@ -1,0 +1,157 @@
+//! Equivalence suite for the query-serving subsystem (`ftbfs-oracle`):
+//! every query path of the [`QueryEngine`] — fault-free fast path,
+//! single-fault, dual-fault, cached repeats, batched, and the sharded
+//! multi-threaded harness — must be bit-identical to ground-truth BFS on
+//! `G ∖ F`, and snapshots must round-trip to identical answers.
+//!
+//! Comparing against `G ∖ F` (not `H ∖ F`) is deliberately the stronger
+//! check: for `|F| ≤ 2` it verifies both the engine *and* the dual-failure
+//! FT-BFS property of the structure it serves.
+
+use ftbfs_core::dual::DualFtBfsBuilder;
+use ftbfs_graph::{bfs, generators, EdgeId, FaultSet, Graph, GraphView, TieBreak, VertexId};
+use ftbfs_oracle::{Freeze, FrozenStructure, Query, QueryEngine, ThroughputHarness};
+use proptest::prelude::*;
+
+/// Ground truth `dist(s, ·, G ∖ F)` for all vertices.
+fn ground_truth(g: &Graph, s: VertexId, faults: &FaultSet) -> Vec<Option<u32>> {
+    let view = GraphView::new(g).without_faults(faults);
+    let res = bfs(&view, s);
+    g.vertices().map(|v| res.distance(v)).collect()
+}
+
+/// A deterministic spread of fault sets of size 0, 1 and 2 over `g`'s
+/// edges (which may or may not belong to the structure).
+fn fault_sets(g: &Graph, stride: usize) -> Vec<FaultSet> {
+    let edges: Vec<EdgeId> = g.edges().collect();
+    let m = edges.len();
+    let mut sets = vec![FaultSet::empty()];
+    for i in (0..m).step_by(stride.max(1)) {
+        sets.push(FaultSet::single(edges[i]));
+        sets.push(FaultSet::pair(edges[i], edges[(i * 5 + 3) % m]));
+    }
+    sets
+}
+
+fn frozen_for(g: &Graph, seed: u64) -> FrozenStructure {
+    let w = TieBreak::new(g, seed);
+    DualFtBfsBuilder::new(g, &w, VertexId(0))
+        .build()
+        .structure
+        .freeze(g)
+}
+
+/// The core assertion: every engine path agrees with ground truth on every
+/// vertex under every sampled fault set.
+fn assert_engine_matches_ground_truth(g: &Graph, frozen: &FrozenStructure, stride: usize) {
+    let mut engine = QueryEngine::new();
+    let source = frozen.primary_source();
+    for faults in fault_sets(g, stride) {
+        let expected = ground_truth(g, source, &faults);
+        // Single queries (first pass populates tree/cache, second pass
+        // re-reads — the cached repeat must stay bit-identical).
+        for pass in 0..2 {
+            for v in g.vertices() {
+                assert_eq!(
+                    engine.distance(frozen, v, &faults),
+                    expected[v.index()],
+                    "pass {pass}, target {v:?}, faults {faults:?}"
+                );
+            }
+        }
+        // The bulk read agrees slot for slot.
+        assert_eq!(engine.all_distances(frozen, &faults), expected);
+        // Paths exist exactly where distances do, with matching lengths,
+        // valid edges, and no failed edge.
+        for v in g.vertices() {
+            match engine.shortest_path(frozen, v, &faults) {
+                Some(p) => {
+                    assert_eq!(Some(p.len() as u32), expected[v.index()]);
+                    assert!(p.is_valid_in(g));
+                    assert!(!faults.intersects_path(g, &p));
+                }
+                None => assert_eq!(expected[v.index()], None, "missing path to {v:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_matches_ground_truth_on_gnp() {
+    for seed in [2015u64, 77] {
+        let g = generators::connected_gnp(34, 0.14, seed);
+        let frozen = frozen_for(&g, seed);
+        assert_engine_matches_ground_truth(&g, &frozen, 7);
+    }
+}
+
+#[test]
+fn engine_matches_ground_truth_on_cycle_and_grid() {
+    let cycle = generators::cycle(24);
+    assert_engine_matches_ground_truth(&cycle, &frozen_for(&cycle, 1), 3);
+    let grid = generators::grid(5, 6);
+    assert_engine_matches_ground_truth(&grid, &frozen_for(&grid, 2), 5);
+}
+
+#[test]
+fn batched_and_threaded_queries_match_serial_ground_truth() {
+    let g = generators::connected_gnp(40, 0.12, 2015);
+    let frozen = frozen_for(&g, 2015);
+    let source = frozen.primary_source();
+    let edges: Vec<EdgeId> = g.edges().collect();
+    // A mixed batch covering all fault sizes, with deliberate repeats.
+    let queries: Vec<Query> = (0..600)
+        .map(|i| {
+            let target = VertexId((i * 13 % g.vertex_count()) as u32);
+            let faults = match i % 4 {
+                0 => FaultSet::empty(),
+                1 => FaultSet::single(edges[i * 3 % edges.len()]),
+                _ => FaultSet::pair(edges[i % edges.len()], edges[(i * 11 + 5) % edges.len()]),
+            };
+            Query::new(target, faults)
+        })
+        .collect();
+    let expected: Vec<Option<u32>> = queries
+        .iter()
+        .map(|q| {
+            let view = GraphView::new(&g).without_faults(&q.faults);
+            bfs(&view, source).distance(q.target)
+        })
+        .collect();
+    // Batched through one engine.
+    let mut engine = QueryEngine::new();
+    assert_eq!(engine.batch_distances(&frozen, &queries), expected);
+    // Sharded across 4 threads: same answers, same (input) order.
+    let report = ThroughputHarness::new(4).run(&frozen, &queries);
+    assert_eq!(report.distances, expected);
+    assert_eq!(report.threads, 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, .. ProptestConfig::default() })]
+
+    /// freeze → save → load round-trips to an identical structure with
+    /// identical answers on a spread of dual-fault queries.
+    #[test]
+    fn snapshot_roundtrip_preserves_answers(n in 10usize..26, p in 0.12f64..0.3, seed in 0u64..400) {
+        let g = generators::connected_gnp(n, p, seed);
+        let frozen = frozen_for(&g, seed);
+        let loaded = FrozenStructure::load(&frozen.save()).expect("snapshot loads");
+        prop_assert_eq!(&loaded, &frozen);
+        prop_assert_eq!(loaded.fingerprint(), frozen.fingerprint());
+        let mut engine_a = QueryEngine::new();
+        let mut engine_b = QueryEngine::new();
+        for faults in fault_sets(&g, 5) {
+            for v in g.vertices() {
+                prop_assert_eq!(
+                    engine_a.distance(&frozen, v, &faults),
+                    engine_b.distance(&loaded, v, &faults),
+                    "target {:?}, faults {:?}", v, faults
+                );
+            }
+        }
+        // And the reconstructed mutable structure freezes back to the
+        // same fingerprint.
+        prop_assert_eq!(loaded.to_structure().freeze(&g).fingerprint(), frozen.fingerprint());
+    }
+}

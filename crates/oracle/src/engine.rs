@@ -1,0 +1,829 @@
+//! [`QueryEngine`] — per-thread, zero-allocation answering of dual-fault
+//! distance and path queries over a [`FrozenStructure`].
+//!
+//! The engine is the query-side counterpart of the construction stack's
+//! `ftbfs_graph::SearchEngine`: it reuses the same *epoch-stamping* scheme
+//! (a vertex's distance/parent slot is meaningful iff its stamp equals the
+//! current epoch, so starting a new search invalidates all previous state
+//! in `O(1)` without clearing), applied to a FIFO BFS over the frozen CSR
+//! adjacency.  After warm-up, [`QueryEngine::distance`] and
+//! [`QueryEngine::batch_distances_into`] allocate nothing:
+//!
+//! * **fault-free fast path** — if no queried fault edge is part of `H`,
+//!   the surviving structure equals `H` and the answer is read from the
+//!   precomputed [`crate::SourceTree`] in `O(1)` (`O(path)` for paths);
+//! * **fault-pair LRU** — a small fixed-capacity cache keyed by
+//!   `(source, fault pair)` holds the full distance/parent arrays of
+//!   recently answered restrictions, so repeated-failure workloads (the
+//!   common case while a failure persists) cost `O(1)` per query after the
+//!   first;
+//! * **epoch-stamped BFS** — everything else runs one BFS over the CSR
+//!   into reusable arrays, `O(|E(H)|)`.
+//!
+//! Engines are cheap and thread-local by design: share one
+//! [`FrozenStructure`] across threads (`&FrozenStructure` is `Sync`) and
+//! give each thread its own `QueryEngine` — that is exactly what
+//! [`crate::ThroughputHarness`] does.  The engine notices (via
+//! [`FrozenStructure::fingerprint`]) when it is handed a different
+//! structure and transparently rebinds, invalidating its cache.
+
+use crate::frozen::{FrozenStructure, NO_PARENT, UNREACHED};
+use ftbfs_graph::{FaultSet, Path, VertexId};
+use std::collections::VecDeque;
+
+/// Sentinel frozen-edge index meaning "no fault in this slot".
+const NO_FAULT: u32 = u32::MAX;
+
+/// One distance query: a target vertex and the failed edges (original
+/// [`ftbfs_graph::EdgeId`]s of the graph the structure was frozen from).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// The queried vertex `v`.
+    pub target: VertexId,
+    /// The failed edges `F` (designed for `|F| ≤ 2`).
+    pub faults: FaultSet,
+}
+
+impl Query {
+    /// A query under the given fault set.
+    pub fn new(target: VertexId, faults: FaultSet) -> Self {
+        Query { target, faults }
+    }
+
+    /// A fault-free query (`F = ∅`).
+    pub fn fault_free(target: VertexId) -> Self {
+        Query {
+            target,
+            faults: FaultSet::empty(),
+        }
+    }
+}
+
+/// Counters describing how queries were answered; useful for tests and
+/// capacity planning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Queries answered from a precomputed fault-free tree in `O(1)`.
+    pub tree_hits: u64,
+    /// Queries answered from the fault-pair LRU cache in `O(1)`.
+    pub cache_hits: u64,
+    /// Queries that ran a BFS over the frozen CSR.
+    pub searches: u64,
+}
+
+/// One materialised restriction in the fault-pair LRU.
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    /// `(source, fault1, fault2)` with frozen indices, `fault1 <= fault2`,
+    /// [`NO_FAULT`] padding.
+    key: (u32, u32, u32),
+    last_used: u64,
+    dist: Vec<u32>,
+    parent_head: Vec<u32>,
+    parent_edge: Vec<u32>,
+}
+
+/// Where the distances of a resolved query live.
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    /// The precomputed fault-free tree of the query's source.
+    Tree,
+    /// A cache entry (index into the LRU).
+    Cache(usize),
+    /// The engine's workspace arrays (current epoch), uncached.
+    Fresh,
+}
+
+/// Per-thread query answering over a [`FrozenStructure`]; see the module
+/// docs.
+///
+/// All methods take the frozen structure by reference, so one engine can be
+/// kept per thread while structures come and go (rebinding to a structure
+/// with a different [`FrozenStructure::fingerprint`] clears the cache).
+///
+/// # Examples
+///
+/// ```
+/// use ftbfs_core::dual_failure_ftbfs;
+/// use ftbfs_graph::{generators, EdgeId, FaultSet, TieBreak, VertexId};
+/// use ftbfs_oracle::{FrozenStructure, QueryEngine};
+///
+/// let g = generators::connected_gnp(30, 0.15, 7);
+/// let w = TieBreak::new(&g, 7);
+/// let h = dual_failure_ftbfs(&g, &w, VertexId(0));
+/// let frozen = FrozenStructure::freeze(&g, &h);
+///
+/// let mut engine = QueryEngine::new();
+/// let faults = FaultSet::pair(EdgeId(0), EdgeId(3));
+/// let d = engine.distance(&frozen, VertexId(9), &faults);
+/// let p = engine.shortest_path(&frozen, VertexId(9), &faults);
+/// assert_eq!(p.map(|p| p.len() as u32), d);
+/// ```
+#[derive(Clone, Debug)]
+pub struct QueryEngine {
+    /// Fingerprint of the structure the scratch state is sized for.
+    bound: Option<u64>,
+    n: usize,
+    epoch: u64,
+    stamp: Vec<u64>,
+    dist: Vec<u32>,
+    parent_head: Vec<u32>,
+    parent_edge: Vec<u32>,
+    queue: VecDeque<u32>,
+    /// Frozen indices of the current query's faults that are in `H`.
+    eff: Vec<u32>,
+    cache: Vec<CacheEntry>,
+    cache_capacity: usize,
+    clock: u64,
+    stats: QueryStats,
+}
+
+impl Default for QueryEngine {
+    fn default() -> Self {
+        QueryEngine {
+            bound: None,
+            n: 0,
+            epoch: 0,
+            stamp: Vec::new(),
+            dist: Vec::new(),
+            parent_head: Vec::new(),
+            parent_edge: Vec::new(),
+            queue: VecDeque::new(),
+            eff: Vec::new(),
+            cache: Vec::new(),
+            cache_capacity: 8,
+            clock: 0,
+            stats: QueryStats::default(),
+        }
+    }
+}
+
+impl QueryEngine {
+    /// Creates an engine with the default fault-pair cache capacity (8).
+    pub fn new() -> Self {
+        QueryEngine::default()
+    }
+
+    /// Sets the fault-pair LRU capacity (0 disables caching entirely).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self.cache.truncate(capacity);
+        self
+    }
+
+    /// The counters accumulated since construction or [`Self::reset_stats`].
+    pub fn stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    /// Resets the [`QueryStats`] counters to zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = QueryStats::default();
+    }
+
+    /// The distance `dist(s, v, H ∖ F)` from the structure's primary
+    /// source, or `None` if `v` is unreachable in the surviving structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not a vertex of the structure's graph.
+    pub fn distance(
+        &mut self,
+        frozen: &FrozenStructure,
+        target: VertexId,
+        faults: &FaultSet,
+    ) -> Option<u32> {
+        self.distance_from(frozen, frozen.primary_source(), target, faults)
+    }
+
+    /// [`Self::distance`] from an arbitrary source vertex.
+    ///
+    /// Sources listed in [`FrozenStructure::sources`] get the `O(1)`
+    /// fault-free fast path; other sources are answered by BFS inside `H`
+    /// (still exact, still cached per fault pair).
+    pub fn distance_from(
+        &mut self,
+        frozen: &FrozenStructure,
+        source: VertexId,
+        target: VertexId,
+        faults: &FaultSet,
+    ) -> Option<u32> {
+        self.check_vertex(frozen, target);
+        self.check_vertex(frozen, source);
+        let slot = self.resolve(frozen, source, faults);
+        self.read_distance(frozen, source, slot, target)
+    }
+
+    /// A shortest surviving path `s → v` inside `H ∖ F` from the primary
+    /// source, or `None` if `v` is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not a vertex of the structure's graph.
+    pub fn shortest_path(
+        &mut self,
+        frozen: &FrozenStructure,
+        target: VertexId,
+        faults: &FaultSet,
+    ) -> Option<Path> {
+        self.shortest_path_from(frozen, frozen.primary_source(), target, faults)
+    }
+
+    /// [`Self::shortest_path`] from an arbitrary source vertex.
+    pub fn shortest_path_from(
+        &mut self,
+        frozen: &FrozenStructure,
+        source: VertexId,
+        target: VertexId,
+        faults: &FaultSet,
+    ) -> Option<Path> {
+        self.check_vertex(frozen, target);
+        self.check_vertex(frozen, source);
+        if source == target {
+            return Some(Path::singleton(source));
+        }
+        let slot = self.resolve(frozen, source, faults);
+        match slot {
+            Slot::Tree => frozen
+                .tree_for(source)
+                .expect("tree slot implies a source tree")
+                .path_to(target),
+            Slot::Cache(i) => {
+                let entry = &self.cache[i];
+                let reached = entry.dist[target.index()] != UNREACHED;
+                reconstruct_path(&entry.parent_head, reached, source, target)
+            }
+            Slot::Fresh => {
+                let reached = self.stamp[target.index()] == self.epoch;
+                reconstruct_path(&self.parent_head, reached, source, target)
+            }
+        }
+    }
+
+    /// Distances from the primary source to *all* vertices under one fault
+    /// set (one shared resolution, then `O(1)` per vertex).
+    pub fn all_distances(
+        &mut self,
+        frozen: &FrozenStructure,
+        faults: &FaultSet,
+    ) -> Vec<Option<u32>> {
+        self.all_distances_from(frozen, frozen.primary_source(), faults)
+    }
+
+    /// [`Self::all_distances`] from an arbitrary source vertex.
+    pub fn all_distances_from(
+        &mut self,
+        frozen: &FrozenStructure,
+        source: VertexId,
+        faults: &FaultSet,
+    ) -> Vec<Option<u32>> {
+        self.check_vertex(frozen, source);
+        let slot = self.resolve(frozen, source, faults);
+        (0..frozen.vertex_count())
+            .map(|i| self.read_distance(frozen, source, slot, VertexId::new(i)))
+            .collect()
+    }
+
+    /// Answers a batch of queries from the primary source, returning
+    /// distances in input order.
+    pub fn batch_distances(
+        &mut self,
+        frozen: &FrozenStructure,
+        queries: &[Query],
+    ) -> Vec<Option<u32>> {
+        let mut out = vec![None; queries.len()];
+        self.batch_distances_into(frozen, queries, &mut out);
+        out
+    }
+
+    /// [`Self::batch_distances`] into a caller-provided slice (the
+    /// zero-allocation form used by [`crate::ThroughputHarness`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != queries.len()`.
+    pub fn batch_distances_into(
+        &mut self,
+        frozen: &FrozenStructure,
+        queries: &[Query],
+        out: &mut [Option<u32>],
+    ) {
+        assert_eq!(
+            out.len(),
+            queries.len(),
+            "output slice must match the query count"
+        );
+        for (q, slot) in queries.iter().zip(out.iter_mut()) {
+            *slot = self.distance(frozen, q.target, &q.faults);
+        }
+    }
+
+    // -- internals --------------------------------------------------------
+
+    #[inline]
+    fn check_vertex(&self, frozen: &FrozenStructure, v: VertexId) {
+        assert!(
+            v.index() < frozen.vertex_count(),
+            "vertex {v:?} out of range for a structure over {} vertices",
+            frozen.vertex_count()
+        );
+    }
+
+    /// Rebinds the scratch state to `frozen` if it is a different structure
+    /// than the last query's.
+    fn bind(&mut self, frozen: &FrozenStructure) {
+        if self.bound == Some(frozen.fingerprint()) {
+            return;
+        }
+        self.bound = Some(frozen.fingerprint());
+        self.n = frozen.vertex_count();
+        if self.stamp.len() < self.n {
+            self.stamp.resize(self.n, 0);
+            self.dist.resize(self.n, UNREACHED);
+            self.parent_head.resize(self.n, NO_PARENT);
+            self.parent_edge.resize(self.n, NO_PARENT);
+        }
+        self.cache.clear();
+    }
+
+    /// Translates the query's original-edge faults into frozen indices
+    /// (dropping faults outside `H`, which cannot affect answers).
+    fn map_faults(&mut self, frozen: &FrozenStructure, faults: &FaultSet) {
+        self.eff.clear();
+        for &e in faults.edges() {
+            if let Some(i) = frozen.frozen_index(e) {
+                self.eff.push(i);
+            }
+        }
+        // `FaultSet` is sorted by original id and `frozen_index` is
+        // monotone, so `eff` is already sorted — the cache key is canonical.
+        debug_assert!(self.eff.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Resolves `(source, faults)` to a distance array location, running
+    /// and caching a BFS if needed.
+    fn resolve(&mut self, frozen: &FrozenStructure, source: VertexId, faults: &FaultSet) -> Slot {
+        self.bind(frozen);
+        self.map_faults(frozen, faults);
+        if self.eff.is_empty() && frozen.tree_for(source).is_some() {
+            self.stats.tree_hits += 1;
+            return Slot::Tree;
+        }
+        let key = if self.cache_capacity > 0 && self.eff.len() <= 2 {
+            Some((
+                source.0,
+                self.eff.first().copied().unwrap_or(NO_FAULT),
+                self.eff.get(1).copied().unwrap_or(NO_FAULT),
+            ))
+        } else {
+            None
+        };
+        if let Some(k) = key {
+            if let Some(i) = self.cache_lookup(k) {
+                self.stats.cache_hits += 1;
+                return Slot::Cache(i);
+            }
+        }
+        self.run_bfs(frozen, source);
+        self.stats.searches += 1;
+        match key {
+            Some(k) => Slot::Cache(self.cache_store(k)),
+            None => Slot::Fresh,
+        }
+    }
+
+    #[inline]
+    fn read_distance(
+        &self,
+        frozen: &FrozenStructure,
+        source: VertexId,
+        slot: Slot,
+        target: VertexId,
+    ) -> Option<u32> {
+        let raw = match slot {
+            Slot::Tree => {
+                return frozen
+                    .tree_for(source)
+                    .expect("tree slot implies a source tree")
+                    .distance(target)
+            }
+            Slot::Cache(i) => self.cache[i].dist[target.index()],
+            Slot::Fresh => {
+                if self.stamp[target.index()] != self.epoch {
+                    UNREACHED
+                } else {
+                    self.dist[target.index()]
+                }
+            }
+        };
+        match raw {
+            UNREACHED => None,
+            d => Some(d),
+        }
+    }
+
+    /// One full BFS from `source` over the CSR, skipping the effective
+    /// fault edges, into the epoch-stamped workspace arrays.
+    fn run_bfs(&mut self, frozen: &FrozenStructure, source: VertexId) {
+        self.epoch += 1;
+        let QueryEngine {
+            epoch,
+            stamp,
+            dist,
+            parent_head,
+            parent_edge,
+            queue,
+            eff,
+            ..
+        } = self;
+        if eff.len() <= 2 {
+            let f1 = eff.first().copied().unwrap_or(NO_FAULT);
+            let f2 = eff.get(1).copied().unwrap_or(NO_FAULT);
+            bfs_loop(
+                frozen,
+                source,
+                *epoch,
+                stamp,
+                dist,
+                parent_head,
+                parent_edge,
+                queue,
+                |e| e == f1 || e == f2,
+            );
+        } else {
+            let blocked: &[u32] = eff;
+            bfs_loop(
+                frozen,
+                source,
+                *epoch,
+                stamp,
+                dist,
+                parent_head,
+                parent_edge,
+                queue,
+                |e| blocked.binary_search(&e).is_ok(),
+            );
+        }
+    }
+
+    /// Finds `key` in the LRU, refreshing its recency.
+    fn cache_lookup(&mut self, key: (u32, u32, u32)) -> Option<usize> {
+        for (i, entry) in self.cache.iter_mut().enumerate() {
+            if entry.key == key {
+                self.clock += 1;
+                entry.last_used = self.clock;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Materialises the current workspace epoch into a cache entry for
+    /// `key`, evicting the least-recently-used entry if at capacity.
+    fn cache_store(&mut self, key: (u32, u32, u32)) -> usize {
+        let n = self.n;
+        let idx = if self.cache.len() < self.cache_capacity {
+            self.cache.push(CacheEntry {
+                key,
+                last_used: 0,
+                dist: vec![UNREACHED; n],
+                parent_head: vec![NO_PARENT; n],
+                parent_edge: vec![NO_PARENT; n],
+            });
+            self.cache.len() - 1
+        } else {
+            let idx = self
+                .cache
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("capacity > 0 implies a non-empty cache here");
+            self.cache[idx].key = key;
+            idx
+        };
+        self.clock += 1;
+        let QueryEngine {
+            cache,
+            stamp,
+            dist,
+            parent_head,
+            parent_edge,
+            epoch,
+            clock,
+            ..
+        } = self;
+        let entry = &mut cache[idx];
+        entry.last_used = *clock;
+        entry.dist.resize(n, UNREACHED);
+        entry.parent_head.resize(n, NO_PARENT);
+        entry.parent_edge.resize(n, NO_PARENT);
+        for i in 0..n {
+            if stamp[i] == *epoch {
+                entry.dist[i] = dist[i];
+                entry.parent_head[i] = parent_head[i];
+                entry.parent_edge[i] = parent_edge[i];
+            } else {
+                entry.dist[i] = UNREACHED;
+                entry.parent_head[i] = NO_PARENT;
+                entry.parent_edge[i] = NO_PARENT;
+            }
+        }
+        idx
+    }
+}
+
+/// The shared BFS kernel: FIFO traversal over the frozen CSR, labelling
+/// reached vertices in the epoch-stamped arrays, skipping arcs whose frozen
+/// edge index `blocked(e)` reports as failed.
+#[allow(clippy::too_many_arguments)]
+fn bfs_loop<F: Fn(u32) -> bool>(
+    frozen: &FrozenStructure,
+    source: VertexId,
+    epoch: u64,
+    stamp: &mut [u64],
+    dist: &mut [u32],
+    parent_head: &mut [u32],
+    parent_edge: &mut [u32],
+    queue: &mut VecDeque<u32>,
+    blocked: F,
+) {
+    queue.clear();
+    let s = source.index();
+    stamp[s] = epoch;
+    dist[s] = 0;
+    parent_head[s] = NO_PARENT;
+    parent_edge[s] = NO_PARENT;
+    queue.push_back(source.0);
+    let heads = frozen.arc_heads();
+    let edges = frozen.arc_edges();
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for i in frozen.arc_range(u) {
+            let fe = edges[i];
+            if blocked(fe) {
+                continue;
+            }
+            let x = heads[i] as usize;
+            if stamp[x] == epoch {
+                continue;
+            }
+            stamp[x] = epoch;
+            dist[x] = du + 1;
+            parent_head[x] = u;
+            parent_edge[x] = fe;
+            queue.push_back(heads[i]);
+        }
+    }
+}
+
+/// Rebuilds the `source → target` path by walking parent pointers.
+fn reconstruct_path(
+    parent_head: &[u32],
+    reached: bool,
+    source: VertexId,
+    target: VertexId,
+) -> Option<Path> {
+    if !reached {
+        return None;
+    }
+    let mut vertices = vec![target];
+    let mut cur = target;
+    while parent_head[cur.index()] != NO_PARENT {
+        cur = VertexId(parent_head[cur.index()]);
+        vertices.push(cur);
+    }
+    debug_assert_eq!(cur, source);
+    vertices.reverse();
+    Some(Path::new(vertices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbfs_core::dual_failure_ftbfs;
+    use ftbfs_graph::{bfs, generators, EdgeId, GraphView, TieBreak};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// Ground truth: BFS inside `H ∖ F` via the old allocating machinery.
+    fn reference_distance(
+        g: &ftbfs_graph::Graph,
+        h: &ftbfs_core::FtBfsStructure,
+        s: VertexId,
+        t: VertexId,
+        faults: &FaultSet,
+    ) -> Option<u32> {
+        let removed: Vec<EdgeId> = g.edges().filter(|e| !h.contains(*e)).collect();
+        let view = GraphView::new(g)
+            .without_edges(removed)
+            .without_faults(faults);
+        bfs(&view, s).distance(t)
+    }
+
+    #[test]
+    fn engine_matches_reference_over_fault_sizes() {
+        let g = generators::connected_gnp(40, 0.12, 9);
+        let w = TieBreak::new(&g, 9);
+        let h = dual_failure_ftbfs(&g, &w, v(0));
+        let frozen = FrozenStructure::freeze(&g, &h);
+        let mut engine = QueryEngine::new();
+        let edges: Vec<EdgeId> = g.edges().collect();
+        let fault_sets = [
+            FaultSet::empty(),
+            FaultSet::single(edges[0]),
+            FaultSet::single(edges[edges.len() / 2]),
+            FaultSet::pair(edges[1], edges[edges.len() - 1]),
+            FaultSet::pair(edges[3], edges[7]),
+            // Larger than the design resilience: still exact inside H.
+            FaultSet::from_iter([edges[0], edges[5], edges[10]]),
+        ];
+        for faults in &fault_sets {
+            for t in g.vertices() {
+                assert_eq!(
+                    engine.distance(&frozen, t, faults),
+                    reference_distance(&g, &h, v(0), t, faults),
+                    "target {t:?} faults {faults:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_valid_shortest_and_avoid_faults() {
+        let g = generators::grid(5, 5);
+        let frozen = FrozenStructure::from_edges(&g, &[v(0)], 2, g.edges());
+        let mut engine = QueryEngine::new();
+        let e1 = g.edge_between(v(0), v(1)).unwrap();
+        let e2 = g.edge_between(v(0), v(5)).unwrap();
+        let faults = FaultSet::pair(e1, e2);
+        for t in g.vertices() {
+            let d = engine.distance(&frozen, t, &faults);
+            let p = engine.shortest_path(&frozen, t, &faults);
+            match (d, p) {
+                (Some(d), Some(p)) => {
+                    assert_eq!(p.len() as u32, d);
+                    assert_eq!(p.source(), v(0));
+                    assert_eq!(p.target(), t);
+                    assert!(p.is_valid_in(&g));
+                    assert!(!faults.intersects_path(&g, &p));
+                }
+                (None, None) => {}
+                (d, p) => panic!("distance {d:?} and path {p:?} disagree at {t:?}"),
+            }
+        }
+        // Vertex 0 is cut off from its two grid neighbours' edges only;
+        // everything stays reachable through nothing — actually 0 has
+        // exactly those two incident edges, so only 0 reaches 0.
+        assert_eq!(engine.distance(&frozen, v(0), &faults), Some(0));
+        assert_eq!(engine.distance(&frozen, v(24), &faults), None);
+        assert_eq!(
+            engine.shortest_path(&frozen, v(0), &faults),
+            Some(Path::singleton(v(0)))
+        );
+    }
+
+    #[test]
+    fn fast_paths_and_cache_are_used() {
+        let g = generators::connected_gnp(30, 0.15, 4);
+        let w = TieBreak::new(&g, 4);
+        let h = dual_failure_ftbfs(&g, &w, v(0));
+        let frozen = FrozenStructure::freeze(&g, &h);
+        let mut engine = QueryEngine::new();
+
+        // Fault-free queries hit the tree, never searching.
+        for t in g.vertices() {
+            engine.distance(&frozen, t, &FaultSet::empty());
+        }
+        assert_eq!(engine.stats().tree_hits, g.vertex_count() as u64);
+        assert_eq!(engine.stats().searches, 0);
+
+        // A fault outside H is equivalent to fault-free: still the tree.
+        if let Some(outside) = g.edges().find(|e| !h.contains(*e)) {
+            engine.distance(&frozen, v(5), &FaultSet::single(outside));
+            assert_eq!(engine.stats().searches, 0);
+        }
+
+        // A fault inside H searches once, then hits the cache.
+        let inside = h.edges().next().unwrap();
+        let faults = FaultSet::single(inside);
+        engine.reset_stats();
+        for t in g.vertices() {
+            engine.distance(&frozen, t, &faults);
+        }
+        assert_eq!(engine.stats().searches, 1);
+        assert_eq!(engine.stats().cache_hits, g.vertex_count() as u64 - 1);
+    }
+
+    #[test]
+    fn lru_evicts_and_stays_correct_beyond_capacity() {
+        let g = generators::cycle(16);
+        let frozen = FrozenStructure::from_edges(&g, &[v(0)], 2, g.edges());
+        let mut engine = QueryEngine::new().with_cache_capacity(2);
+        let edges: Vec<EdgeId> = g.edges().collect();
+        // Cycle through more fault pairs than the cache holds, twice.
+        for _round in 0..2 {
+            for i in 0..6 {
+                let faults = FaultSet::pair(edges[i], edges[i + 6]);
+                for t in [v(3), v(8), v(13)] {
+                    let expected =
+                        bfs(&GraphView::new(&g).without_faults(&faults), v(0)).distance(t);
+                    assert_eq!(engine.distance(&frozen, t, &faults), expected);
+                }
+            }
+        }
+        assert!(engine.stats().searches >= 6, "evictions force re-searches");
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let g = generators::connected_gnp(25, 0.2, 1);
+        let w = TieBreak::new(&g, 1);
+        let h = dual_failure_ftbfs(&g, &w, v(0));
+        let frozen = FrozenStructure::freeze(&g, &h);
+        let edges: Vec<EdgeId> = h.edges().collect();
+        let queries: Vec<Query> = g
+            .vertices()
+            .map(|t| {
+                let faults = match t.0 % 3 {
+                    0 => FaultSet::empty(),
+                    1 => FaultSet::single(edges[t.index() % edges.len()]),
+                    _ => FaultSet::pair(
+                        edges[t.index() % edges.len()],
+                        edges[(t.index() * 7) % edges.len()],
+                    ),
+                };
+                Query::new(t, faults)
+            })
+            .collect();
+        let mut batch_engine = QueryEngine::new();
+        let batched = batch_engine.batch_distances(&frozen, &queries);
+        let mut single_engine = QueryEngine::new();
+        for (q, b) in queries.iter().zip(&batched) {
+            assert_eq!(
+                single_engine.distance(&frozen, q.target, &q.faults),
+                *b,
+                "query {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_distances_and_rebinding() {
+        let g = generators::grid(3, 4);
+        let frozen_full = FrozenStructure::from_edges(&g, &[v(0)], 2, g.edges());
+        let tree_edges: Vec<EdgeId> = {
+            // A sparser structure: drop one edge.
+            g.edges().skip(1).collect()
+        };
+        let frozen_sparse = FrozenStructure::from_edges(&g, &[v(0)], 2, tree_edges);
+        let mut engine = QueryEngine::new();
+        let e = g.edge_between(v(1), v(2));
+        let faults = e.map(FaultSet::single).unwrap_or_else(FaultSet::empty);
+        let full = engine.all_distances(&frozen_full, &faults);
+        // Rebinding to a different structure must not reuse cached answers.
+        let sparse = engine.all_distances(&frozen_sparse, &faults);
+        let full_again = engine.all_distances(&frozen_full, &faults);
+        assert_eq!(full, full_again);
+        assert_eq!(full.len(), g.vertex_count());
+        for t in g.vertices() {
+            let view = GraphView::new(&g).without_faults(&faults);
+            assert_eq!(full[t.index()], bfs(&view, v(0)).distance(t));
+        }
+        // The sparse structure can only be worse (larger or equal distances).
+        for t in g.vertices() {
+            match (full[t.index()], sparse[t.index()]) {
+                (Some(a), Some(b)) => assert!(a <= b),
+                (Some(_), None) => {}
+                (None, Some(_)) => panic!("sparse structure reached more than full"),
+                (None, None) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn distance_from_secondary_source_and_non_source() {
+        let g = generators::grid(4, 4);
+        let frozen = FrozenStructure::from_edges(&g, &[v(0), v(15)], 2, g.edges());
+        let mut engine = QueryEngine::new();
+        let faults = FaultSet::empty();
+        // Both precomputed sources answer in O(1).
+        assert_eq!(engine.distance_from(&frozen, v(15), v(0), &faults), Some(6));
+        assert_eq!(engine.stats().searches, 0);
+        // A non-source falls back to BFS but is still exact.
+        let d = engine.distance_from(&frozen, v(5), v(10), &faults);
+        assert_eq!(d, bfs(&GraphView::new(&g), v(5)).distance(v(10)));
+        assert_eq!(engine.stats().searches, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_target_panics() {
+        let g = generators::cycle(4);
+        let frozen = FrozenStructure::from_edges(&g, &[v(0)], 2, g.edges());
+        let mut engine = QueryEngine::new();
+        let _ = engine.distance(&frozen, v(99), &FaultSet::empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! [`ThroughputHarness`] — sharded multi-threaded batch query driving.
+//!
+//! The harness answers a batch of [`Query`]s against one shared
+//! [`FrozenStructure`] using `threads` worker threads
+//! (`std::thread::scope`, no detached state).  The batch is split into
+//! contiguous shards, each worker owns a private [`QueryEngine`] (so the
+//! per-thread caches and workspaces never contend), and every result is
+//! written to the slot of its originating query — the output order is
+//! deterministic and independent of the thread count, which the
+//! equivalence suite relies on.
+//!
+//! The harness optionally records per-query latencies (for the
+//! `exp_query_throughput` percentile report); recording costs two
+//! `Instant::now()` calls per query, so leave it off when measuring raw
+//! throughput.
+
+use crate::engine::{Query, QueryEngine};
+use crate::frozen::FrozenStructure;
+use std::time::{Duration, Instant};
+
+/// Configuration for one batched, sharded query run.
+#[derive(Clone, Debug)]
+pub struct ThroughputHarness {
+    threads: usize,
+    record_latencies: bool,
+}
+
+/// The outcome of a [`ThroughputHarness::run`].
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Distances in query order (independent of the thread count).
+    pub distances: Vec<Option<u32>>,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Per-query latency in nanoseconds, in query order; empty unless
+    /// latency recording was enabled.
+    pub latencies_ns: Vec<u64>,
+    /// Number of worker threads actually used.
+    pub threads: usize,
+}
+
+impl BatchReport {
+    /// Aggregate throughput of the batch in queries per second.
+    pub fn queries_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.distances.len() as f64 / secs
+    }
+
+    /// The `p`-th latency percentile in nanoseconds (`0.0 ≤ p ≤ 100.0`),
+    /// or `None` if latencies were not recorded.
+    pub fn latency_percentile_ns(&self, p: f64) -> Option<u64> {
+        if self.latencies_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank.min(sorted.len() - 1)])
+    }
+}
+
+impl ThroughputHarness {
+    /// A harness running on `threads` worker threads (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        ThroughputHarness {
+            threads: threads.max(1),
+            record_latencies: false,
+        }
+    }
+
+    /// Enables or disables per-query latency recording.
+    pub fn with_latencies(mut self, record: bool) -> Self {
+        self.record_latencies = record;
+        self
+    }
+
+    /// The configured worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Answers `queries` against `frozen`, sharded across the configured
+    /// threads; see the module docs for the determinism guarantees.
+    pub fn run(&self, frozen: &FrozenStructure, queries: &[Query]) -> BatchReport {
+        let mut distances = vec![None; queries.len()];
+        let mut latencies_ns = if self.record_latencies {
+            vec![0u64; queries.len()]
+        } else {
+            Vec::new()
+        };
+        if queries.is_empty() {
+            return BatchReport {
+                distances,
+                wall: Duration::ZERO,
+                latencies_ns,
+                threads: self.threads,
+            };
+        }
+        let threads = self.threads.min(queries.len());
+        let chunk = queries.len().div_ceil(threads);
+        let record = self.record_latencies;
+        let start = Instant::now();
+        if threads == 1 {
+            run_shard(frozen, queries, &mut distances, &mut latencies_ns, record);
+        } else {
+            std::thread::scope(|scope| {
+                let mut out_rest: &mut [Option<u32>] = &mut distances;
+                let mut lat_rest: &mut [u64] = &mut latencies_ns;
+                for shard in queries.chunks(chunk) {
+                    let (out_here, tail) = out_rest.split_at_mut(shard.len());
+                    out_rest = tail;
+                    let (lat_here, lat_tail) = if record {
+                        lat_rest.split_at_mut(shard.len())
+                    } else {
+                        lat_rest.split_at_mut(0)
+                    };
+                    lat_rest = lat_tail;
+                    scope.spawn(move || {
+                        run_shard(frozen, shard, out_here, lat_here, record);
+                    });
+                }
+            });
+        }
+        let wall = start.elapsed();
+        BatchReport {
+            distances,
+            wall,
+            latencies_ns,
+            threads,
+        }
+    }
+}
+
+/// One worker: a private engine answering its contiguous shard in order.
+fn run_shard(
+    frozen: &FrozenStructure,
+    shard: &[Query],
+    out: &mut [Option<u32>],
+    latencies_ns: &mut [u64],
+    record: bool,
+) {
+    let mut engine = QueryEngine::new();
+    if record {
+        for ((q, slot), lat) in shard
+            .iter()
+            .zip(out.iter_mut())
+            .zip(latencies_ns.iter_mut())
+        {
+            let t0 = Instant::now();
+            *slot = engine.distance(frozen, q.target, &q.faults);
+            *lat = t0.elapsed().as_nanos() as u64;
+        }
+    } else {
+        engine.batch_distances_into(frozen, shard, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbfs_core::dual_failure_ftbfs;
+    use ftbfs_graph::{generators, EdgeId, FaultSet, TieBreak, VertexId};
+
+    fn workload(n_queries: usize) -> (ftbfs_graph::Graph, FrozenStructure, Vec<Query>) {
+        let g = generators::connected_gnp(35, 0.14, 13);
+        let w = TieBreak::new(&g, 13);
+        let h = dual_failure_ftbfs(&g, &w, VertexId(0));
+        let frozen = FrozenStructure::freeze(&g, &h);
+        let edges: Vec<EdgeId> = h.edges().collect();
+        let queries = (0..n_queries)
+            .map(|i| {
+                let target = VertexId((i % g.vertex_count()) as u32);
+                let faults = match i % 4 {
+                    0 => FaultSet::empty(),
+                    1 => FaultSet::single(edges[i % edges.len()]),
+                    _ => FaultSet::pair(edges[i % edges.len()], edges[(i * 3) % edges.len()]),
+                };
+                Query::new(target, faults)
+            })
+            .collect();
+        (g, frozen, queries)
+    }
+
+    #[test]
+    fn sharded_results_are_order_deterministic() {
+        let (_g, frozen, queries) = workload(200);
+        let serial = ThroughputHarness::new(1).run(&frozen, &queries);
+        for threads in [2, 3, 4, 7] {
+            let parallel = ThroughputHarness::new(threads).run(&frozen, &queries);
+            assert_eq!(
+                serial.distances, parallel.distances,
+                "threads={threads} changed results"
+            );
+        }
+        // And both match a plain engine loop.
+        let mut engine = QueryEngine::new();
+        for (q, d) in queries.iter().zip(&serial.distances) {
+            assert_eq!(engine.distance(&frozen, q.target, &q.faults), *d);
+        }
+    }
+
+    #[test]
+    fn latencies_are_recorded_per_query() {
+        let (_g, frozen, queries) = workload(50);
+        let report = ThroughputHarness::new(2)
+            .with_latencies(true)
+            .run(&frozen, &queries);
+        assert_eq!(report.latencies_ns.len(), queries.len());
+        assert!(report.latency_percentile_ns(50.0).is_some());
+        assert!(
+            report.latency_percentile_ns(50.0) <= report.latency_percentile_ns(99.0),
+            "percentiles must be monotone"
+        );
+        assert!(report.queries_per_sec() > 0.0);
+        let unrecorded = ThroughputHarness::new(2).run(&frozen, &queries);
+        assert!(unrecorded.latencies_ns.is_empty());
+        assert_eq!(unrecorded.latency_percentile_ns(99.0), None);
+    }
+
+    #[test]
+    fn empty_and_tiny_batches() {
+        let (_g, frozen, queries) = workload(3);
+        let empty = ThroughputHarness::new(4).run(&frozen, &[]);
+        assert!(empty.distances.is_empty());
+        // More threads than queries: clamped, still correct.
+        let tiny = ThroughputHarness::new(16).run(&frozen, &queries);
+        assert_eq!(tiny.distances.len(), 3);
+        assert!(tiny.threads <= 3);
+    }
+}

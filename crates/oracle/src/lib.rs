@@ -1,0 +1,81 @@
+//! # ftbfs-oracle
+//!
+//! The query-serving subsystem of the FT-BFS reproduction: once a sparse
+//! dual-failure structure `H ⊆ G` has been purchased (objective (2) of the
+//! paper's introduction), post-failure routing queries
+//! `dist(s, v, H ∖ {e1, e2})` should be answered *inside* `H`, exactly, and
+//! at production rates.  This crate turns an
+//! [`ftbfs_core::FtBfsStructure`] into that production query engine, in
+//! three layers:
+//!
+//! * [`FrozenStructure`] — the structure compiled into an immutable CSR
+//!   adjacency packed for cache locality, with the fault-free BFS tree of
+//!   every source precomputed at freeze time, plus a versioned compact
+//!   binary [`snapshot`] format ([`FrozenStructure::save`] /
+//!   [`FrozenStructure::load`]) with magic, checksum and a structural
+//!   fingerprint;
+//! * [`QueryEngine`] — per-thread zero-allocation query answering
+//!   ([`QueryEngine::distance`], [`QueryEngine::shortest_path`],
+//!   [`QueryEngine::batch_distances`]) with an `O(1)` fault-free fast path
+//!   and a fixed-capacity LRU keyed by fault pair for repeated-failure
+//!   workloads;
+//! * [`ThroughputHarness`] — a sharded `std::thread::scope` batch driver
+//!   with deterministic result order, feeding the `exp_query_throughput`
+//!   experiment binary.
+//!
+//! `ftbfs_verify::StructureOracle` delegates to this crate, so all existing
+//! verification exercises the same query path that production serving uses.
+//!
+//! # Quick example
+//!
+//! ```
+//! use ftbfs_core::dual_failure_ftbfs;
+//! use ftbfs_graph::{generators, FaultSet, TieBreak, VertexId};
+//! use ftbfs_oracle::{Freeze, FrozenStructure, QueryEngine};
+//!
+//! let g = generators::connected_gnp(40, 0.12, 2015);
+//! let w = TieBreak::new(&g, 2015);
+//! let h = dual_failure_ftbfs(&g, &w, VertexId(0));
+//!
+//! // Compile for serving, snapshot, reload: answers are identical.
+//! let frozen = h.freeze(&g);
+//! let reloaded = FrozenStructure::load(&frozen.save()).unwrap();
+//! assert_eq!(frozen, reloaded);
+//!
+//! let mut engine = QueryEngine::new();
+//! let e = g.edge_between(VertexId(0), g.neighbors(VertexId(0))[0].0).unwrap();
+//! let d = engine.distance(&frozen, VertexId(7), &FaultSet::single(e));
+//! assert!(d.is_some(), "dual-failure structures keep the graph spanned");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod frozen;
+pub mod harness;
+pub mod snapshot;
+
+pub use engine::{Query, QueryEngine, QueryStats};
+pub use frozen::{FrozenStructure, SourceTree};
+pub use harness::{BatchReport, ThroughputHarness};
+pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+
+use ftbfs_core::FtBfsStructure;
+use ftbfs_graph::Graph;
+
+/// The freeze entry point on [`FtBfsStructure`]: compile a constructed
+/// structure for query serving.
+///
+/// This lives in a trait because `ftbfs-oracle` sits *above* `ftbfs-core`
+/// in the dependency DAG; import it to write `structure.freeze(&graph)`.
+pub trait Freeze {
+    /// Compiles `self` into a [`FrozenStructure`] over `graph`.
+    fn freeze(&self, graph: &Graph) -> FrozenStructure;
+}
+
+impl Freeze for FtBfsStructure {
+    fn freeze(&self, graph: &Graph) -> FrozenStructure {
+        FrozenStructure::freeze(graph, self)
+    }
+}

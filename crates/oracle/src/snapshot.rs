@@ -1,0 +1,272 @@
+//! Versioned compact binary snapshots of [`FrozenStructure`]s.
+//!
+//! A frozen structure is fully determined by its header (`n`, sources,
+//! resilience) and its edge list — the CSR arrays and fault-free trees are
+//! deterministic functions of those, so the snapshot stores only the
+//! determining data and recomputes the derived arrays on load.  That keeps
+//! the format small (12 bytes per edge) and guarantees a loaded structure
+//! answers queries bit-identically to the one that was saved.
+//!
+//! ## Layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! magic      4 bytes   "FTBO"
+//! payload:
+//!   version  u16       currently 1
+//!   flags    u16       reserved, must be 0
+//!   n        u32       vertex count of the underlying graph
+//!   resil    u32       designed resilience f
+//!   k        u32       number of sources
+//!   sources  k × u32
+//!   m        u32       number of structure edges
+//!   edges    m × (orig u32, u u32, v u32), strictly increasing by orig
+//! checksum   u64       FNV-1a over the payload bytes
+//! ```
+//!
+//! Unknown versions and non-zero flags are rejected (rather than silently
+//! misparsed), so the format can grow — e.g. an mmap-friendly layout that
+//! also stores the derived arrays — without breaking old readers in
+//! confusing ways.
+
+use crate::frozen::FrozenStructure;
+use ftbfs_graph::bytes::{fnv1a64, put_u16, put_u32, put_u64, ByteReader};
+use ftbfs_graph::VertexId;
+use std::fmt;
+
+/// Magic prefix of every frozen-structure snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"FTBO";
+/// The snapshot format version this build writes.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Errors produced when decoding a frozen-structure snapshot.
+///
+/// This enum may gain variants as the snapshot format evolves; match it
+/// with a wildcard arm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The input does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The snapshot was written by an unsupported format version.
+    UnsupportedVersion(u16),
+    /// The input ended before the declared contents.
+    Truncated {
+        /// Byte offset at which data ran out.
+        at: usize,
+    },
+    /// The checksum does not match the payload (corrupted snapshot).
+    ChecksumMismatch,
+    /// The payload decoded but its contents are inconsistent.
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a frozen-structure snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            SnapshotError::Truncated { at } => write!(f, "snapshot truncated at byte {at}"),
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<ftbfs_graph::bytes::ByteError> for SnapshotError {
+    fn from(err: ftbfs_graph::bytes::ByteError) -> Self {
+        SnapshotError::Truncated { at: err.at }
+    }
+}
+
+impl FrozenStructure {
+    /// The canonical payload encoding (everything between the magic and the
+    /// checksum); also the input of [`FrozenStructure::fingerprint`].
+    pub(crate) fn payload_bytes(&self) -> Vec<u8> {
+        let (edge_u, edge_v) = self.raw_edge_uv();
+        let edge_orig = self.raw_edge_orig();
+        let mut out = Vec::with_capacity(20 + 4 * self.sources().len() + 12 * edge_orig.len());
+        put_u16(&mut out, SNAPSHOT_VERSION);
+        put_u16(&mut out, 0); // flags, reserved
+        put_u32(&mut out, self.vertex_count() as u32);
+        put_u32(&mut out, self.resilience() as u32);
+        put_u32(&mut out, self.sources().len() as u32);
+        for s in self.sources() {
+            put_u32(&mut out, s.0);
+        }
+        put_u32(&mut out, edge_orig.len() as u32);
+        for i in 0..edge_orig.len() {
+            put_u32(&mut out, edge_orig[i]);
+            put_u32(&mut out, edge_u[i]);
+            put_u32(&mut out, edge_v[i]);
+        }
+        out
+    }
+
+    /// Serialises the structure to the versioned binary snapshot format.
+    pub fn save(&self) -> Vec<u8> {
+        let payload = self.payload_bytes();
+        let mut out = Vec::with_capacity(4 + payload.len() + 8);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&payload);
+        put_u64(&mut out, fnv1a64(&payload));
+        out
+    }
+
+    /// Deserialises a snapshot produced by [`FrozenStructure::save`],
+    /// recomputing the CSR adjacency and the fault-free trees.
+    ///
+    /// The loaded structure is equal to the saved one (same fingerprint,
+    /// identical query answers).
+    pub fn load(data: &[u8]) -> Result<Self, SnapshotError> {
+        if data.len() < 4 || data[..4] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        if data.len() < 4 + 8 {
+            return Err(SnapshotError::Truncated { at: data.len() });
+        }
+        let (payload, checksum_bytes) = data[4..].split_at(data.len() - 4 - 8);
+        let mut check_reader = ByteReader::new(checksum_bytes);
+        let stored = check_reader.take_u64()?;
+        if fnv1a64(payload) != stored {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        let mut r = ByteReader::new(payload);
+        let version = r.take_u16()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let flags = r.take_u16()?;
+        if flags != 0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "reserved flags must be zero, got {flags:#06x}"
+            )));
+        }
+        let n = r.take_u32()?;
+        let resilience = r.take_u32()?;
+        let source_count = r.take_u32()? as usize;
+        let mut sources = Vec::with_capacity(source_count.min(1 << 20));
+        for _ in 0..source_count {
+            sources.push(VertexId(r.take_u32()?));
+        }
+        let edge_count = r.take_u32()? as usize;
+        let mut edge_orig = Vec::with_capacity(edge_count.min(1 << 24));
+        let mut edge_u = Vec::with_capacity(edge_count.min(1 << 24));
+        let mut edge_v = Vec::with_capacity(edge_count.min(1 << 24));
+        for _ in 0..edge_count {
+            edge_orig.push(r.take_u32()?);
+            edge_u.push(r.take_u32()?);
+            edge_v.push(r.take_u32()?);
+        }
+        if !r.is_empty() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing payload bytes",
+                r.remaining()
+            )));
+        }
+        FrozenStructure::from_parts(n, sources, resilience, edge_orig, edge_u, edge_v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbfs_core::dual_failure_ftbfs;
+    use ftbfs_graph::{generators, TieBreak};
+
+    fn frozen_sample() -> FrozenStructure {
+        let g = generators::connected_gnp(40, 0.12, 5);
+        let w = TieBreak::new(&g, 5);
+        let h = dual_failure_ftbfs(&g, &w, VertexId(0));
+        FrozenStructure::freeze(&g, &h)
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_identical() {
+        let frozen = frozen_sample();
+        let bytes = frozen.save();
+        assert_eq!(&bytes[..4], &SNAPSHOT_MAGIC);
+        let loaded = FrozenStructure::load(&bytes).unwrap();
+        assert_eq!(loaded, frozen);
+        assert_eq!(loaded.fingerprint(), frozen.fingerprint());
+        // Saving again is byte-identical (canonical encoding).
+        assert_eq!(loaded.save(), bytes);
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_are_rejected() {
+        let frozen = frozen_sample();
+        let bytes = frozen.save();
+        assert_eq!(
+            FrozenStructure::load(b"nope").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert_eq!(
+            FrozenStructure::load(&wrong).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        for cut in [5, bytes.len() / 2, bytes.len() - 1] {
+            let err = FrozenStructure::load(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. } | SnapshotError::ChecksumMismatch
+                ),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_fails_the_checksum() {
+        let frozen = frozen_sample();
+        let mut bytes = frozen.save();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert_eq!(
+            FrozenStructure::load(&bytes).unwrap_err(),
+            SnapshotError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let frozen = frozen_sample();
+        let bytes = frozen.save();
+        // Rewrite the version field (first payload u16) and re-checksum so
+        // only the version check can fail.
+        let mut payload = bytes[4..bytes.len() - 8].to_vec();
+        payload[0] = 0x2A;
+        payload[1] = 0x00;
+        let mut rewritten = Vec::new();
+        rewritten.extend_from_slice(&SNAPSHOT_MAGIC);
+        rewritten.extend_from_slice(&payload);
+        put_u64(&mut rewritten, fnv1a64(&payload));
+        assert_eq!(
+            FrozenStructure::load(&rewritten).unwrap_err(),
+            SnapshotError::UnsupportedVersion(42)
+        );
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        assert!(SnapshotError::BadMagic.to_string().contains("magic"));
+        assert!(SnapshotError::UnsupportedVersion(9)
+            .to_string()
+            .contains('9'));
+        assert!(SnapshotError::Truncated { at: 12 }
+            .to_string()
+            .contains("12"));
+        assert!(SnapshotError::ChecksumMismatch
+            .to_string()
+            .contains("checksum"));
+        assert!(SnapshotError::Corrupt("x > n".to_string())
+            .to_string()
+            .contains("x > n"));
+    }
+}

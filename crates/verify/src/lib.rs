@@ -7,10 +7,12 @@
 //! * [`report`] — verification reports with per-violation counterexamples;
 //! * [`oracle`] — a distance/routing oracle that answers post-failure
 //!   queries *inside* a structure, the usage model motivating the paper.
+//!   Since the query-serving subsystem landed, [`StructureOracle`] is a
+//!   thin wrapper over `ftbfs_oracle::{FrozenStructure, QueryEngine}`, so
+//!   verification exercises the same path as production query serving.
 //!
 //! The crate deliberately accepts structures as plain edge-id collections so
-//! it can verify output from any construction (including hand-built ones)
-//! without depending on the construction crates.
+//! it can verify output from any construction (including hand-built ones).
 //!
 //! # Example
 //!

@@ -3,87 +3,104 @@
 //! This is the "quality of usage" side of the paper's motivation (objective
 //! (2) in the introduction): once a sparse FT-BFS structure `H` has been
 //! purchased, routing queries after failures should be answered *inside* `H`
-//! and still be exact.  The oracle owns the structure's edge set and answers
-//! `dist(s, v, H ∖ F)` / shortest-route queries by running a BFS restricted
-//! to `H ∖ F` per query.
+//! and still be exact.
+//!
+//! Since the `ftbfs-oracle` crate landed, this type is a thin compatibility
+//! wrapper: construction freezes the edge set into an
+//! [`ftbfs_oracle::FrozenStructure`] (CSR adjacency + precomputed fault-free
+//! tree) and every query is answered by an [`ftbfs_oracle::QueryEngine`]
+//! (epoch-stamped zero-allocation BFS, `O(1)` fault-free fast path, fault-pair
+//! LRU).  The old implementation rebuilt a `HashSet` edge view and ran a fresh
+//! allocating BFS per query; that path is gone, so all verification now
+//! exercises the same engine that production query serving uses.  The public
+//! API is unchanged.
 
 use ftbfs_graph::{bfs, EdgeId, FaultSet, Graph, GraphView, Path, VertexId};
-use std::collections::HashSet;
+use ftbfs_oracle::{FrozenStructure, QueryEngine};
+use std::cell::RefCell;
 
 /// A query oracle over a fault-tolerant BFS structure.
+///
+/// Queries take `&self` for backwards compatibility; the per-thread
+/// [`QueryEngine`] scratch state lives behind a [`RefCell`], which makes the
+/// oracle `!Sync`.  For multi-threaded serving, share a
+/// [`FrozenStructure`] and give each thread its own engine (see
+/// `ftbfs_oracle::ThroughputHarness`).
 pub struct StructureOracle<'g> {
     graph: &'g Graph,
-    source: VertexId,
-    structure: HashSet<EdgeId>,
-    removed: Vec<EdgeId>,
+    frozen: FrozenStructure,
+    engine: RefCell<QueryEngine>,
 }
 
 impl<'g> StructureOracle<'g> {
-    /// Creates an oracle for the structure given by `structure_edges`,
-    /// answering queries from `source`.
+    /// Creates an oracle for the structure given by `structure_edges`
+    /// (deduplicated), answering queries from `source`.
+    ///
+    /// Edge ids that do not exist in `graph` are silently ignored, matching
+    /// the historical behaviour — this crate verifies output from arbitrary
+    /// (possibly buggy, hand-built) constructions, so a stray id must
+    /// produce a verification result, not a panic.  The strict entry point
+    /// is [`FrozenStructure::from_edges`], which rejects foreign edges.
+    ///
+    /// Freezing runs the fault-free BFS once up front; afterwards
+    /// fault-free queries are `O(1)` and faulted queries run inside the
+    /// compact frozen adjacency.
     pub fn new<I>(graph: &'g Graph, source: VertexId, structure_edges: I) -> Self
     where
         I: IntoIterator<Item = EdgeId>,
     {
-        let structure: HashSet<EdgeId> = structure_edges.into_iter().collect();
-        let removed = graph.edges().filter(|e| !structure.contains(e)).collect();
+        let valid = structure_edges
+            .into_iter()
+            .filter(|&e| graph.contains_edge(e));
+        let frozen = FrozenStructure::from_edges(graph, &[source], 2, valid);
         StructureOracle {
             graph,
-            source,
-            structure,
-            removed,
+            frozen,
+            engine: RefCell::new(QueryEngine::new()),
         }
     }
 
     /// The source all queries are answered from.
     pub fn source(&self) -> VertexId {
-        self.source
+        self.frozen.primary_source()
     }
 
     /// Number of edges in the underlying structure.
     pub fn structure_size(&self) -> usize {
-        self.structure.len()
+        self.frozen.edge_count()
+    }
+
+    /// The frozen compilation of the structure, for callers that want to
+    /// run their own engines (or snapshot it).
+    pub fn frozen(&self) -> &FrozenStructure {
+        &self.frozen
     }
 
     /// The distance `dist(source, v, H ∖ F)`, or `None` if `v` is
     /// unreachable inside the surviving structure.
     pub fn distance(&self, v: VertexId, faults: &FaultSet) -> Option<u32> {
-        self.survivor_view(faults)
-            .map(|view| bfs(&view, self.source).distance(v))
-            .unwrap_or(None)
+        self.engine.borrow_mut().distance(&self.frozen, v, faults)
     }
 
     /// A shortest surviving route `source → v` inside `H ∖ F`.
     pub fn route(&self, v: VertexId, faults: &FaultSet) -> Option<Path> {
-        let view = self.survivor_view(faults)?;
-        bfs(&view, self.source).path_to(v)
+        self.engine
+            .borrow_mut()
+            .shortest_path(&self.frozen, v, faults)
     }
 
-    /// Distances to all vertices in one BFS sweep of `H ∖ F`.
+    /// Distances to all vertices under one fault set (one shared
+    /// resolution, then `O(1)` per vertex).
     pub fn all_distances(&self, faults: &FaultSet) -> Vec<Option<u32>> {
-        match self.survivor_view(faults) {
-            Some(view) => {
-                let res = bfs(&view, self.source);
-                self.graph.vertices().map(|v| res.distance(v)).collect()
-            }
-            None => vec![None; self.graph.vertex_count()],
-        }
+        self.engine.borrow_mut().all_distances(&self.frozen, faults)
     }
 
     /// Checks one query against ground truth computed in the full graph:
     /// returns `true` if the structure's answer matches `dist(s, v, G ∖ F)`.
     pub fn matches_ground_truth(&self, v: VertexId, faults: &FaultSet) -> bool {
         let gview = GraphView::new(self.graph).without_faults(faults);
-        let expected = bfs(&gview, self.source).distance(v);
+        let expected = bfs(&gview, self.source()).distance(v);
         self.distance(v, faults) == expected
-    }
-
-    fn survivor_view(&self, faults: &FaultSet) -> Option<GraphView<'g>> {
-        Some(
-            GraphView::new(self.graph)
-                .without_edges(self.removed.iter().copied())
-                .without_faults(faults),
-        )
     }
 }
 
@@ -138,5 +155,28 @@ mod tests {
         // missing from the structure), while G still reaches it via 0-1-2.
         let failed = g.edge_between(VertexId(2), VertexId(3)).unwrap();
         assert!(!oracle.matches_ground_truth(VertexId(2), &FaultSet::single(failed)));
+    }
+
+    #[test]
+    fn foreign_edge_ids_are_ignored_like_before() {
+        // Historical behaviour: edge ids outside the graph are dropped, so
+        // verifying a buggy construction yields a result, not a panic.
+        let g = generators::cycle(5);
+        let edges = g.edges().chain([EdgeId(400), EdgeId(99)]);
+        let oracle = StructureOracle::new(&g, VertexId(0), edges);
+        assert_eq!(oracle.structure_size(), g.edge_count());
+        assert!(oracle.matches_ground_truth(VertexId(2), &FaultSet::empty()));
+    }
+
+    #[test]
+    fn exposed_frozen_structure_is_consistent() {
+        let g = generators::grid(3, 3);
+        let oracle = StructureOracle::new(&g, VertexId(4), g.edges());
+        let frozen = oracle.frozen();
+        assert_eq!(frozen.primary_source(), VertexId(4));
+        assert_eq!(frozen.edge_count(), g.edge_count());
+        // The snapshot of the frozen structure round-trips.
+        let reloaded = FrozenStructure::load(&frozen.save()).unwrap();
+        assert_eq!(&reloaded, frozen);
     }
 }
