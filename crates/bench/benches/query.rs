@@ -7,7 +7,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ftbfs_core::dual_failure_ftbfs;
-use ftbfs_graph::{bfs, generators, EdgeId, FaultSet, GraphView, TieBreak, VertexId};
+use ftbfs_graph::{bfs, generators, EdgeId, FaultSpec, GraphView, TieBreak, VertexId};
 use ftbfs_oracle::{Freeze, Query, QueryEngine};
 use std::time::Duration;
 
@@ -20,18 +20,18 @@ fn bench_query_paths(c: &mut Criterion) {
     // The legacy oracle precomputed the removed-edge list once …
     let removed: Vec<EdgeId> = g.edges().filter(|e| !h.contains(*e)).collect();
     let target = VertexId((g.vertex_count() - 1) as u32);
-    let dual = FaultSet::pair(
+    let dual = FaultSpec::from((
         structure_edges[1],
         structure_edges[structure_edges.len() / 2],
-    );
+    ));
     // A rotation of fault pairs wider than the engine's LRU, to measure the
     // cache-miss (fresh BFS) cost.
-    let rotation: Vec<FaultSet> = (0..24)
+    let rotation: Vec<FaultSpec> = (0..24)
         .map(|i| {
-            FaultSet::pair(
+            FaultSpec::from((
                 structure_edges[i * 3 % structure_edges.len()],
                 structure_edges[(i * 7 + 1) % structure_edges.len()],
-            )
+            ))
         })
         .collect();
 
@@ -47,7 +47,7 @@ fn bench_query_paths(c: &mut Criterion) {
             b.iter(|| {
                 let view = GraphView::new(&g)
                     .without_edges(removed.iter().copied())
-                    .without_faults(black_box(&dual));
+                    .without_faults(black_box(&dual.to_fault_set()));
                 bfs(&view, VertexId(0)).distance(black_box(target))
             })
         },
@@ -56,7 +56,14 @@ fn bench_query_paths(c: &mut Criterion) {
     let mut engine = QueryEngine::new();
     group.bench_function(
         BenchmarkId::from_parameter("frozen_dual_fault_cached"),
-        |b| b.iter(|| engine.distance(&frozen, black_box(target), black_box(&dual))),
+        |b| {
+            b.iter(|| {
+                engine
+                    .try_distance(&frozen, black_box(target), black_box(&dual))
+                    .unwrap()
+                    .into_value()
+            })
+        },
     );
 
     let mut engine_uncached = QueryEngine::new().with_cache_capacity(0);
@@ -66,14 +73,22 @@ fn bench_query_paths(c: &mut Criterion) {
             let mut i = 0usize;
             b.iter(|| {
                 i = (i + 1) % rotation.len();
-                engine_uncached.distance(&frozen, black_box(target), &rotation[i])
+                engine_uncached
+                    .try_distance(&frozen, black_box(target), &rotation[i])
+                    .unwrap()
+                    .into_value()
             })
         },
     );
 
     let mut engine_ff = QueryEngine::new();
     group.bench_function(BenchmarkId::from_parameter("frozen_fault_free"), |b| {
-        b.iter(|| engine_ff.distance(&frozen, black_box(target), &FaultSet::empty()))
+        b.iter(|| {
+            engine_ff
+                .try_distance(&frozen, black_box(target), &FaultSpec::None)
+                .unwrap()
+                .into_value()
+        })
     });
 
     // A mixed batch (fault-free / single / repeated dual pairs) of 512
@@ -83,10 +98,7 @@ fn bench_query_paths(c: &mut Criterion) {
             let t = VertexId((i * 17 % g.vertex_count()) as u32);
             match i % 4 {
                 0 => Query::fault_free(t),
-                1 => Query::new(
-                    t,
-                    FaultSet::single(structure_edges[i % structure_edges.len()]),
-                ),
+                1 => Query::new(t, structure_edges[i % structure_edges.len()]),
                 _ => Query::new(t, rotation[i % 8].clone()),
             }
         })

@@ -1,33 +1,52 @@
 //! E10 — query-serving throughput: batched post-failure distance queries
-//! answered inside a frozen dual-failure FT-BFS structure, across thread
-//! counts, emitted both as an aligned table and as machine-readable
-//! `BENCH_query.json` so the query-side performance trajectory of the repo
-//! can be tracked PR over PR (the serving counterpart of E9's
-//! `BENCH_construction.json`).
+//! answered through the `DistanceOracle` trait, across thread counts and
+//! both serving backends (single-source `FrozenStructure`, multi-source
+//! `FrozenMultiStructure` serving the `S × V` workload), emitted both as an
+//! aligned table and as machine-readable `BENCH_query.json` so the
+//! query-side performance trajectory of the repo can be tracked PR over PR
+//! (the serving counterpart of E9's `BENCH_construction.json`).
 //!
 //! Usage:
 //!
 //! ```text
-//! exp_query_throughput [--smoke] [--out PATH]
+//! exp_query_throughput [--smoke] [--lru-sweep] [--out PATH]
 //! ```
 //!
-//! `--smoke` shrinks the workloads to seconds-scale sizes for CI; `--out`
-//! overrides the JSON path (default `BENCH_query.json` in the current
-//! directory).
+//! `--smoke` shrinks the workloads to seconds-scale sizes for CI **and
+//! enforces the checked-in throughput floor** ([`SMOKE_QPS_FLOOR`], set
+//! with a ~3× margin below the container baseline): if the measured
+//! single-thread qps falls below it, the binary exits non-zero so a
+//! serving-path regression fails the build instead of silently landing.
+//! `--lru-sweep` additionally runs the cache-policy experiment: qps across
+//! per-partition LRU capacities {2, 4, 8, 16, 32} under tight and wide
+//! fault-pair locality, recorded in a `lru_sweep` section of the JSON.
+//! `--out` overrides the JSON path (default `BENCH_query.json`).
 //!
 //! The query mix models a serving tail: 25% fault-free (precomputed-tree
 //! fast path), 25% single-fault, 50% dual-fault, with fault edges drawn
 //! from the structure itself so most faulted queries do real work, and with
-//! repeats so the engines' fault-pair LRU sees realistic locality.
+//! repeats so the engines' fault LRU sees realistic locality.
 
 use ftbfs_bench::Table;
 use ftbfs_core::dual::DualFtBfsBuilder;
-use ftbfs_graph::{generators, EdgeId, FaultSet, Graph, TieBreak, VertexId};
-use ftbfs_oracle::{Freeze, FrozenStructure, Query, ThroughputHarness};
+use ftbfs_core::multi_failure_ftmbfs_parts;
+use ftbfs_graph::{generators, EdgeId, FaultSpec, Graph, TieBreak, VertexId};
+use ftbfs_oracle::{
+    DistanceOracle, Freeze, FrozenMultiStructure, FrozenStructure, Query, ThroughputHarness,
+};
+
+/// The `--smoke` throughput floor in queries per second, single-threaded.
+///
+/// The smoke workload (`connected_gnp(40, 0.15)`, 4k mixed queries)
+/// measures ≥ ~3.5M qps on the CI container class this repo targets; the
+/// floor sits a ~3× margin below that so only a real serving-path
+/// regression (not scheduler noise) trips it.
+const SMOKE_QPS_FLOOR: f64 = 1_000_000.0;
 
 /// One measured configuration.
 struct Row {
     generator: String,
+    backend: &'static str,
     n: usize,
     m: usize,
     structure_edges: usize,
@@ -36,6 +55,14 @@ struct Row {
     qps: f64,
     p50_us: f64,
     p99_us: f64,
+}
+
+/// One LRU-sweep measurement.
+struct SweepRow {
+    locality: &'static str,
+    active_pairs: usize,
+    capacity: usize,
+    qps: f64,
 }
 
 /// Deterministic splitmix64 so the workload needs no RNG dependency.
@@ -48,32 +75,46 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// Builds the serving-mix query batch described in the module docs.
-fn build_queries(g: &Graph, frozen: &FrozenStructure, count: usize, seed: u64) -> Vec<Query> {
-    let structure_edges: Vec<EdgeId> = (0..frozen.edge_count())
-        .map(|i| frozen.original_edge(i as u32))
-        .collect();
+///
+/// `sources` is empty for the single-source mix (primary-source queries);
+/// otherwise each query draws an explicit source — the `S × V` form.
+/// `active_pool` bounds the pool of concurrently "live" fault pairs, the
+/// locality knob of the LRU sweep.
+fn build_queries(
+    g: &Graph,
+    structure_edges: &[EdgeId],
+    sources: &[VertexId],
+    count: usize,
+    active_pool: usize,
+    seed: u64,
+) -> Vec<Query> {
     let mut state = seed;
     // A small pool of "active failures" refreshed occasionally, so repeated
     // fault pairs exercise the engines' LRU like a persisting outage would.
     let mut active: Vec<(EdgeId, EdgeId)> = Vec::new();
     let mut queries = Vec::with_capacity(count);
     for i in 0..count {
-        if active.len() < 12 || splitmix64(&mut state) % 64 == 0 {
+        if active.len() < active_pool / 2 || splitmix64(&mut state) % 64 == 0 {
             let a = structure_edges[splitmix64(&mut state) as usize % structure_edges.len()];
             let b = structure_edges[splitmix64(&mut state) as usize % structure_edges.len()];
             active.push((a, b));
-            if active.len() > 24 {
+            if active.len() > active_pool {
                 active.remove(0);
             }
         }
         let target = VertexId((splitmix64(&mut state) as usize % g.vertex_count()) as u32);
         let (a, b) = active[splitmix64(&mut state) as usize % active.len()];
         let faults = match i % 4 {
-            0 => FaultSet::empty(),
-            1 => FaultSet::single(a),
-            _ => FaultSet::pair(a, b),
+            0 => FaultSpec::None,
+            1 => FaultSpec::One(a),
+            _ => FaultSpec::from((a, b)),
         };
-        queries.push(Query::new(target, faults));
+        if sources.is_empty() {
+            queries.push(Query::new(target, faults));
+        } else {
+            let s = sources[splitmix64(&mut state) as usize % sources.len()];
+            queries.push(Query::from_source(s, target, faults));
+        }
     }
     queries
 }
@@ -82,9 +123,92 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Measures one oracle across thread counts, appending table + JSON rows.
+#[allow(clippy::too_many_arguments)]
+fn measure_backend<O: DistanceOracle + Sync>(
+    name: &str,
+    backend: &'static str,
+    g: &Graph,
+    oracle: &O,
+    queries: &[Query],
+    thread_counts: &[usize],
+    table: &mut Table,
+    rows: &mut Vec<Row>,
+) {
+    for &threads in thread_counts {
+        // One warm-up pass (per-thread engines populate their caches inside
+        // the run itself; the warm-up mainly stabilises timing), then qps
+        // from an uninstrumented run — per-query latency recording costs
+        // two clock reads per query, which would systematically understate
+        // throughput — and percentiles from a separate instrumented run.
+        let fast = ThroughputHarness::new(threads);
+        let _ = fast.run(oracle, queries);
+        let report = fast.run(oracle, queries);
+        let latency_report = fast.with_latencies(true).run(oracle, queries);
+        let p50 = latency_report.latency_percentile_ns(50.0).unwrap_or(0) as f64 / 1e3;
+        let p99 = latency_report.latency_percentile_ns(99.0).unwrap_or(0) as f64 / 1e3;
+        let row = Row {
+            generator: name.to_string(),
+            backend,
+            n: g.vertex_count(),
+            m: g.edge_count(),
+            structure_edges: oracle.edge_count(),
+            threads,
+            queries: queries.len(),
+            qps: report.queries_per_sec(),
+            p50_us: p50,
+            p99_us: p99,
+        };
+        table.row(vec![
+            row.generator.clone(),
+            row.backend.to_string(),
+            row.n.to_string(),
+            row.m.to_string(),
+            row.structure_edges.to_string(),
+            row.threads.to_string(),
+            row.queries.to_string(),
+            format!("{:.0}", row.qps),
+            format!("{:.2}", row.p50_us),
+            format!("{:.2}", row.p99_us),
+        ]);
+        rows.push(row);
+    }
+}
+
+/// The cache-policy experiment: qps across LRU capacities under two
+/// fault-pair locality regimes (single thread, single-source backend).
+fn lru_sweep(
+    g: &Graph,
+    frozen: &FrozenStructure,
+    structure_edges: &[EdgeId],
+    query_count: usize,
+) -> Vec<SweepRow> {
+    let mut out = Vec::new();
+    let capacities = [2usize, 4, 8, 16, 32];
+    // Tight locality: ~8 live pairs (a couple of persisting outages);
+    // wide: ~48 live pairs (a churning failure front, larger than any
+    // swept capacity).
+    for (locality, active_pairs) in [("tight", 8usize), ("wide", 48usize)] {
+        let queries = build_queries(g, structure_edges, &[], query_count, active_pairs, 0xBEEF);
+        for &capacity in &capacities {
+            let harness = ThroughputHarness::new(1).with_cache_capacity(capacity);
+            let _ = harness.run(frozen, &queries);
+            let report = harness.run(frozen, &queries);
+            out.push(SweepRow {
+                locality,
+                active_pairs,
+                capacity,
+                qps: report.queries_per_sec(),
+            });
+        }
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let sweep = args.iter().any(|a| a == "--lru-sweep");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -116,63 +240,92 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     let mut table = Table::new(
-        "E10 — frozen-structure query throughput",
+        "E10 — frozen-structure query throughput (DistanceOracle backends)",
         &[
-            "graph", "n", "m", "|E(H)|", "threads", "queries", "qps", "p50_us", "p99_us",
+            "graph", "backend", "n", "m", "|E(H)|", "threads", "queries", "qps", "p50_us", "p99_us",
         ],
     );
+    let mut sweep_rows: Vec<SweepRow> = Vec::new();
+    let mut smoke_qps: Option<f64> = None;
     for (name, g) in &workloads {
         let w = TieBreak::new(g, 1);
         let h = DualFtBfsBuilder::new(g, &w, VertexId(0)).build().structure;
         let frozen = h.freeze(g);
-        let queries = build_queries(g, &frozen, query_count, 0xF7B0);
-        for &threads in thread_counts {
-            // One warm-up pass (per-thread engines populate their caches
-            // inside the run itself; the warm-up mainly stabilises timing),
-            // then qps from an uninstrumented run — per-query latency
-            // recording costs two clock reads per query, which would
-            // systematically understate throughput — and percentiles from a
-            // separate instrumented run.
-            let fast = ThroughputHarness::new(threads);
-            let _ = fast.run(&frozen, &queries);
-            let report = fast.run(&frozen, &queries);
-            let latency_report = fast.with_latencies(true).run(&frozen, &queries);
-            let p50 = latency_report.latency_percentile_ns(50.0).unwrap_or(0) as f64 / 1e3;
-            let p99 = latency_report.latency_percentile_ns(99.0).unwrap_or(0) as f64 / 1e3;
-            let row = Row {
-                generator: name.clone(),
-                n: g.vertex_count(),
-                m: g.edge_count(),
-                structure_edges: frozen.edge_count(),
-                threads,
-                queries: queries.len(),
-                qps: report.queries_per_sec(),
-                p50_us: p50,
-                p99_us: p99,
-            };
-            table.row(vec![
-                row.generator.clone(),
-                row.n.to_string(),
-                row.m.to_string(),
-                row.structure_edges.to_string(),
-                row.threads.to_string(),
-                row.queries.to_string(),
-                format!("{:.0}", row.qps),
-                format!("{:.2}", row.p50_us),
-                format!("{:.2}", row.p99_us),
-            ]);
-            rows.push(row);
+        let structure_edges: Vec<EdgeId> = (0..frozen.edge_count())
+            .map(|i| frozen.original_edge(i as u32))
+            .collect();
+        let queries = build_queries(g, &structure_edges, &[], query_count, 24, 0xF7B0);
+        measure_backend(
+            name,
+            "single",
+            g,
+            &frozen,
+            &queries,
+            thread_counts,
+            &mut table,
+            &mut rows,
+        );
+        if smoke_qps.is_none() {
+            smoke_qps = rows.iter().find(|r| r.threads == 1).map(|r| r.qps);
+        }
+        if sweep && sweep_rows.is_empty() {
+            sweep_rows = lru_sweep(g, &frozen, &structure_edges, query_count);
         }
     }
+
+    // The multi-source S × V backend on the first workload's graph: freeze
+    // the per-source FT-MBFS parts (f = 2) into per-source slabs and drive
+    // explicit-source queries through the same harness.
+    {
+        let (name, g) = &workloads[0];
+        let w = TieBreak::new(g, 1);
+        let sources: Vec<VertexId> = vec![
+            VertexId(0),
+            VertexId((g.vertex_count() / 2) as u32),
+            VertexId((g.vertex_count() - 1) as u32),
+        ];
+        let parts = multi_failure_ftmbfs_parts(g, &w, &sources, 2);
+        let multi = FrozenMultiStructure::freeze(g, &parts);
+        let union_edges: Vec<EdgeId> = multi.to_union_structure().edges().collect();
+        let queries = build_queries(g, &union_edges, &sources, query_count, 24, 0xF7B1);
+        let label = format!("{name} S={}", sources.len());
+        measure_backend(
+            &label,
+            "multi",
+            g,
+            &multi,
+            &queries,
+            thread_counts,
+            &mut table,
+            &mut rows,
+        );
+    }
     print!("{}", table.render());
+
+    if !sweep_rows.is_empty() {
+        let mut sweep_table = Table::new(
+            "E10a — fault-LRU capacity sweep (1 thread, single backend)",
+            &["locality", "active_pairs", "capacity", "qps"],
+        );
+        for r in &sweep_rows {
+            sweep_table.row(vec![
+                r.locality.to_string(),
+                r.active_pairs.to_string(),
+                r.capacity.to_string(),
+                format!("{:.0}", r.qps),
+            ]);
+        }
+        print!("{}", sweep_table.render());
+    }
 
     let mut json = String::from("{\n  \"experiment\": \"query_throughput\",\n  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"graph\": \"{}\", \"n\": {}, \"m\": {}, \"structure_edges\": {}, \
-             \"threads\": {}, \"queries\": {}, \"qps\": {:.1}, \"p50_us\": {:.3}, \
-             \"p99_us\": {:.3}}}{}\n",
+            "    {{\"graph\": \"{}\", \"backend\": \"{}\", \"n\": {}, \"m\": {}, \
+             \"structure_edges\": {}, \"threads\": {}, \"queries\": {}, \"qps\": {:.1}, \
+             \"p50_us\": {:.3}, \"p99_us\": {:.3}}}{}\n",
             json_escape(&r.generator),
+            r.backend,
             r.n,
             r.m,
             r.structure_edges,
@@ -184,7 +337,34 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ]");
+    if !sweep_rows.is_empty() {
+        json.push_str(",\n  \"lru_sweep\": [\n");
+        for (i, r) in sweep_rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"locality\": \"{}\", \"active_pairs\": {}, \"capacity\": {}, \
+                 \"qps\": {:.1}}}{}\n",
+                r.locality,
+                r.active_pairs,
+                r.capacity,
+                r.qps,
+                if i + 1 < sweep_rows.len() { "," } else { "" },
+            ));
+        }
+        json.push_str("  ]");
+    }
+    json.push_str("\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_query.json");
     println!("wrote {out_path}");
+
+    if smoke {
+        let qps = smoke_qps.expect("smoke mode measured a single-thread row");
+        if qps < SMOKE_QPS_FLOOR {
+            eprintln!(
+                "SMOKE FLOOR VIOLATION: single-thread qps {qps:.0} < floor {SMOKE_QPS_FLOOR:.0}"
+            );
+            std::process::exit(1);
+        }
+        println!("smoke floor ok: {qps:.0} qps >= {SMOKE_QPS_FLOOR:.0}");
+    }
 }

@@ -77,10 +77,32 @@ pub fn multi_failure_ftmbfs(
     f: usize,
 ) -> FtBfsStructure {
     let mut h = FtBfsStructure::new(sources.to_vec(), f);
-    for &s in sources {
-        h.extend(multi_failure_ftbfs(graph, w, s, f).edges());
+    for part in multi_failure_ftmbfs_parts(graph, w, sources, f) {
+        h.absorb(&part);
     }
     h
+}
+
+/// Builds the *per-source* `f`-failure FT-BFS structures of an FT-MBFS
+/// source set, one single-source structure per source, in `sources` order.
+///
+/// [`multi_failure_ftmbfs`] returns the union `H = ⋃_s H_s`, which is the
+/// right object for size accounting (Gupta–Khan's `S × V` sparsity bounds
+/// are stated on the union).  Query *serving* wants the parts: a query from
+/// source `s` only ever needs `H_s`, which is smaller than the union, so
+/// `ftbfs-oracle`'s multi-source frozen structure compiles each part into
+/// its own CSR slab.  `⋃` of the returned parts' edges equals
+/// [`multi_failure_ftmbfs`]'s edge set.
+pub fn multi_failure_ftmbfs_parts(
+    graph: &Graph,
+    w: &TieBreak,
+    sources: &[VertexId],
+    f: usize,
+) -> Vec<FtBfsStructure> {
+    sources
+        .iter()
+        .map(|&s| multi_failure_ftbfs(graph, w, s, f))
+        .collect()
 }
 
 /// Recursively explores relevant fault sets for target `v`.
@@ -232,6 +254,27 @@ mod tests {
         for &s in &sources {
             verify_exhaustive(&g, &h, s, 2);
         }
+    }
+
+    #[test]
+    fn parts_union_equals_ftmbfs_and_each_part_verifies() {
+        let g = generators::tree_plus_chords(12, 5, 7);
+        let w = TieBreak::new(&g, 7);
+        let sources = [VertexId(0), VertexId(5)];
+        let parts = multi_failure_ftmbfs_parts(&g, &w, &sources, 2);
+        assert_eq!(parts.len(), 2);
+        let union = multi_failure_ftmbfs(&g, &w, &sources, 2);
+        let mut rebuilt = FtBfsStructure::new(sources.to_vec(), 2);
+        for (part, &s) in parts.iter().zip(&sources) {
+            assert_eq!(part.sources(), &[s]);
+            assert_eq!(part.resilience(), 2);
+            // Each part alone protects its own source.
+            verify_exhaustive(&g, part, s, 2);
+            rebuilt.absorb(part);
+        }
+        assert_eq!(rebuilt, union);
+        // Parts are genuinely sparser than the union (on this instance).
+        assert!(parts.iter().all(|p| p.edge_count() <= union.edge_count()));
     }
 
     #[test]

@@ -108,13 +108,16 @@ impl FtBfsStructure {
     /// The union of two structures (sources and resilience taken from
     /// `self`).
     pub fn union(&self, other: &FtBfsStructure) -> FtBfsStructure {
-        let mut edges = self.edges.clone();
-        edges.extend(other.edges.iter().copied());
-        FtBfsStructure {
-            sources: self.sources.clone(),
-            resilience: self.resilience,
-            edges,
-        }
+        let mut out = self.clone();
+        out.absorb(other);
+        out
+    }
+
+    /// In-place union: adds every edge of `other` to `self` (sources and
+    /// resilience of `self` are kept).  The allocation-free building block
+    /// behind [`Self::union`] and the FT-MBFS union constructions.
+    pub fn absorb(&mut self, other: &FtBfsStructure) {
+        self.edges.extend(other.edges.iter().copied());
     }
 
     /// A [`GraphView`] of `graph` restricted to exactly this structure's

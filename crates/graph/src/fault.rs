@@ -148,6 +148,266 @@ impl FromIterator<EdgeId> for FaultSet {
     }
 }
 
+impl From<EdgeId> for FaultSet {
+    /// A single-failure set, so call sites can write `e.into()`.
+    fn from(e: EdgeId) -> Self {
+        FaultSet::single(e)
+    }
+}
+
+impl From<(EdgeId, EdgeId)> for FaultSet {
+    /// A (canonicalised) dual-failure set from a pair of edges.
+    fn from((a, b): (EdgeId, EdgeId)) -> Self {
+        FaultSet::pair(a, b)
+    }
+}
+
+impl From<&[EdgeId]> for FaultSet {
+    /// A fault set from a slice of edges (sorted and deduplicated).
+    fn from(edges: &[EdgeId]) -> Self {
+        FaultSet::from_iter(edges.iter().copied())
+    }
+}
+
+impl<const N: usize> From<[EdgeId; N]> for FaultSet {
+    /// A fault set from an edge array (sorted and deduplicated).
+    fn from(edges: [EdgeId; N]) -> Self {
+        FaultSet::from_iter(edges)
+    }
+}
+
+/// A *typed* fault specification, the query-serving counterpart of
+/// [`FaultSet`].
+///
+/// Serving code cares intensely about the size of `F`: the paper's
+/// dual-failure structures answer exactly only for `|F| ≤ 2`, and the hot
+/// query paths want the no-fault and one/two-fault cases to be branch-free
+/// (two integer compares against frozen arc ids, no loop over an edge
+/// list).  `FaultSpec` makes the size a *type-level dispatch* instead of a
+/// runtime `len()` check:
+///
+/// * [`FaultSpec::None`] — the fault-free case `F = ∅`;
+/// * [`FaultSpec::One`] — a single failed edge;
+/// * [`FaultSpec::Pair`] — two distinct failed edges, canonically ordered;
+/// * [`FaultSpec::Many`] — three or more failures, carried as a
+///   [`FaultSet`]; answers beyond a structure's designed resilience are
+///   best-effort (exact inside `H ∖ F`, not necessarily equal to
+///   `dist(·, ·, G ∖ F)`).
+///
+/// All constructors canonicalise: duplicate edges collapse, pairs are
+/// ordered, and a `Many` never holds fewer than three distinct edges —
+/// so equality and hashing are structural and a `(source, FaultSpec)`
+/// cache key is canonical.
+///
+/// # Examples
+///
+/// ```
+/// use ftbfs_graph::{EdgeId, FaultSpec};
+///
+/// let one: FaultSpec = EdgeId(3).into();
+/// assert_eq!(one, FaultSpec::One(EdgeId(3)));
+///
+/// // Pairs canonicalise: order does not matter, duplicates collapse.
+/// assert_eq!(
+///     FaultSpec::from((EdgeId(9), EdgeId(2))),
+///     FaultSpec::Pair(EdgeId(2), EdgeId(9)),
+/// );
+/// assert_eq!(FaultSpec::from((EdgeId(4), EdgeId(4))), FaultSpec::One(EdgeId(4)));
+///
+/// let many = FaultSpec::from(&[EdgeId(5), EdgeId(1), EdgeId(5), EdgeId(8)][..]);
+/// assert_eq!(many.len(), 3);
+/// assert!(many.contains(EdgeId(8)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum FaultSpec {
+    /// The fault-free case `F = ∅`.
+    #[default]
+    None,
+    /// Exactly one failed edge.
+    One(EdgeId),
+    /// Exactly two distinct failed edges, canonically ordered by id.
+    ///
+    /// Constructors and `From` conversions always order the pair; a
+    /// hand-built non-canonical `Pair(b, a)` still answers correctly (the
+    /// query engine re-canonicalises internally) but compares unequal to
+    /// the canonical spec.
+    Pair(EdgeId, EdgeId),
+    /// Three or more distinct failed edges (sorted, deduplicated).
+    Many(FaultSet),
+}
+
+impl FaultSpec {
+    /// Builds a canonical spec from arbitrary edges (sorted, deduplicated,
+    /// downgraded to the smallest fitting variant).
+    pub fn from_edges<I: IntoIterator<Item = EdgeId>>(edges: I) -> Self {
+        FaultSpec::from_set(FaultSet::from_iter(edges))
+    }
+
+    /// Builds a spec from an already-canonical [`FaultSet`] without
+    /// re-sorting.
+    pub fn from_set(set: FaultSet) -> Self {
+        match set.edges() {
+            [] => FaultSpec::None,
+            [e] => FaultSpec::One(*e),
+            [a, b] => FaultSpec::Pair(*a, *b),
+            _ => FaultSpec::Many(set),
+        }
+    }
+
+    /// Number of (distinct) failed edges.
+    pub fn len(&self) -> usize {
+        match self {
+            FaultSpec::None => 0,
+            FaultSpec::One(_) => 1,
+            FaultSpec::Pair(_, _) => 2,
+            FaultSpec::Many(set) => set.len(),
+        }
+    }
+
+    /// Returns `true` if no edge has failed.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, FaultSpec::None)
+    }
+
+    /// Returns `true` if `e` is one of the failed edges.
+    pub fn contains(&self, e: EdgeId) -> bool {
+        match self {
+            FaultSpec::None => false,
+            FaultSpec::One(a) => *a == e,
+            FaultSpec::Pair(a, b) => *a == e || *b == e,
+            FaultSpec::Many(set) => set.contains(e),
+        }
+    }
+
+    /// Iterates over the failed edges in increasing id order, without
+    /// allocating.
+    pub fn iter(&self) -> FaultSpecIter<'_> {
+        FaultSpecIter {
+            inner: match self {
+                FaultSpec::None => SpecIterInner::Inline(None, None),
+                FaultSpec::One(a) => SpecIterInner::Inline(Some(*a), None),
+                FaultSpec::Pair(a, b) => SpecIterInner::Inline(Some(*a), Some(*b)),
+                FaultSpec::Many(set) => SpecIterInner::Slice(set.edges().iter()),
+            },
+        }
+    }
+
+    /// The spec as an owned [`FaultSet`] (allocates for `One`/`Two`; used
+    /// by compatibility shims and verification, not by hot query paths).
+    pub fn to_fault_set(&self) -> FaultSet {
+        match self {
+            FaultSpec::None => FaultSet::empty(),
+            FaultSpec::One(a) => FaultSet::single(*a),
+            FaultSpec::Pair(a, b) => FaultSet::pair(*a, *b),
+            FaultSpec::Many(set) => set.clone(),
+        }
+    }
+}
+
+/// Borrowed iterator over a [`FaultSpec`]'s edges; see [`FaultSpec::iter`].
+#[derive(Clone, Debug)]
+pub struct FaultSpecIter<'a> {
+    inner: SpecIterInner<'a>,
+}
+
+#[derive(Clone, Debug)]
+enum SpecIterInner<'a> {
+    /// Up to two inline edges (`None`, `One`, `Two`), emitted in order.
+    Inline(Option<EdgeId>, Option<EdgeId>),
+    /// Borrowed walk over a `Many` fault set.
+    Slice(std::slice::Iter<'a, EdgeId>),
+}
+
+impl Iterator for FaultSpecIter<'_> {
+    type Item = EdgeId;
+
+    fn next(&mut self) -> Option<EdgeId> {
+        match &mut self.inner {
+            SpecIterInner::Inline(first, second) => first.take().or_else(|| second.take()),
+            SpecIterInner::Slice(iter) => iter.next().copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match &self.inner {
+            SpecIterInner::Inline(a, b) => a.is_some() as usize + b.is_some() as usize,
+            SpecIterInner::Slice(iter) => iter.len(),
+        };
+        (n, Some(n))
+    }
+}
+
+impl From<EdgeId> for FaultSpec {
+    /// A single-failure spec, so call sites can write `e.into()`.
+    fn from(e: EdgeId) -> Self {
+        FaultSpec::One(e)
+    }
+}
+
+impl From<(EdgeId, EdgeId)> for FaultSpec {
+    /// A canonical two-failure spec; equal edges collapse to
+    /// [`FaultSpec::One`].
+    fn from((a, b): (EdgeId, EdgeId)) -> Self {
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => FaultSpec::Pair(a, b),
+            std::cmp::Ordering::Equal => FaultSpec::One(a),
+            std::cmp::Ordering::Greater => FaultSpec::Pair(b, a),
+        }
+    }
+}
+
+impl From<&[EdgeId]> for FaultSpec {
+    /// A canonical spec from a slice of edges (sorted, deduplicated,
+    /// downgraded to the smallest fitting variant).
+    fn from(edges: &[EdgeId]) -> Self {
+        FaultSpec::from_edges(edges.iter().copied())
+    }
+}
+
+impl<const N: usize> From<[EdgeId; N]> for FaultSpec {
+    /// A canonical spec from an edge array.
+    fn from(edges: [EdgeId; N]) -> Self {
+        FaultSpec::from_edges(edges)
+    }
+}
+
+impl From<FaultSet> for FaultSpec {
+    /// Reuses the set's canonical order; no re-sorting.
+    fn from(set: FaultSet) -> Self {
+        FaultSpec::from_set(set)
+    }
+}
+
+impl From<&FaultSet> for FaultSpec {
+    /// Clones the set only in the `Many` case; the branch-free variants
+    /// copy the edge ids out of the borrow (this conversion sits on the
+    /// compatibility-shim query path, so it must not allocate for
+    /// `|F| ≤ 2`).
+    fn from(set: &FaultSet) -> Self {
+        match set.edges() {
+            [] => FaultSpec::None,
+            [e] => FaultSpec::One(*e),
+            [a, b] => FaultSpec::Pair(*a, *b),
+            _ => FaultSpec::Many(set.clone()),
+        }
+    }
+}
+
+impl From<FaultSpec> for FaultSet {
+    fn from(spec: FaultSpec) -> Self {
+        match spec {
+            FaultSpec::Many(set) => set,
+            other => other.to_fault_set(),
+        }
+    }
+}
+
+impl From<&FaultSpec> for FaultSet {
+    fn from(spec: &FaultSpec) -> Self {
+        spec.to_fault_set()
+    }
+}
+
 /// A restricted view of a graph: the base graph minus removed edges and
 /// vertices, optionally with the edges incident to one designated vertex
 /// replaced by an explicit allowed subset.
@@ -505,6 +765,73 @@ mod tests {
         let dup = FaultSet::pair(e1, e1);
         assert_eq!(dup.len(), 1);
         assert!(FaultSet::empty().is_empty());
+    }
+
+    #[test]
+    fn fault_spec_canonicalisation_and_iteration() {
+        assert_eq!(FaultSpec::default(), FaultSpec::None);
+        assert_eq!(FaultSpec::from_edges([]), FaultSpec::None);
+        assert_eq!(FaultSpec::from(EdgeId(4)), FaultSpec::One(EdgeId(4)));
+        assert_eq!(
+            FaultSpec::from((EdgeId(7), EdgeId(2))),
+            FaultSpec::Pair(EdgeId(2), EdgeId(7))
+        );
+        assert_eq!(
+            FaultSpec::from((EdgeId(5), EdgeId(5))),
+            FaultSpec::One(EdgeId(5))
+        );
+        let many = FaultSpec::from([EdgeId(9), EdgeId(1), EdgeId(9), EdgeId(4)]);
+        assert_eq!(many.len(), 3);
+        assert!(!many.is_empty());
+        assert!(many.contains(EdgeId(4)));
+        assert!(!many.contains(EdgeId(2)));
+        let collected: Vec<EdgeId> = many.iter().collect();
+        assert_eq!(collected, vec![EdgeId(1), EdgeId(4), EdgeId(9)]);
+        // Size hints are exact for both iterator shapes.
+        assert_eq!(
+            FaultSpec::Pair(EdgeId(0), EdgeId(1)).iter().size_hint(),
+            (2, Some(2))
+        );
+        assert_eq!(many.iter().size_hint(), (3, Some(3)));
+        // Slices with ≤ 2 distinct edges downgrade to the small variants.
+        assert_eq!(
+            FaultSpec::from(&[EdgeId(3), EdgeId(3)][..]),
+            FaultSpec::One(EdgeId(3))
+        );
+    }
+
+    #[test]
+    fn fault_spec_round_trips_with_fault_set() {
+        let set = FaultSet::from_iter([EdgeId(2), EdgeId(8), EdgeId(5)]);
+        let spec = FaultSpec::from(&set);
+        assert_eq!(spec.len(), 3);
+        assert_eq!(FaultSet::from(&spec), set);
+        assert_eq!(FaultSet::from(spec.clone()), set);
+        assert_eq!(FaultSpec::from(set.clone()), spec);
+        // Small sets map to the branch-free variants and back.
+        let one = FaultSet::single(EdgeId(6));
+        assert_eq!(FaultSpec::from(&one), FaultSpec::One(EdgeId(6)));
+        assert_eq!(one.clone(), FaultSpec::from(&one).to_fault_set());
+        let empty = FaultSpec::from(FaultSet::empty());
+        assert_eq!(empty, FaultSpec::None);
+        assert_eq!(empty.iter().next(), None);
+    }
+
+    #[test]
+    fn fault_set_from_conversions() {
+        assert_eq!(FaultSet::from(EdgeId(3)), FaultSet::single(EdgeId(3)));
+        assert_eq!(
+            FaultSet::from((EdgeId(9), EdgeId(1))),
+            FaultSet::pair(EdgeId(1), EdgeId(9))
+        );
+        assert_eq!(
+            FaultSet::from(&[EdgeId(2), EdgeId(2), EdgeId(0)][..]),
+            FaultSet::pair(EdgeId(0), EdgeId(2))
+        );
+        assert_eq!(
+            FaultSet::from([EdgeId(4), EdgeId(4)]),
+            FaultSet::single(EdgeId(4))
+        );
     }
 
     #[test]

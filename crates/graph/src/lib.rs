@@ -68,7 +68,9 @@ pub mod workspace;
 
 pub use bfs::{bfs, bfs_to_target, BfsResult};
 pub use dijkstra::{dijkstra, shortest_path, shortest_weight, ShortestPaths};
-pub use fault::{FaultSet, GraphView, OverlayView, Restriction, ViewOverlay};
+pub use fault::{
+    FaultSet, FaultSpec, FaultSpecIter, GraphView, OverlayView, Restriction, ViewOverlay,
+};
 pub use graph::{EdgeId, Endpoints, Graph, GraphBuilder, VertexId};
 pub use path::Path;
 pub use sptree::SpTree;

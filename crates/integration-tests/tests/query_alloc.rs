@@ -1,7 +1,8 @@
-//! Allocation accounting for the query engine: after warm-up, dual-fault
-//! distance queries on the acceptance workload (`connected_gnp(120, 0.08)`)
-//! must allocate **nothing** — the whole point of the epoch-stamped
-//! workspace and the buffer-reusing fault-pair LRU.
+//! Allocation accounting for the query engine: after warm-up,
+//! trait-dispatched dual-fault distance queries on the acceptance workload
+//! (`connected_gnp(120, 0.08)`) must allocate **nothing** — the whole point
+//! of the epoch-stamped workspace and the buffer-reusing partitioned fault
+//! LRU, preserved across the `DistanceOracle` redesign.
 //!
 //! Measured with a counting wrapper around the system allocator, which
 //! needs `unsafe` for the `GlobalAlloc` impl — the one place in the
@@ -10,8 +11,9 @@
 #![allow(unsafe_code)]
 
 use ftbfs_core::dual::DualFtBfsBuilder;
-use ftbfs_graph::{generators, EdgeId, FaultSet, TieBreak, VertexId};
-use ftbfs_oracle::{Freeze, Query, QueryEngine};
+use ftbfs_core::multi_failure_ftmbfs_parts;
+use ftbfs_graph::{generators, EdgeId, FaultSpec, TieBreak, VertexId};
+use ftbfs_oracle::{Freeze, FrozenMultiStructure, Query, QueryEngine};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -53,13 +55,16 @@ fn dual_fault_queries_allocate_nothing_after_warmup() {
     let frozen = h.freeze(&g);
     let structure_edges: Vec<EdgeId> = h.edges().collect();
 
-    // Pre-build every query object: `FaultSet`s allocate, queries must not.
-    let fault_pairs: Vec<FaultSet> = (0..16)
+    // Pre-build every spec and query object: constructing `Many` specs
+    // allocates, executing queries must not.  24 distinct pairs exceed the
+    // default per-partition capacity of 16, so the eviction path is
+    // exercised too.
+    let fault_pairs: Vec<FaultSpec> = (0..24)
         .map(|i| {
-            FaultSet::pair(
+            FaultSpec::from((
                 structure_edges[i * 5 % structure_edges.len()],
                 structure_edges[(i * 9 + 2) % structure_edges.len()],
-            )
+            ))
         })
         .collect();
     let queries: Vec<Query> = (0..512)
@@ -73,8 +78,7 @@ fn dual_fault_queries_allocate_nothing_after_warmup() {
     let mut out = vec![None; queries.len()];
 
     let mut engine = QueryEngine::new();
-    // Warm-up: sizes the workspace, populates the LRU (16 pairs through a
-    // capacity-8 cache exercises the eviction path too), then goes around
+    // Warm-up: sizes the workspace, populates the LRU, then goes around
     // again so every buffer has reached steady state.
     for _ in 0..2 {
         engine.batch_distances_into(&frozen, &queries, &mut out);
@@ -82,15 +86,16 @@ fn dual_fault_queries_allocate_nothing_after_warmup() {
 
     let before = allocation_count();
     engine.batch_distances_into(&frozen, &queries, &mut out);
-    for (q, faults) in queries.iter().zip(fault_pairs.iter().cycle()) {
-        let _ = engine.distance(&frozen, q.target, faults);
+    for (q, spec) in queries.iter().zip(fault_pairs.iter().cycle()) {
+        let answer = engine.try_distance(&frozen, q.target, spec).unwrap();
+        assert!(answer.is_exact());
     }
     let after = allocation_count();
 
     assert_eq!(
         after - before,
         0,
-        "warmed-up dual-fault distance queries must not allocate"
+        "warmed-up trait-dispatched dual-fault queries must not allocate"
     );
     // Sanity: the warmed-up answers are still real answers.
     assert!(out.iter().filter(|d| d.is_some()).count() > out.len() / 2);
@@ -102,16 +107,59 @@ fn fault_free_queries_allocate_nothing_at_all_after_freeze() {
     let w = TieBreak::new(&g, 43);
     let h = DualFtBfsBuilder::new(&g, &w, VertexId(0)).build().structure;
     let frozen = h.freeze(&g);
-    let empty = FaultSet::empty();
     let mut engine = QueryEngine::new();
     // One query to bind the engine (sizing its arrays allocates once).
-    let _ = engine.distance(&frozen, VertexId(1), &empty);
+    let _ = engine.try_distance(&frozen, VertexId(1), &FaultSpec::None);
 
     let before = allocation_count();
     for v in g.vertices() {
-        let _ = engine.distance(&frozen, v, &empty);
+        let _ = engine.try_distance(&frozen, v, &FaultSpec::None);
     }
     let after = allocation_count();
     assert_eq!(after - before, 0, "tree fast path must not allocate");
     assert_eq!(engine.stats().searches, 0);
+}
+
+#[test]
+fn multi_source_matrix_allocates_nothing_into_a_preallocated_slice() {
+    let g = generators::tree_plus_chords(40, 14, 17);
+    let w = TieBreak::new(&g, 17);
+    let sources = [VertexId(0), VertexId(20), VertexId(39)];
+    let parts = multi_failure_ftmbfs_parts(&g, &w, &sources, 2);
+    let multi = FrozenMultiStructure::freeze(&g, &parts);
+    let edges: Vec<EdgeId> = g.edges().collect();
+    let specs = [
+        FaultSpec::None,
+        FaultSpec::One(edges[1]),
+        FaultSpec::from((edges[2], edges[edges.len() / 2])),
+    ];
+    let mut flat = vec![None; sources.len() * g.vertex_count()];
+    let mut engine = QueryEngine::new();
+    // Warm-up resolves every (source, spec) restriction once.
+    for spec in &specs {
+        engine
+            .try_distance_matrix_into(&multi, spec, &mut flat)
+            .unwrap();
+    }
+
+    let before = allocation_count();
+    for spec in &specs {
+        let guarantee = engine
+            .try_distance_matrix_into(&multi, spec, &mut flat)
+            .unwrap();
+        assert!(guarantee.is_exact());
+    }
+    // Point queries across sources stay allocation-free too.
+    for (i, &s) in sources.iter().enumerate() {
+        let _ = engine
+            .try_distance_from(&multi, s, VertexId((i * 11) as u32), &specs[2])
+            .unwrap();
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "warmed-up S × V matrix serving must not allocate"
+    );
+    assert!(flat.iter().filter(|d| d.is_some()).count() > flat.len() / 2);
 }

@@ -1,36 +1,46 @@
-//! Equivalence suite for the query-serving subsystem (`ftbfs-oracle`):
-//! every query path of the [`QueryEngine`] — fault-free fast path,
-//! single-fault, dual-fault, cached repeats, batched, and the sharded
-//! multi-threaded harness — must be bit-identical to ground-truth BFS on
-//! `G ∖ F`, and snapshots must round-trip to identical answers.
+//! Equivalence suite for the query-serving subsystem (`ftbfs-oracle`),
+//! exercised through the [`DistanceOracle`] trait for **both** backends:
+//! the single-source `FrozenStructure` and the multi-source
+//! `FrozenMultiStructure`.  Every query path of the [`QueryEngine`] —
+//! fault-free fast path, single-fault, dual-fault, cached repeats, the
+//! `S × V` distance matrix, batched, and the sharded multi-threaded
+//! harness — must be bit-identical to ground-truth BFS on `G ∖ F`, and
+//! snapshots must round-trip to identical answers.
 //!
 //! Comparing against `G ∖ F` (not `H ∖ F`) is deliberately the stronger
-//! check: for `|F| ≤ 2` it verifies both the engine *and* the dual-failure
-//! FT-BFS property of the structure it serves.
+//! check: for `|F| ≤ resilience` it verifies both the engine *and* the
+//! FT-BFS property of the structure it serves.  Beyond the resilience the
+//! suite checks the *guarantee contract* instead: `try_distance` flags the
+//! answer [`Guarantee::BestEffort`] and the value equals ground-truth BFS
+//! on `H ∖ F` (exact inside the structure, an upper bound on `G ∖ F`).
 
 use ftbfs_core::dual::DualFtBfsBuilder;
-use ftbfs_graph::{bfs, generators, EdgeId, FaultSet, Graph, GraphView, TieBreak, VertexId};
-use ftbfs_oracle::{Freeze, FrozenStructure, Query, QueryEngine, ThroughputHarness};
+use ftbfs_core::multi_failure_ftmbfs_parts;
+use ftbfs_graph::{bfs, generators, EdgeId, FaultSpec, Graph, GraphView, TieBreak, VertexId};
+use ftbfs_oracle::{
+    DistanceOracle, Freeze, FrozenMultiStructure, FrozenStructure, Guarantee, Query, QueryEngine,
+    QueryError, ThroughputHarness,
+};
 use proptest::prelude::*;
 
 /// Ground truth `dist(s, ·, G ∖ F)` for all vertices.
-fn ground_truth(g: &Graph, s: VertexId, faults: &FaultSet) -> Vec<Option<u32>> {
-    let view = GraphView::new(g).without_faults(faults);
+fn ground_truth(g: &Graph, s: VertexId, spec: &FaultSpec) -> Vec<Option<u32>> {
+    let view = GraphView::new(g).without_faults(&spec.to_fault_set());
     let res = bfs(&view, s);
     g.vertices().map(|v| res.distance(v)).collect()
 }
 
-/// A deterministic spread of fault sets of size 0, 1 and 2 over `g`'s
+/// A deterministic spread of fault specs of size 0, 1 and 2 over `g`'s
 /// edges (which may or may not belong to the structure).
-fn fault_sets(g: &Graph, stride: usize) -> Vec<FaultSet> {
+fn fault_specs(g: &Graph, stride: usize) -> Vec<FaultSpec> {
     let edges: Vec<EdgeId> = g.edges().collect();
     let m = edges.len();
-    let mut sets = vec![FaultSet::empty()];
+    let mut specs = vec![FaultSpec::None];
     for i in (0..m).step_by(stride.max(1)) {
-        sets.push(FaultSet::single(edges[i]));
-        sets.push(FaultSet::pair(edges[i], edges[(i * 5 + 3) % m]));
+        specs.push(FaultSpec::One(edges[i]));
+        specs.push(FaultSpec::from((edges[i], edges[(i * 5 + 3) % m])));
     }
-    sets
+    specs
 }
 
 fn frozen_for(g: &Graph, seed: u64) -> FrozenStructure {
@@ -41,38 +51,77 @@ fn frozen_for(g: &Graph, seed: u64) -> FrozenStructure {
         .freeze(g)
 }
 
-/// The core assertion: every engine path agrees with ground truth on every
-/// vertex under every sampled fault set.
-fn assert_engine_matches_ground_truth(g: &Graph, frozen: &FrozenStructure, stride: usize) {
+fn multi_frozen_for(g: &Graph, sources: &[VertexId], seed: u64) -> FrozenMultiStructure {
+    let w = TieBreak::new(g, seed);
+    let parts = multi_failure_ftmbfs_parts(g, &w, sources, 2);
+    FrozenMultiStructure::freeze(g, &parts)
+}
+
+/// The core assertion, generic over the serving backend: every engine path
+/// agrees with ground truth on every vertex from every *served* source
+/// under every sampled fault spec, and every answer within the resilience
+/// is flagged exact.
+fn assert_oracle_matches_ground_truth<O: DistanceOracle>(g: &Graph, oracle: &O, stride: usize) {
     let mut engine = QueryEngine::new();
-    let source = frozen.primary_source();
-    for faults in fault_sets(g, stride) {
-        let expected = ground_truth(g, source, &faults);
-        // Single queries (first pass populates tree/cache, second pass
-        // re-reads — the cached repeat must stay bit-identical).
-        for pass in 0..2 {
-            for v in g.vertices() {
-                assert_eq!(
-                    engine.distance(frozen, v, &faults),
-                    expected[v.index()],
-                    "pass {pass}, target {v:?}, faults {faults:?}"
-                );
-            }
-        }
-        // The bulk read agrees slot for slot.
-        assert_eq!(engine.all_distances(frozen, &faults), expected);
-        // Paths exist exactly where distances do, with matching lengths,
-        // valid edges, and no failed edge.
-        for v in g.vertices() {
-            match engine.shortest_path(frozen, v, &faults) {
-                Some(p) => {
-                    assert_eq!(Some(p.len() as u32), expected[v.index()]);
-                    assert!(p.is_valid_in(g));
-                    assert!(!faults.intersects_path(g, &p));
+    let n = g.vertex_count();
+    for spec in fault_specs(g, stride) {
+        let per_source: Vec<Vec<Option<u32>>> = oracle
+            .sources()
+            .iter()
+            .map(|&s| ground_truth(g, s, &spec))
+            .collect();
+        for (src_idx, &source) in oracle.sources().iter().enumerate() {
+            let expected = &per_source[src_idx];
+            // Single queries (first pass populates tree/cache, second pass
+            // re-reads — the cached repeat must stay bit-identical).
+            for pass in 0..2 {
+                for v in g.vertices() {
+                    let answer = engine
+                        .try_distance_from(oracle, source, v, &spec)
+                        .expect("in-range query on a served source");
+                    assert!(answer.is_exact(), "|F| ≤ 2 answers must be exact");
+                    assert_eq!(
+                        answer.into_value(),
+                        expected[v.index()],
+                        "pass {pass}, source {source:?}, target {v:?}, spec {spec:?}"
+                    );
                 }
-                None => assert_eq!(expected[v.index()], None, "missing path to {v:?}"),
+            }
+            // The bulk read agrees slot for slot.
+            assert_eq!(
+                engine
+                    .try_all_distances_from(oracle, source, &spec)
+                    .unwrap()
+                    .into_value(),
+                *expected
+            );
+            // Paths exist exactly where distances do, with matching lengths,
+            // valid edges, and no failed edge.
+            for v in g.vertices() {
+                match engine
+                    .try_shortest_path_from(oracle, source, v, &spec)
+                    .unwrap()
+                    .into_value()
+                {
+                    Some(p) => {
+                        assert_eq!(Some(p.len() as u32), expected[v.index()]);
+                        assert!(p.is_valid_in(g));
+                        assert!(!spec.to_fault_set().intersects_path(g, &p));
+                    }
+                    None => assert_eq!(expected[v.index()], None, "missing path to {v:?}"),
+                }
             }
         }
+        // The S × V matrix is the per-source rows, in order.
+        let matrix = engine
+            .try_distance_matrix(oracle, &spec)
+            .unwrap()
+            .into_value();
+        assert_eq!(matrix.sources(), oracle.sources());
+        for (row, expected) in per_source.iter().enumerate() {
+            assert_eq!(matrix.row(row), &expected[..], "matrix row {row}");
+        }
+        assert_eq!(matrix.vertex_count(), n);
     }
 }
 
@@ -81,16 +130,70 @@ fn engine_matches_ground_truth_on_gnp() {
     for seed in [2015u64, 77] {
         let g = generators::connected_gnp(34, 0.14, seed);
         let frozen = frozen_for(&g, seed);
-        assert_engine_matches_ground_truth(&g, &frozen, 7);
+        assert_oracle_matches_ground_truth(&g, &frozen, 7);
     }
 }
 
 #[test]
 fn engine_matches_ground_truth_on_cycle_and_grid() {
     let cycle = generators::cycle(24);
-    assert_engine_matches_ground_truth(&cycle, &frozen_for(&cycle, 1), 3);
+    assert_oracle_matches_ground_truth(&cycle, &frozen_for(&cycle, 1), 3);
     let grid = generators::grid(5, 6);
-    assert_engine_matches_ground_truth(&grid, &frozen_for(&grid, 2), 5);
+    assert_oracle_matches_ground_truth(&grid, &frozen_for(&grid, 2), 5);
+}
+
+#[test]
+fn multi_source_oracle_matches_ground_truth() {
+    let g = generators::tree_plus_chords(16, 7, 5);
+    let sources = [VertexId(0), VertexId(9), VertexId(15)];
+    let multi = multi_frozen_for(&g, &sources, 5);
+    assert_eq!(multi.sources(), &sources[..]);
+    assert_oracle_matches_ground_truth(&g, &multi, 4);
+    // Undeclared sources are typed errors, not wrong answers.
+    let mut engine = QueryEngine::new();
+    assert_eq!(
+        engine.try_distance_from(&multi, VertexId(3), VertexId(1), &FaultSpec::None),
+        Err(QueryError::UnservedSource {
+            source: VertexId(3)
+        })
+    );
+}
+
+#[test]
+fn beyond_resilience_answers_are_flagged_best_effort_and_exact_inside_h() {
+    let g = generators::connected_gnp(30, 0.16, 21);
+    let w = TieBreak::new(&g, 21);
+    let h = DualFtBfsBuilder::new(&g, &w, VertexId(0)).build().structure;
+    let frozen = h.freeze(&g);
+    assert_eq!(frozen.resilience(), 2);
+    let structure_edges: Vec<EdgeId> = h.edges().collect();
+    let spec = FaultSpec::from([
+        structure_edges[0],
+        structure_edges[structure_edges.len() / 3],
+        structure_edges[2 * structure_edges.len() / 3],
+    ]);
+    assert_eq!(spec.len(), 3);
+    // Ground truth *inside H* — the documented best-effort meaning.
+    let removed: Vec<EdgeId> = g.edges().filter(|e| !h.contains(*e)).collect();
+    let h_view = GraphView::new(&g)
+        .without_edges(removed)
+        .without_faults(&spec.to_fault_set());
+    let inside_h = bfs(&h_view, VertexId(0));
+    let g_truth = ground_truth(&g, VertexId(0), &spec);
+    let mut engine = QueryEngine::new();
+    for v in g.vertices() {
+        let answer = engine.try_distance(&frozen, v, &spec).unwrap();
+        assert_eq!(answer.guarantee(), Guarantee::BestEffort);
+        let d = answer.into_value();
+        assert_eq!(d, inside_h.distance(v), "best effort is exact inside H");
+        // And never shorter than the true G ∖ F distance (H ⊆ G).
+        match (d, g_truth[v.index()]) {
+            (Some(a), Some(b)) => assert!(a >= b),
+            (None, Some(_)) | (None, None) => {}
+            (Some(_), None) => panic!("H reached a vertex G could not"),
+        }
+    }
+    assert!(engine.stats().best_effort > 0);
 }
 
 #[test]
@@ -103,28 +206,68 @@ fn batched_and_threaded_queries_match_serial_ground_truth() {
     let queries: Vec<Query> = (0..600)
         .map(|i| {
             let target = VertexId((i * 13 % g.vertex_count()) as u32);
-            let faults = match i % 4 {
-                0 => FaultSet::empty(),
-                1 => FaultSet::single(edges[i * 3 % edges.len()]),
-                _ => FaultSet::pair(edges[i % edges.len()], edges[(i * 11 + 5) % edges.len()]),
-            };
-            Query::new(target, faults)
+            match i % 4 {
+                0 => Query::fault_free(target),
+                1 => Query::new(target, edges[i * 3 % edges.len()]),
+                _ => Query::new(
+                    target,
+                    (edges[i % edges.len()], edges[(i * 11 + 5) % edges.len()]),
+                ),
+            }
         })
         .collect();
     let expected: Vec<Option<u32>> = queries
         .iter()
         .map(|q| {
-            let view = GraphView::new(&g).without_faults(&q.faults);
+            let view = GraphView::new(&g).without_faults(&q.faults.to_fault_set());
             bfs(&view, source).distance(q.target)
         })
         .collect();
-    // Batched through one engine.
+    // Batched through one engine (checked and panicking forms agree).
     let mut engine = QueryEngine::new();
+    assert_eq!(
+        engine.try_batch_distances(&frozen, &queries).unwrap(),
+        expected
+    );
     assert_eq!(engine.batch_distances(&frozen, &queries), expected);
     // Sharded across 4 threads: same answers, same (input) order.
     let report = ThroughputHarness::new(4).run(&frozen, &queries);
     assert_eq!(report.distances, expected);
     assert_eq!(report.threads, 4);
+}
+
+#[test]
+fn threaded_multi_source_batches_match_ground_truth() {
+    let g = generators::tree_plus_chords(18, 8, 11);
+    let sources = [VertexId(0), VertexId(11)];
+    let multi = multi_frozen_for(&g, &sources, 11);
+    let edges: Vec<EdgeId> = g.edges().collect();
+    let queries: Vec<Query> = (0..300)
+        .map(|i| {
+            let s = sources[i % sources.len()];
+            let t = VertexId((i * 7 % g.vertex_count()) as u32);
+            match i % 3 {
+                0 => Query::from_source(s, t, FaultSpec::None),
+                1 => Query::from_source(s, t, edges[i % edges.len()]),
+                _ => Query::from_source(
+                    s,
+                    t,
+                    (edges[i % edges.len()], edges[(i * 5 + 2) % edges.len()]),
+                ),
+            }
+        })
+        .collect();
+    let expected: Vec<Option<u32>> = queries
+        .iter()
+        .map(|q| {
+            let view = GraphView::new(&g).without_faults(&q.faults.to_fault_set());
+            bfs(&view, q.source.unwrap()).distance(q.target)
+        })
+        .collect();
+    for threads in [1, 3] {
+        let report = ThroughputHarness::new(threads).run(&multi, &queries);
+        assert_eq!(report.distances, expected, "threads={threads}");
+    }
 }
 
 proptest! {
@@ -141,17 +284,35 @@ proptest! {
         prop_assert_eq!(loaded.fingerprint(), frozen.fingerprint());
         let mut engine_a = QueryEngine::new();
         let mut engine_b = QueryEngine::new();
-        for faults in fault_sets(&g, 5) {
+        for spec in fault_specs(&g, 5) {
             for v in g.vertices() {
                 prop_assert_eq!(
-                    engine_a.distance(&frozen, v, &faults),
-                    engine_b.distance(&loaded, v, &faults),
-                    "target {:?}, faults {:?}", v, faults
+                    engine_a.try_distance(&frozen, v, &spec).unwrap().into_value(),
+                    engine_b.try_distance(&loaded, v, &spec).unwrap().into_value(),
+                    "target {:?}, spec {:?}", v, spec
                 );
             }
         }
         // And the reconstructed mutable structure freezes back to the
         // same fingerprint.
         prop_assert_eq!(loaded.to_structure().freeze(&g).fingerprint(), frozen.fingerprint());
+    }
+
+    /// The multi-source snapshot round-trips to identical `S × V` answers.
+    #[test]
+    fn multi_snapshot_roundtrip_preserves_answers(n in 8usize..16, chords in 2usize..6, seed in 0u64..200) {
+        let g = generators::tree_plus_chords(n, chords, seed);
+        let sources = [VertexId(0), VertexId((n as u32) - 1)];
+        let multi = multi_frozen_for(&g, &sources, seed);
+        let loaded = FrozenMultiStructure::load(&multi.save()).expect("snapshot loads");
+        prop_assert_eq!(&loaded, &multi);
+        prop_assert_eq!(loaded.fingerprint(), multi.fingerprint());
+        let mut engine_a = QueryEngine::new();
+        let mut engine_b = QueryEngine::new();
+        for spec in fault_specs(&g, 4) {
+            let a = engine_a.try_distance_matrix(&multi, &spec).unwrap().into_value();
+            let b = engine_b.try_distance_matrix(&loaded, &spec).unwrap().into_value();
+            prop_assert_eq!(a, b, "spec {:?}", spec);
+        }
     }
 }

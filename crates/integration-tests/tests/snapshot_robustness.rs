@@ -1,0 +1,197 @@
+//! Robustness of the binary snapshot loaders against malformed input: a
+//! serving process deserialising a frozen structure from disk or the
+//! network must get a typed [`SnapshotError`] for *any* corruption —
+//! truncation at every prefix length, bit flips at every offset, wrong or
+//! foreign magic, and adversarial length fields — and must **never panic**.
+//! Both formats are covered: the single-source `"FTBO"` snapshots of
+//! [`FrozenStructure`] and the multi-source `"FTBM"` snapshots of
+//! [`FrozenMultiStructure`].
+//!
+//! Deterministic sweeps cover every truncation point and every byte
+//! position (one flip per byte) on small instances; proptest then fuzzes
+//! (offset, bit, mutation-kind) combinations — including multi-bit flips
+//! that could in principle collide the checksum back to validity, which the
+//! structural validation behind it must still reject — on larger instances.
+
+use ftbfs_core::dual::DualFtBfsBuilder;
+use ftbfs_core::multi_failure_ftmbfs_parts;
+use ftbfs_graph::{generators, TieBreak, VertexId};
+use ftbfs_oracle::{
+    Freeze, FrozenMultiStructure, FrozenStructure, SnapshotError, SNAPSHOT_MAGIC,
+    SNAPSHOT_MULTI_MAGIC,
+};
+use proptest::prelude::*;
+
+fn single_snapshot(seed: u64) -> Vec<u8> {
+    let g = generators::connected_gnp(24, 0.18, seed);
+    let w = TieBreak::new(&g, seed);
+    DualFtBfsBuilder::new(&g, &w, VertexId(0))
+        .build()
+        .structure
+        .freeze(&g)
+        .save()
+}
+
+fn multi_snapshot(seed: u64) -> Vec<u8> {
+    let g = generators::tree_plus_chords(12, 5, seed);
+    let w = TieBreak::new(&g, seed);
+    let sources = [VertexId(0), VertexId(7)];
+    let parts = multi_failure_ftmbfs_parts(&g, &w, &sources, 2);
+    FrozenMultiStructure::freeze(&g, &parts).save()
+}
+
+/// Every load attempt must produce `Err`, never a panic and never a
+/// structure (the input is corrupted by construction).
+fn assert_single_rejects(data: &[u8], what: &str) {
+    match FrozenStructure::load(data) {
+        Err(_) => {}
+        Ok(_) => panic!("{what}: corrupted single snapshot unexpectedly loaded"),
+    }
+}
+
+fn assert_multi_rejects(data: &[u8], what: &str) {
+    match FrozenMultiStructure::load(data) {
+        Err(_) => {}
+        Ok(_) => panic!("{what}: corrupted multi snapshot unexpectedly loaded"),
+    }
+}
+
+#[test]
+fn every_truncation_point_is_a_typed_error() {
+    let single = single_snapshot(3);
+    for cut in 0..single.len() {
+        assert_single_rejects(&single[..cut], "truncation");
+    }
+    let multi = multi_snapshot(3);
+    for cut in 0..multi.len() {
+        assert_multi_rejects(&multi[..cut], "truncation");
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    // One flip per byte position (bit chosen by position) keeps the sweep
+    // linear while still touching every field of both layouts.
+    let single = single_snapshot(5);
+    for i in 0..single.len() {
+        let mut bytes = single.clone();
+        bytes[i] ^= 1 << (i % 8);
+        assert_single_rejects(&bytes, "bit flip");
+    }
+    let multi = multi_snapshot(5);
+    for i in 0..multi.len() {
+        let mut bytes = multi.clone();
+        bytes[i] ^= 1 << (i % 8);
+        assert_multi_rejects(&bytes, "bit flip");
+    }
+}
+
+#[test]
+fn wrong_and_foreign_magic_are_bad_magic() {
+    let single = single_snapshot(7);
+    let multi = multi_snapshot(7);
+    // Swapping the two formats' magics must fail cleanly in both
+    // directions (a multi payload under a single magic and vice versa).
+    let mut cross_a = single.clone();
+    cross_a[..4].copy_from_slice(&SNAPSHOT_MULTI_MAGIC);
+    assert_single_rejects(&cross_a, "cross magic");
+    assert_multi_rejects(&cross_a, "cross magic (checksummed payload differs)");
+    let mut cross_b = multi.clone();
+    cross_b[..4].copy_from_slice(&SNAPSHOT_MAGIC);
+    assert_multi_rejects(&cross_b, "cross magic");
+    assert_single_rejects(&cross_b, "cross magic (checksummed payload differs)");
+    assert_eq!(
+        FrozenStructure::load(b"").unwrap_err(),
+        SnapshotError::BadMagic
+    );
+    assert_eq!(
+        FrozenMultiStructure::load(b"\x00\x01\x02").unwrap_err(),
+        SnapshotError::BadMagic
+    );
+    assert_eq!(
+        FrozenStructure::load(b"FTBMxxxxxxxxxxxx").unwrap_err(),
+        SnapshotError::BadMagic
+    );
+}
+
+#[test]
+fn adversarial_length_fields_do_not_overallocate_or_panic() {
+    // A tiny "snapshot" that declares absurd counts: the loaders must run
+    // out of bytes (typed error) without trusting the counts.
+    for magic in [SNAPSHOT_MAGIC, SNAPSHOT_MULTI_MAGIC] {
+        let mut payload = Vec::new();
+        ftbfs_graph::bytes::put_u16(&mut payload, 1); // version
+        ftbfs_graph::bytes::put_u16(&mut payload, 0); // flags
+        ftbfs_graph::bytes::put_u32(&mut payload, 10); // n
+        ftbfs_graph::bytes::put_u32(&mut payload, 2); // resilience
+        ftbfs_graph::bytes::put_u32(&mut payload, u32::MAX); // source count
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&magic);
+        bytes.extend_from_slice(&payload);
+        ftbfs_graph::bytes::put_u64(&mut bytes, ftbfs_graph::bytes::fnv1a64(&payload));
+        assert_single_rejects(&bytes, "length bomb");
+        assert_multi_rejects(&bytes, "length bomb");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Random single-byte mutations at proptest-chosen offsets never panic
+    /// and never load, across seeds (single-source format).
+    #[test]
+    fn single_snapshot_mutations_never_panic(
+        seed in 0u64..50,
+        offset_sel in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let bytes = single_snapshot(seed);
+        let offset = ((bytes.len() - 1) as f64 * offset_sel) as usize;
+        let mut mutated = bytes.clone();
+        mutated[offset] ^= xor;
+        prop_assert!(FrozenStructure::load(&mutated).is_err());
+        // Mutations must also not corrupt the pristine copy's loadability.
+        prop_assert!(FrozenStructure::load(&bytes).is_ok());
+    }
+
+    /// Random mutations on the multi-source format: single-byte flips plus
+    /// payload-shuffling splices (checksum-surviving structural damage is
+    /// caught by validation, not just the checksum).
+    #[test]
+    fn multi_snapshot_mutations_never_panic(
+        seed in 0u64..30,
+        offset_sel in 0.0f64..1.0,
+        xor in 1u8..=255,
+        splice_sel in 0u8..2,
+    ) {
+        let bytes = multi_snapshot(seed);
+        let offset = ((bytes.len() - 1) as f64 * offset_sel) as usize;
+        let mut mutated = bytes.clone();
+        if splice_sel == 1 && bytes.len() > 24 {
+            // Duplicate a mid-payload chunk over another offset, then leave
+            // the checksum untouched: must fail (checksum or validation).
+            let src = 12 + offset % (bytes.len() - 24);
+            let dst = 12 + (offset * 7 + 3) % (bytes.len() - 24);
+            let b = mutated[src];
+            mutated[dst] = b.wrapping_add(xor);
+        } else {
+            mutated[offset] ^= xor;
+        }
+        if mutated != bytes {
+            prop_assert!(FrozenMultiStructure::load(&mutated).is_err());
+        }
+        prop_assert!(FrozenMultiStructure::load(&bytes).is_ok());
+    }
+
+    /// Truncation at a proptest-chosen point is always a typed error for
+    /// both formats.
+    #[test]
+    fn truncations_never_panic(seed in 0u64..30, cut_sel in 0.0f64..1.0) {
+        let single = single_snapshot(seed);
+        let cut = (single.len() as f64 * cut_sel) as usize;
+        prop_assert!(FrozenStructure::load(&single[..cut.min(single.len() - 1)]).is_err());
+        let multi = multi_snapshot(seed);
+        let cut = (multi.len() as f64 * cut_sel) as usize;
+        prop_assert!(FrozenMultiStructure::load(&multi[..cut.min(multi.len() - 1)]).is_err());
+    }
+}

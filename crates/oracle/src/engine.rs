@@ -1,60 +1,90 @@
-//! [`QueryEngine`] — per-thread, zero-allocation answering of dual-fault
-//! distance and path queries over a [`FrozenStructure`].
+//! [`QueryEngine`] — per-thread, zero-allocation answering of post-failure
+//! distance and path queries over any [`DistanceOracle`].
 //!
 //! The engine is the query-side counterpart of the construction stack's
 //! `ftbfs_graph::SearchEngine`: it reuses the same *epoch-stamping* scheme
 //! (a vertex's distance/parent slot is meaningful iff its stamp equals the
 //! current epoch, so starting a new search invalidates all previous state
-//! in `O(1)` without clearing), applied to a FIFO BFS over the frozen CSR
-//! adjacency.  After warm-up, [`QueryEngine::distance`] and
-//! [`QueryEngine::batch_distances_into`] allocate nothing:
+//! in `O(1)` without clearing), applied to a FIFO BFS over a borrowed
+//! [`OracleSlab`]'s CSR adjacency.  After warm-up, [`QueryEngine::try_distance`]
+//! and [`QueryEngine::batch_distances_into`] allocate nothing:
 //!
-//! * **fault-free fast path** — if no queried fault edge is part of `H`,
-//!   the surviving structure equals `H` and the answer is read from the
-//!   precomputed [`crate::SourceTree`] in `O(1)` (`O(path)` for paths);
-//! * **fault-pair LRU** — a small fixed-capacity cache keyed by
-//!   `(source, fault pair)` holds the full distance/parent arrays of
-//!   recently answered restrictions, so repeated-failure workloads (the
-//!   common case while a failure persists) cost `O(1)` per query after the
-//!   first;
-//! * **epoch-stamped BFS** — everything else runs one BFS over the CSR
-//!   into reusable arrays, `O(|E(H)|)`.
+//! * **fault-free fast path** — if the slab carries a precomputed tree and
+//!   no queried fault edge is part of it, the surviving structure equals
+//!   `H_s` and the answer is read from the tree in `O(1)` (`O(path)` for
+//!   paths); [`ftbfs_graph::FaultSpec::None`] never even touches the
+//!   fault-translation loop;
+//! * **partitioned fault LRU** — a small fixed-capacity cache *per source
+//!   partition*, keyed by `(source, FaultSpec)` (as one or two frozen edge
+//!   indices), holds the full distance/parent arrays of recently answered
+//!   restrictions.  Partitioning by source means a hot fault pair on one
+//!   source of an `S × V` workload cannot evict another source's entries;
+//! * **epoch-stamped BFS** — everything else runs one BFS over the slab
+//!   into reusable arrays, `O(|E(H_s)|)`.
 //!
-//! Engines are cheap and thread-local by design: share one
-//! [`FrozenStructure`] across threads (`&FrozenStructure` is `Sync`) and
-//! give each thread its own `QueryEngine` — that is exactly what
+//! The *checked* entry points (`try_*`) return
+//! `Result<`[`Answer`]`, `[`QueryError`]`>`: errors instead of panics for
+//! out-of-range vertices and unserved sources, and every answer carries the
+//! [`Guarantee`] derived from the oracle's declared resilience — the
+//! ROADMAP's "query-side admission of `f > 2`" story.  The PR 3 methods
+//! taking `&FrozenStructure` + `&FaultSet` remain as deprecated shims for
+//! one release.
+//!
+//! Engines are cheap and thread-local by design: share one oracle across
+//! threads (`&O` is `Sync` for both frozen structure types) and give each
+//! thread its own `QueryEngine` — that is exactly what
 //! [`crate::ThroughputHarness`] does.  The engine notices (via
-//! [`FrozenStructure::fingerprint`]) when it is handed a different
-//! structure and transparently rebinds, invalidating its cache.
+//! [`DistanceOracle::fingerprint`]) when it is handed a different structure
+//! and transparently rebinds, invalidating its cache.
 
+use crate::api::{Answer, DistanceMatrix, DistanceOracle, Guarantee, OracleSlab, QueryError};
 use crate::frozen::{FrozenStructure, NO_PARENT, UNREACHED};
-use ftbfs_graph::{FaultSet, Path, VertexId};
+use ftbfs_graph::{FaultSet, FaultSpec, Path, VertexId};
 use std::collections::VecDeque;
 
 /// Sentinel frozen-edge index meaning "no fault in this slot".
 const NO_FAULT: u32 = u32::MAX;
 
-/// One distance query: a target vertex and the failed edges (original
-/// [`ftbfs_graph::EdgeId`]s of the graph the structure was frozen from).
+/// One distance query: a target vertex, the failed edges, and optionally a
+/// non-default source.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Query {
+    /// The source to answer from; `None` means the oracle's
+    /// [`DistanceOracle::primary_source`].
+    pub source: Option<VertexId>,
     /// The queried vertex `v`.
     pub target: VertexId,
-    /// The failed edges `F` (designed for `|F| ≤ 2`).
-    pub faults: FaultSet,
+    /// The typed failure specification `F`.
+    pub faults: FaultSpec,
 }
 
 impl Query {
-    /// A query under the given fault set.
-    pub fn new(target: VertexId, faults: FaultSet) -> Self {
-        Query { target, faults }
+    /// A query from the oracle's primary source under the given faults
+    /// (anything convertible: an [`ftbfs_graph::EdgeId`], a pair, a slice,
+    /// a [`FaultSet`], or a [`FaultSpec`] itself).
+    pub fn new(target: VertexId, faults: impl Into<FaultSpec>) -> Self {
+        Query {
+            source: None,
+            target,
+            faults: faults.into(),
+        }
     }
 
     /// A fault-free query (`F = ∅`).
     pub fn fault_free(target: VertexId) -> Self {
         Query {
+            source: None,
             target,
-            faults: FaultSet::empty(),
+            faults: FaultSpec::None,
+        }
+    }
+
+    /// A query from an explicit source vertex — the `S × V` workload form.
+    pub fn from_source(source: VertexId, target: VertexId, faults: impl Into<FaultSpec>) -> Self {
+        Query {
+            source: Some(source),
+            target,
+            faults: faults.into(),
         }
     }
 }
@@ -65,78 +95,95 @@ impl Query {
 pub struct QueryStats {
     /// Queries answered from a precomputed fault-free tree in `O(1)`.
     pub tree_hits: u64,
-    /// Queries answered from the fault-pair LRU cache in `O(1)`.
+    /// Queries answered from the partitioned fault LRU in `O(1)`.
     pub cache_hits: u64,
-    /// Queries that ran a BFS over the frozen CSR.
+    /// Queries that ran a BFS over a frozen slab.
     pub searches: u64,
+    /// Queries whose answers carried [`Guarantee::BestEffort`] (fault sets
+    /// larger than the oracle's declared resilience).
+    pub best_effort: u64,
 }
 
-/// One materialised restriction in the fault-pair LRU.
+/// One materialised restriction in a fault-LRU partition.
 #[derive(Clone, Debug)]
 struct CacheEntry {
-    /// `(source, fault1, fault2)` with frozen indices, `fault1 <= fault2`,
-    /// [`NO_FAULT`] padding.
+    /// `(source, fault1, fault2)` with slab-local frozen indices,
+    /// `fault1 <= fault2`, [`NO_FAULT`] padding.
     key: (u32, u32, u32),
     last_used: u64,
     dist: Vec<u32>,
     parent_head: Vec<u32>,
-    parent_edge: Vec<u32>,
 }
 
 /// Where the distances of a resolved query live.
 #[derive(Clone, Copy, Debug)]
 enum Slot {
-    /// The precomputed fault-free tree of the query's source.
+    /// The slab's precomputed fault-free tree.
     Tree,
-    /// A cache entry (index into the LRU).
-    Cache(usize),
+    /// A cache entry (partition, index) in the LRU.
+    Cache(usize, usize),
     /// The engine's workspace arrays (current epoch), uncached.
     Fresh,
 }
 
-/// Per-thread query answering over a [`FrozenStructure`]; see the module
+/// Per-thread query answering over any [`DistanceOracle`]; see the module
 /// docs.
 ///
-/// All methods take the frozen structure by reference, so one engine can be
-/// kept per thread while structures come and go (rebinding to a structure
-/// with a different [`FrozenStructure::fingerprint`] clears the cache).
+/// All methods take the oracle by reference, so one engine can be kept per
+/// thread while structures come and go (rebinding to an oracle with a
+/// different [`DistanceOracle::fingerprint`] clears the cache).
 ///
 /// # Examples
 ///
 /// ```
 /// use ftbfs_core::dual_failure_ftbfs;
-/// use ftbfs_graph::{generators, EdgeId, FaultSet, TieBreak, VertexId};
-/// use ftbfs_oracle::{FrozenStructure, QueryEngine};
+/// use ftbfs_graph::{generators, EdgeId, FaultSpec, TieBreak, VertexId};
+/// use ftbfs_oracle::{Freeze, QueryEngine};
 ///
 /// let g = generators::connected_gnp(30, 0.15, 7);
 /// let w = TieBreak::new(&g, 7);
-/// let h = dual_failure_ftbfs(&g, &w, VertexId(0));
-/// let frozen = FrozenStructure::freeze(&g, &h);
+/// let frozen = dual_failure_ftbfs(&g, &w, VertexId(0)).freeze(&g);
 ///
 /// let mut engine = QueryEngine::new();
-/// let faults = FaultSet::pair(EdgeId(0), EdgeId(3));
-/// let d = engine.distance(&frozen, VertexId(9), &faults);
-/// let p = engine.shortest_path(&frozen, VertexId(9), &faults);
-/// assert_eq!(p.map(|p| p.len() as u32), d);
+/// let faults = FaultSpec::from((EdgeId(0), EdgeId(3)));
+/// let d = engine.try_distance(&frozen, VertexId(9), &faults).unwrap();
+/// let p = engine.try_shortest_path(&frozen, VertexId(9), &faults).unwrap();
+/// assert!(d.is_exact(), "two faults are within the design resilience");
+/// assert_eq!(p.into_value().map(|p| p.len() as u32), d.into_value());
 /// ```
 #[derive(Clone, Debug)]
 pub struct QueryEngine {
-    /// Fingerprint of the structure the scratch state is sized for.
+    /// Fingerprint of the oracle the scratch state is sized for.
     bound: Option<u64>,
     n: usize,
     epoch: u64,
     stamp: Vec<u64>,
     dist: Vec<u32>,
     parent_head: Vec<u32>,
-    parent_edge: Vec<u32>,
     queue: VecDeque<u32>,
-    /// Frozen indices of the current query's faults that are in `H`.
+    /// Slab-local frozen indices of the current query's faults that are in
+    /// the slab, sorted.
     eff: Vec<u32>,
-    cache: Vec<CacheEntry>,
+    /// Fault-LRU partitions: one per declared source, plus a trailing
+    /// overflow partition for servable-but-undeclared sources.
+    partitions: Vec<Vec<CacheEntry>>,
+    /// Capacity of each partition (0 disables caching entirely).
     cache_capacity: usize,
     clock: u64,
     stats: QueryStats,
 }
+
+/// The default per-partition fault-LRU capacity.
+///
+/// Chosen by the `exp_query_throughput --lru-sweep` experiment (see
+/// `BENCH_query.json` and the README's Serving API section).  A
+/// persisting-outage mix of ~8 live fault pairs produces ~16 distinct
+/// cache keys (each pair also appears as its single-fault prefixes), so
+/// the old default of 8 thrashed (~2.1M qps) while 16 holds the working
+/// set (~8.8M qps).  32 buys another ~20–30% in the microbench but
+/// doubles the resident footprint per partition and mostly caches the
+/// churn tail; 16 is the knee.
+pub const DEFAULT_CACHE_CAPACITY: usize = 16;
 
 impl Default for QueryEngine {
     fn default() -> Self {
@@ -147,11 +194,10 @@ impl Default for QueryEngine {
             stamp: Vec::new(),
             dist: Vec::new(),
             parent_head: Vec::new(),
-            parent_edge: Vec::new(),
             queue: VecDeque::new(),
             eff: Vec::new(),
-            cache: Vec::new(),
-            cache_capacity: 8,
+            partitions: Vec::new(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
             clock: 0,
             stats: QueryStats::default(),
         }
@@ -159,15 +205,19 @@ impl Default for QueryEngine {
 }
 
 impl QueryEngine {
-    /// Creates an engine with the default fault-pair cache capacity (8).
+    /// Creates an engine with the default per-partition cache capacity
+    /// ([`DEFAULT_CACHE_CAPACITY`]).
     pub fn new() -> Self {
         QueryEngine::default()
     }
 
-    /// Sets the fault-pair LRU capacity (0 disables caching entirely).
+    /// Sets the per-partition fault-LRU capacity (0 disables caching
+    /// entirely).
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
-        self.cache.truncate(capacity);
+        for p in &mut self.partitions {
+            p.truncate(capacity);
+        }
         self
     }
 
@@ -181,75 +231,84 @@ impl QueryEngine {
         self.stats = QueryStats::default();
     }
 
-    /// The distance `dist(s, v, H ∖ F)` from the structure's primary
-    /// source, or `None` if `v` is unreachable in the surviving structure.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `target` is not a vertex of the structure's graph.
-    pub fn distance(
+    // -- checked trait-generic API ----------------------------------------
+
+    /// The distance `dist(s, v, H ∖ F)` from the oracle's primary source,
+    /// with the [`Guarantee`] derived from the oracle's resilience;
+    /// `None` inside the answer means `v` is unreachable in the surviving
+    /// structure.
+    pub fn try_distance<O: DistanceOracle>(
         &mut self,
-        frozen: &FrozenStructure,
+        oracle: &O,
         target: VertexId,
-        faults: &FaultSet,
-    ) -> Option<u32> {
-        self.distance_from(frozen, frozen.primary_source(), target, faults)
+        spec: &FaultSpec,
+    ) -> Result<Answer<Option<u32>>, QueryError> {
+        self.try_distance_from(oracle, oracle.primary_source(), target, spec)
     }
 
-    /// [`Self::distance`] from an arbitrary source vertex.
+    /// [`Self::try_distance`] from an arbitrary source vertex.
     ///
-    /// Sources listed in [`FrozenStructure::sources`] get the `O(1)`
-    /// fault-free fast path; other sources are answered by BFS inside `H`
-    /// (still exact, still cached per fault pair).
-    pub fn distance_from(
+    /// Which sources are servable is the oracle's choice: a
+    /// [`FrozenStructure`] answers from any vertex (BFS fallback for
+    /// undeclared sources), a [`crate::FrozenMultiStructure`] only from its
+    /// declared set — others return [`QueryError::UnservedSource`].
+    pub fn try_distance_from<O: DistanceOracle>(
         &mut self,
-        frozen: &FrozenStructure,
+        oracle: &O,
         source: VertexId,
         target: VertexId,
-        faults: &FaultSet,
-    ) -> Option<u32> {
-        self.check_vertex(frozen, target);
-        self.check_vertex(frozen, source);
-        let slot = self.resolve(frozen, source, faults);
-        self.read_distance(frozen, source, slot, target)
+        spec: &FaultSpec,
+    ) -> Result<Answer<Option<u32>>, QueryError> {
+        let (slab, slot) = self.prepare(oracle, source, target, spec)?;
+        let d = self.read_distance(&slab, slot, target);
+        Ok(Answer::new(d, self.note_guarantee(oracle, spec)))
     }
 
     /// A shortest surviving path `s → v` inside `H ∖ F` from the primary
-    /// source, or `None` if `v` is unreachable.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `target` is not a vertex of the structure's graph.
-    pub fn shortest_path(
+    /// source, or `None` (inside the answer) if `v` is unreachable.
+    pub fn try_shortest_path<O: DistanceOracle>(
         &mut self,
-        frozen: &FrozenStructure,
+        oracle: &O,
         target: VertexId,
-        faults: &FaultSet,
-    ) -> Option<Path> {
-        self.shortest_path_from(frozen, frozen.primary_source(), target, faults)
+        spec: &FaultSpec,
+    ) -> Result<Answer<Option<Path>>, QueryError> {
+        self.try_shortest_path_from(oracle, oracle.primary_source(), target, spec)
     }
 
-    /// [`Self::shortest_path`] from an arbitrary source vertex.
-    pub fn shortest_path_from(
+    /// [`Self::try_shortest_path`] from an arbitrary source vertex.
+    pub fn try_shortest_path_from<O: DistanceOracle>(
         &mut self,
-        frozen: &FrozenStructure,
+        oracle: &O,
         source: VertexId,
         target: VertexId,
-        faults: &FaultSet,
-    ) -> Option<Path> {
-        self.check_vertex(frozen, target);
-        self.check_vertex(frozen, source);
+        spec: &FaultSpec,
+    ) -> Result<Answer<Option<Path>>, QueryError> {
         if source == target {
-            return Some(Path::singleton(source));
+            // The trivial path needs no search, but the query must still be
+            // valid — the distance and path APIs agree on which
+            // (source, target) pairs an oracle serves.
+            self.check_vertex(oracle, target)?;
+            if oracle.slab(source).is_none() {
+                return Err(QueryError::UnservedSource { source });
+            }
+            return Ok(Answer::new(
+                Some(Path::singleton(source)),
+                self.note_guarantee(oracle, spec),
+            ));
         }
-        let slot = self.resolve(frozen, source, faults);
-        match slot {
-            Slot::Tree => frozen
-                .tree_for(source)
-                .expect("tree slot implies a source tree")
-                .path_to(target),
-            Slot::Cache(i) => {
-                let entry = &self.cache[i];
+        let (slab, slot) = self.prepare(oracle, source, target, spec)?;
+        let path = match slot {
+            Slot::Tree => {
+                let tree = slab.tree().expect("tree slot implies a slab tree");
+                reconstruct_path(
+                    tree.parent_head,
+                    tree.dist[target.index()] != UNREACHED,
+                    source,
+                    target,
+                )
+            }
+            Slot::Cache(part, i) => {
+                let entry = &self.partitions[part][i];
                 let reached = entry.dist[target.index()] != UNREACHED;
                 reconstruct_path(&entry.parent_head, reached, source, target)
             }
@@ -257,115 +316,377 @@ impl QueryEngine {
                 let reached = self.stamp[target.index()] == self.epoch;
                 reconstruct_path(&self.parent_head, reached, source, target)
             }
-        }
+        };
+        Ok(Answer::new(path, self.note_guarantee(oracle, spec)))
     }
 
     /// Distances from the primary source to *all* vertices under one fault
-    /// set (one shared resolution, then `O(1)` per vertex).
-    pub fn all_distances(
+    /// spec (one shared resolution, then `O(1)` per vertex).
+    pub fn try_all_distances<O: DistanceOracle>(
         &mut self,
-        frozen: &FrozenStructure,
-        faults: &FaultSet,
-    ) -> Vec<Option<u32>> {
-        self.all_distances_from(frozen, frozen.primary_source(), faults)
+        oracle: &O,
+        spec: &FaultSpec,
+    ) -> Result<Answer<Vec<Option<u32>>>, QueryError> {
+        self.try_all_distances_from(oracle, oracle.primary_source(), spec)
     }
 
-    /// [`Self::all_distances`] from an arbitrary source vertex.
-    pub fn all_distances_from(
+    /// [`Self::try_all_distances`] from an arbitrary source vertex.
+    pub fn try_all_distances_from<O: DistanceOracle>(
         &mut self,
-        frozen: &FrozenStructure,
+        oracle: &O,
         source: VertexId,
-        faults: &FaultSet,
-    ) -> Vec<Option<u32>> {
-        self.check_vertex(frozen, source);
-        let slot = self.resolve(frozen, source, faults);
-        (0..frozen.vertex_count())
-            .map(|i| self.read_distance(frozen, source, slot, VertexId::new(i)))
-            .collect()
+        spec: &FaultSpec,
+    ) -> Result<Answer<Vec<Option<u32>>>, QueryError> {
+        let (slab, slot) = self.prepare(oracle, source, source, spec)?;
+        let distances = (0..oracle.vertex_count())
+            .map(|i| self.read_distance(&slab, slot, VertexId::new(i)))
+            .collect();
+        Ok(Answer::new(distances, self.note_guarantee(oracle, spec)))
     }
 
-    /// Answers a batch of queries from the primary source, returning
-    /// distances in input order.
-    pub fn batch_distances(
+    /// The full `S × V` distance table under one fault spec — the batch
+    /// form of Gupta–Khan's multi-source FT-MBFS workload.  One resolution
+    /// per source, `O(1)` per `(s, v)` cell afterwards.
+    pub fn try_distance_matrix<O: DistanceOracle>(
         &mut self,
-        frozen: &FrozenStructure,
-        queries: &[Query],
-    ) -> Vec<Option<u32>> {
-        let mut out = vec![None; queries.len()];
-        self.batch_distances_into(frozen, queries, &mut out);
-        out
+        oracle: &O,
+        spec: &FaultSpec,
+    ) -> Result<Answer<DistanceMatrix>, QueryError> {
+        let k = oracle.sources().len();
+        let n = oracle.vertex_count();
+        let mut data = vec![None; k * n];
+        let guarantee = self.try_distance_matrix_into(oracle, spec, &mut data)?;
+        Ok(Answer::new(
+            DistanceMatrix::new(oracle.sources().to_vec(), n, data),
+            guarantee,
+        ))
     }
 
-    /// [`Self::batch_distances`] into a caller-provided slice (the
+    /// [`Self::try_distance_matrix`] into a caller-provided row-major slice
+    /// of `sources().len() * vertex_count()` slots (the zero-allocation
+    /// form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has the wrong length.
+    pub fn try_distance_matrix_into<O: DistanceOracle>(
+        &mut self,
+        oracle: &O,
+        spec: &FaultSpec,
+        out: &mut [Option<u32>],
+    ) -> Result<Guarantee, QueryError> {
+        let k = oracle.sources().len();
+        let n = oracle.vertex_count();
+        assert_eq!(out.len(), k * n, "matrix slice must hold S × V slots");
+        for row in 0..k {
+            let source = oracle.sources()[row];
+            let (slab, slot) = self.prepare(oracle, source, source, spec)?;
+            for i in 0..n {
+                out[row * n + i] = self.read_distance(&slab, slot, VertexId::new(i));
+            }
+        }
+        Ok(self.note_guarantee(oracle, spec))
+    }
+
+    /// Answers a batch of [`Query`]s, returning distances in input order,
+    /// or the first error encountered.
+    pub fn try_batch_distances<O: DistanceOracle>(
+        &mut self,
+        oracle: &O,
+        queries: &[Query],
+    ) -> Result<Vec<Option<u32>>, QueryError> {
+        let mut out = vec![None; queries.len()];
+        self.try_batch_distances_into(oracle, queries, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::try_batch_distances`] into a caller-provided slice (the
     /// zero-allocation form used by [`crate::ThroughputHarness`]).
     ///
     /// # Panics
     ///
     /// Panics if `out.len() != queries.len()`.
-    pub fn batch_distances_into(
+    pub fn try_batch_distances_into<O: DistanceOracle>(
         &mut self,
-        frozen: &FrozenStructure,
+        oracle: &O,
         queries: &[Query],
         out: &mut [Option<u32>],
-    ) {
+    ) -> Result<(), QueryError> {
         assert_eq!(
             out.len(),
             queries.len(),
             "output slice must match the query count"
         );
         for (q, slot) in queries.iter().zip(out.iter_mut()) {
-            *slot = self.distance(frozen, q.target, &q.faults);
+            let source = q.source.unwrap_or_else(|| oracle.primary_source());
+            *slot = self
+                .try_distance_from(oracle, source, q.target, &q.faults)?
+                .into_value();
         }
+        Ok(())
+    }
+
+    /// Answers a batch of queries, panicking on invalid ones; prefer
+    /// [`Self::try_batch_distances`] where errors must be surfaced.
+    pub fn batch_distances<O: DistanceOracle>(
+        &mut self,
+        oracle: &O,
+        queries: &[Query],
+    ) -> Vec<Option<u32>> {
+        self.try_batch_distances(oracle, queries)
+            .expect("batch query must be valid for this oracle")
+    }
+
+    /// [`Self::batch_distances`] into a caller-provided slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != queries.len()` or a query is invalid.
+    pub fn batch_distances_into<O: DistanceOracle>(
+        &mut self,
+        oracle: &O,
+        queries: &[Query],
+        out: &mut [Option<u32>],
+    ) {
+        self.try_batch_distances_into(oracle, queries, out)
+            .expect("batch query must be valid for this oracle")
+    }
+
+    // -- deprecated PR 3 compatibility shims -------------------------------
+
+    /// The distance from the structure's primary source under a raw
+    /// [`FaultSet`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_distance` with a `FaultSpec` via the `DistanceOracle` trait"
+    )]
+    pub fn distance(
+        &mut self,
+        frozen: &FrozenStructure,
+        target: VertexId,
+        faults: &FaultSet,
+    ) -> Option<u32> {
+        let spec = FaultSpec::from(faults);
+        self.try_distance(frozen, target, &spec)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_value()
+    }
+
+    /// The distance from an arbitrary source under a raw [`FaultSet`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_distance_from` with a `FaultSpec` via the `DistanceOracle` trait"
+    )]
+    pub fn distance_from(
+        &mut self,
+        frozen: &FrozenStructure,
+        source: VertexId,
+        target: VertexId,
+        faults: &FaultSet,
+    ) -> Option<u32> {
+        let spec = FaultSpec::from(faults);
+        self.try_distance_from(frozen, source, target, &spec)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_value()
+    }
+
+    /// A shortest surviving path from the primary source under a raw
+    /// [`FaultSet`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_shortest_path` with a `FaultSpec` via the `DistanceOracle` trait"
+    )]
+    pub fn shortest_path(
+        &mut self,
+        frozen: &FrozenStructure,
+        target: VertexId,
+        faults: &FaultSet,
+    ) -> Option<Path> {
+        let spec = FaultSpec::from(faults);
+        self.try_shortest_path(frozen, target, &spec)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_value()
+    }
+
+    /// A shortest surviving path from an arbitrary source under a raw
+    /// [`FaultSet`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_shortest_path_from` with a `FaultSpec` via the `DistanceOracle` trait"
+    )]
+    pub fn shortest_path_from(
+        &mut self,
+        frozen: &FrozenStructure,
+        source: VertexId,
+        target: VertexId,
+        faults: &FaultSet,
+    ) -> Option<Path> {
+        let spec = FaultSpec::from(faults);
+        self.try_shortest_path_from(frozen, source, target, &spec)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_value()
+    }
+
+    /// Distances to all vertices from the primary source under a raw
+    /// [`FaultSet`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_all_distances` with a `FaultSpec` via the `DistanceOracle` trait"
+    )]
+    pub fn all_distances(
+        &mut self,
+        frozen: &FrozenStructure,
+        faults: &FaultSet,
+    ) -> Vec<Option<u32>> {
+        let spec = FaultSpec::from(faults);
+        self.try_all_distances(frozen, &spec)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_value()
+    }
+
+    /// Distances to all vertices from an arbitrary source under a raw
+    /// [`FaultSet`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_all_distances_from` with a `FaultSpec` via the `DistanceOracle` trait"
+    )]
+    pub fn all_distances_from(
+        &mut self,
+        frozen: &FrozenStructure,
+        source: VertexId,
+        faults: &FaultSet,
+    ) -> Vec<Option<u32>> {
+        let spec = FaultSpec::from(faults);
+        self.try_all_distances_from(frozen, source, &spec)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_value()
     }
 
     // -- internals --------------------------------------------------------
 
     #[inline]
-    fn check_vertex(&self, frozen: &FrozenStructure, v: VertexId) {
-        assert!(
-            v.index() < frozen.vertex_count(),
-            "vertex {v:?} out of range for a structure over {} vertices",
-            frozen.vertex_count()
-        );
+    fn check_vertex<O: DistanceOracle>(&self, oracle: &O, v: VertexId) -> Result<(), QueryError> {
+        if v.index() >= oracle.vertex_count() {
+            return Err(QueryError::VertexOutOfRange {
+                vertex: v,
+                bound: oracle.vertex_count(),
+            });
+        }
+        Ok(())
     }
 
-    /// Rebinds the scratch state to `frozen` if it is a different structure
+    /// Counts and returns the guarantee answers under `spec` carry.
+    fn note_guarantee<O: DistanceOracle>(&mut self, oracle: &O, spec: &FaultSpec) -> Guarantee {
+        let g = oracle.guarantee(spec);
+        if g == Guarantee::BestEffort {
+            self.stats.best_effort += 1;
+        }
+        g
+    }
+
+    /// Validates the query, binds to the oracle, and resolves
+    /// `(source, spec)` to a distance location, running and caching a BFS
+    /// if needed.
+    fn prepare<'o, O: DistanceOracle>(
+        &mut self,
+        oracle: &'o O,
+        source: VertexId,
+        target: VertexId,
+        spec: &FaultSpec,
+    ) -> Result<(OracleSlab<'o>, Slot), QueryError> {
+        self.check_vertex(oracle, target)?;
+        self.check_vertex(oracle, source)?;
+        let slab = oracle
+            .slab(source)
+            .ok_or(QueryError::UnservedSource { source })?;
+        self.bind(oracle);
+        let partition = oracle
+            .partition(source)
+            .unwrap_or(self.partitions.len() - 1);
+        let slot = self.resolve(&slab, partition, source, spec);
+        Ok((slab, slot))
+    }
+
+    /// Rebinds the scratch state to `oracle` if it is a different structure
     /// than the last query's.
-    fn bind(&mut self, frozen: &FrozenStructure) {
-        if self.bound == Some(frozen.fingerprint()) {
+    fn bind<O: DistanceOracle>(&mut self, oracle: &O) {
+        if self.bound == Some(oracle.fingerprint()) {
             return;
         }
-        self.bound = Some(frozen.fingerprint());
-        self.n = frozen.vertex_count();
+        self.bound = Some(oracle.fingerprint());
+        self.n = oracle.vertex_count();
         if self.stamp.len() < self.n {
             self.stamp.resize(self.n, 0);
             self.dist.resize(self.n, UNREACHED);
             self.parent_head.resize(self.n, NO_PARENT);
-            self.parent_edge.resize(self.n, NO_PARENT);
         }
-        self.cache.clear();
+        // One partition per declared source plus the overflow partition for
+        // servable-but-undeclared sources; entries of a previous binding
+        // are dropped, the partition vectors themselves are reused.
+        let wanted = oracle.sources().len() + 1;
+        for p in &mut self.partitions {
+            p.clear();
+        }
+        if self.partitions.len() < wanted {
+            self.partitions.resize_with(wanted, Vec::new);
+        } else {
+            self.partitions.truncate(wanted);
+        }
     }
 
-    /// Translates the query's original-edge faults into frozen indices
-    /// (dropping faults outside `H`, which cannot affect answers).
-    fn map_faults(&mut self, frozen: &FrozenStructure, faults: &FaultSet) {
+    /// Translates the spec's original-edge faults into slab-local frozen
+    /// indices (dropping faults outside the slab, which cannot affect
+    /// answers), preserving canonical sorted order.
+    fn map_faults(&mut self, slab: &OracleSlab<'_>, spec: &FaultSpec) {
         self.eff.clear();
-        for &e in faults.edges() {
-            if let Some(i) = frozen.frozen_index(e) {
-                self.eff.push(i);
+        match spec {
+            FaultSpec::None => {}
+            FaultSpec::One(e) => {
+                if let Some(i) = slab.frozen_index(*e) {
+                    self.eff.push(i);
+                }
+            }
+            FaultSpec::Pair(a, b) => {
+                if let Some(i) = slab.frozen_index(*a) {
+                    self.eff.push(i);
+                }
+                if let Some(j) = slab.frozen_index(*b) {
+                    self.eff.push(j);
+                }
+                // Canonical specs are ordered and distinct and the index
+                // map is monotone; re-canonicalise anyway so hand-built
+                // `Pair(b, a)` / `Pair(e, e)` values still hit the same
+                // cache entries as their canonical forms.
+                if self.eff.len() == 2 {
+                    if self.eff[0] > self.eff[1] {
+                        self.eff.swap(0, 1);
+                    } else if self.eff[0] == self.eff[1] {
+                        self.eff.pop();
+                    }
+                }
+            }
+            FaultSpec::Many(set) => {
+                for &e in set.edges() {
+                    if let Some(i) = slab.frozen_index(e) {
+                        self.eff.push(i);
+                    }
+                }
             }
         }
-        // `FaultSet` is sorted by original id and `frozen_index` is
-        // monotone, so `eff` is already sorted — the cache key is canonical.
         debug_assert!(self.eff.windows(2).all(|w| w[0] < w[1]));
     }
 
-    /// Resolves `(source, faults)` to a distance array location, running
-    /// and caching a BFS if needed.
-    fn resolve(&mut self, frozen: &FrozenStructure, source: VertexId, faults: &FaultSet) -> Slot {
-        self.bind(frozen);
-        self.map_faults(frozen, faults);
-        if self.eff.is_empty() && frozen.tree_for(source).is_some() {
+    /// Resolves `(source, spec)` to a distance array location, running and
+    /// caching a BFS if needed.
+    fn resolve(
+        &mut self,
+        slab: &OracleSlab<'_>,
+        partition: usize,
+        source: VertexId,
+        spec: &FaultSpec,
+    ) -> Slot {
+        self.map_faults(slab, spec);
+        if self.eff.is_empty() && slab.has_tree() {
             self.stats.tree_hits += 1;
             return Slot::Tree;
         }
@@ -379,35 +700,24 @@ impl QueryEngine {
             None
         };
         if let Some(k) = key {
-            if let Some(i) = self.cache_lookup(k) {
+            if let Some(i) = self.cache_lookup(partition, k) {
                 self.stats.cache_hits += 1;
-                return Slot::Cache(i);
+                return Slot::Cache(partition, i);
             }
         }
-        self.run_bfs(frozen, source);
+        self.run_bfs(slab, source);
         self.stats.searches += 1;
         match key {
-            Some(k) => Slot::Cache(self.cache_store(k)),
+            Some(k) => Slot::Cache(partition, self.cache_store(partition, k)),
             None => Slot::Fresh,
         }
     }
 
     #[inline]
-    fn read_distance(
-        &self,
-        frozen: &FrozenStructure,
-        source: VertexId,
-        slot: Slot,
-        target: VertexId,
-    ) -> Option<u32> {
+    fn read_distance(&self, slab: &OracleSlab<'_>, slot: Slot, target: VertexId) -> Option<u32> {
         let raw = match slot {
-            Slot::Tree => {
-                return frozen
-                    .tree_for(source)
-                    .expect("tree slot implies a source tree")
-                    .distance(target)
-            }
-            Slot::Cache(i) => self.cache[i].dist[target.index()],
+            Slot::Tree => slab.tree().expect("tree slot implies a slab tree").dist[target.index()],
+            Slot::Cache(part, i) => self.partitions[part][i].dist[target.index()],
             Slot::Fresh => {
                 if self.stamp[target.index()] != self.epoch {
                     UNREACHED
@@ -422,16 +732,15 @@ impl QueryEngine {
         }
     }
 
-    /// One full BFS from `source` over the CSR, skipping the effective
-    /// fault edges, into the epoch-stamped workspace arrays.
-    fn run_bfs(&mut self, frozen: &FrozenStructure, source: VertexId) {
+    /// One full BFS from `source` over the slab's CSR, skipping the
+    /// effective fault edges, into the epoch-stamped workspace arrays.
+    fn run_bfs(&mut self, slab: &OracleSlab<'_>, source: VertexId) {
         self.epoch += 1;
         let QueryEngine {
             epoch,
             stamp,
             dist,
             parent_head,
-            parent_edge,
             queue,
             eff,
             ..
@@ -439,36 +748,20 @@ impl QueryEngine {
         if eff.len() <= 2 {
             let f1 = eff.first().copied().unwrap_or(NO_FAULT);
             let f2 = eff.get(1).copied().unwrap_or(NO_FAULT);
-            bfs_loop(
-                frozen,
-                source,
-                *epoch,
-                stamp,
-                dist,
-                parent_head,
-                parent_edge,
-                queue,
-                |e| e == f1 || e == f2,
-            );
+            bfs_loop(slab, source, *epoch, stamp, dist, parent_head, queue, |e| {
+                e == f1 || e == f2
+            });
         } else {
             let blocked: &[u32] = eff;
-            bfs_loop(
-                frozen,
-                source,
-                *epoch,
-                stamp,
-                dist,
-                parent_head,
-                parent_edge,
-                queue,
-                |e| blocked.binary_search(&e).is_ok(),
-            );
+            bfs_loop(slab, source, *epoch, stamp, dist, parent_head, queue, |e| {
+                blocked.binary_search(&e).is_ok()
+            });
         }
     }
 
-    /// Finds `key` in the LRU, refreshing its recency.
-    fn cache_lookup(&mut self, key: (u32, u32, u32)) -> Option<usize> {
-        for (i, entry) in self.cache.iter_mut().enumerate() {
+    /// Finds `key` in a partition's LRU, refreshing its recency.
+    fn cache_lookup(&mut self, partition: usize, key: (u32, u32, u32)) -> Option<usize> {
+        for (i, entry) in self.partitions[partition].iter_mut().enumerate() {
             if entry.key == key {
                 self.clock += 1;
                 entry.last_used = self.clock;
@@ -479,72 +772,67 @@ impl QueryEngine {
     }
 
     /// Materialises the current workspace epoch into a cache entry for
-    /// `key`, evicting the least-recently-used entry if at capacity.
-    fn cache_store(&mut self, key: (u32, u32, u32)) -> usize {
+    /// `key`, evicting the partition's least-recently-used entry if at
+    /// capacity.
+    fn cache_store(&mut self, partition: usize, key: (u32, u32, u32)) -> usize {
         let n = self.n;
-        let idx = if self.cache.len() < self.cache_capacity {
-            self.cache.push(CacheEntry {
+        let cache = &mut self.partitions[partition];
+        let idx = if cache.len() < self.cache_capacity {
+            cache.push(CacheEntry {
                 key,
                 last_used: 0,
                 dist: vec![UNREACHED; n],
                 parent_head: vec![NO_PARENT; n],
-                parent_edge: vec![NO_PARENT; n],
             });
-            self.cache.len() - 1
+            cache.len() - 1
         } else {
-            let idx = self
-                .cache
+            let idx = cache
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
-                .expect("capacity > 0 implies a non-empty cache here");
-            self.cache[idx].key = key;
+                .expect("capacity > 0 implies a non-empty partition here");
+            cache[idx].key = key;
             idx
         };
         self.clock += 1;
         let QueryEngine {
-            cache,
+            partitions,
             stamp,
             dist,
             parent_head,
-            parent_edge,
             epoch,
             clock,
             ..
         } = self;
-        let entry = &mut cache[idx];
+        let entry = &mut partitions[partition][idx];
         entry.last_used = *clock;
         entry.dist.resize(n, UNREACHED);
         entry.parent_head.resize(n, NO_PARENT);
-        entry.parent_edge.resize(n, NO_PARENT);
         for i in 0..n {
             if stamp[i] == *epoch {
                 entry.dist[i] = dist[i];
                 entry.parent_head[i] = parent_head[i];
-                entry.parent_edge[i] = parent_edge[i];
             } else {
                 entry.dist[i] = UNREACHED;
                 entry.parent_head[i] = NO_PARENT;
-                entry.parent_edge[i] = NO_PARENT;
             }
         }
         idx
     }
 }
 
-/// The shared BFS kernel: FIFO traversal over the frozen CSR, labelling
+/// The shared BFS kernel: FIFO traversal over a slab's CSR, labelling
 /// reached vertices in the epoch-stamped arrays, skipping arcs whose frozen
 /// edge index `blocked(e)` reports as failed.
 #[allow(clippy::too_many_arguments)]
 fn bfs_loop<F: Fn(u32) -> bool>(
-    frozen: &FrozenStructure,
+    slab: &OracleSlab<'_>,
     source: VertexId,
     epoch: u64,
     stamp: &mut [u64],
     dist: &mut [u32],
     parent_head: &mut [u32],
-    parent_edge: &mut [u32],
     queue: &mut VecDeque<u32>,
     blocked: F,
 ) {
@@ -553,13 +841,12 @@ fn bfs_loop<F: Fn(u32) -> bool>(
     stamp[s] = epoch;
     dist[s] = 0;
     parent_head[s] = NO_PARENT;
-    parent_edge[s] = NO_PARENT;
     queue.push_back(source.0);
-    let heads = frozen.arc_heads();
-    let edges = frozen.arc_edges();
+    let heads = slab.arc_heads();
+    let edges = slab.arc_edges();
     while let Some(u) = queue.pop_front() {
         let du = dist[u as usize];
-        for i in frozen.arc_range(u) {
+        for i in slab.arc_range(u) {
             let fe = edges[i];
             if blocked(fe) {
                 continue;
@@ -571,7 +858,6 @@ fn bfs_loop<F: Fn(u32) -> bool>(
             stamp[x] = epoch;
             dist[x] = du + 1;
             parent_head[x] = u;
-            parent_edge[x] = fe;
             queue.push_back(heads[i]);
         }
     }
@@ -601,8 +887,9 @@ fn reconstruct_path(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftbfs_core::dual_failure_ftbfs;
-    use ftbfs_graph::{bfs, generators, EdgeId, GraphView, TieBreak};
+    use crate::multi::FrozenMultiStructure;
+    use ftbfs_core::{dual_failure_ftbfs, multi_failure_ftmbfs_parts};
+    use ftbfs_graph::{bfs, generators, EdgeId, FaultSet, GraphView, TieBreak};
 
     fn v(i: u32) -> VertexId {
         VertexId(i)
@@ -614,12 +901,12 @@ mod tests {
         h: &ftbfs_core::FtBfsStructure,
         s: VertexId,
         t: VertexId,
-        faults: &FaultSet,
+        spec: &FaultSpec,
     ) -> Option<u32> {
         let removed: Vec<EdgeId> = g.edges().filter(|e| !h.contains(*e)).collect();
         let view = GraphView::new(g)
             .without_edges(removed)
-            .without_faults(faults);
+            .without_faults(&spec.to_fault_set());
         bfs(&view, s).distance(t)
     }
 
@@ -631,24 +918,27 @@ mod tests {
         let frozen = FrozenStructure::freeze(&g, &h);
         let mut engine = QueryEngine::new();
         let edges: Vec<EdgeId> = g.edges().collect();
-        let fault_sets = [
-            FaultSet::empty(),
-            FaultSet::single(edges[0]),
-            FaultSet::single(edges[edges.len() / 2]),
-            FaultSet::pair(edges[1], edges[edges.len() - 1]),
-            FaultSet::pair(edges[3], edges[7]),
+        let specs = [
+            FaultSpec::None,
+            FaultSpec::One(edges[0]),
+            FaultSpec::One(edges[edges.len() / 2]),
+            FaultSpec::from((edges[1], edges[edges.len() - 1])),
+            FaultSpec::from((edges[3], edges[7])),
             // Larger than the design resilience: still exact inside H.
-            FaultSet::from_iter([edges[0], edges[5], edges[10]]),
+            FaultSpec::from([edges[0], edges[5], edges[10]]),
         ];
-        for faults in &fault_sets {
+        for spec in &specs {
             for t in g.vertices() {
+                let answer = engine.try_distance(&frozen, t, spec).unwrap();
                 assert_eq!(
-                    engine.distance(&frozen, t, faults),
-                    reference_distance(&g, &h, v(0), t, faults),
-                    "target {t:?} faults {faults:?}"
+                    answer.into_value(),
+                    reference_distance(&g, &h, v(0), t, spec),
+                    "target {t:?} spec {spec:?}"
                 );
+                assert_eq!(answer.is_exact(), spec.len() <= 2, "spec {spec:?}");
             }
         }
+        assert!(engine.stats().best_effort > 0);
     }
 
     #[test]
@@ -658,10 +948,14 @@ mod tests {
         let mut engine = QueryEngine::new();
         let e1 = g.edge_between(v(0), v(1)).unwrap();
         let e2 = g.edge_between(v(0), v(5)).unwrap();
-        let faults = FaultSet::pair(e1, e2);
+        let spec = FaultSpec::from((e1, e2));
+        let faults = spec.to_fault_set();
         for t in g.vertices() {
-            let d = engine.distance(&frozen, t, &faults);
-            let p = engine.shortest_path(&frozen, t, &faults);
+            let d = engine.try_distance(&frozen, t, &spec).unwrap().into_value();
+            let p = engine
+                .try_shortest_path(&frozen, t, &spec)
+                .unwrap()
+                .into_value();
             match (d, p) {
                 (Some(d), Some(p)) => {
                     assert_eq!(p.len() as u32, d);
@@ -674,13 +968,26 @@ mod tests {
                 (d, p) => panic!("distance {d:?} and path {p:?} disagree at {t:?}"),
             }
         }
-        // Vertex 0 is cut off from its two grid neighbours' edges only;
-        // everything stays reachable through nothing — actually 0 has
-        // exactly those two incident edges, so only 0 reaches 0.
-        assert_eq!(engine.distance(&frozen, v(0), &faults), Some(0));
-        assert_eq!(engine.distance(&frozen, v(24), &faults), None);
+        // Vertex 0 has exactly those two incident edges, so only 0 reaches 0.
         assert_eq!(
-            engine.shortest_path(&frozen, v(0), &faults),
+            engine
+                .try_distance(&frozen, v(0), &spec)
+                .unwrap()
+                .into_value(),
+            Some(0)
+        );
+        assert_eq!(
+            engine
+                .try_distance(&frozen, v(24), &spec)
+                .unwrap()
+                .into_value(),
+            None
+        );
+        assert_eq!(
+            engine
+                .try_shortest_path(&frozen, v(0), &spec)
+                .unwrap()
+                .into_value(),
             Some(Path::singleton(v(0)))
         );
     }
@@ -695,26 +1002,29 @@ mod tests {
 
         // Fault-free queries hit the tree, never searching.
         for t in g.vertices() {
-            engine.distance(&frozen, t, &FaultSet::empty());
+            engine.try_distance(&frozen, t, &FaultSpec::None).unwrap();
         }
         assert_eq!(engine.stats().tree_hits, g.vertex_count() as u64);
         assert_eq!(engine.stats().searches, 0);
 
         // A fault outside H is equivalent to fault-free: still the tree.
         if let Some(outside) = g.edges().find(|e| !h.contains(*e)) {
-            engine.distance(&frozen, v(5), &FaultSet::single(outside));
+            engine
+                .try_distance(&frozen, v(5), &FaultSpec::One(outside))
+                .unwrap();
             assert_eq!(engine.stats().searches, 0);
         }
 
         // A fault inside H searches once, then hits the cache.
         let inside = h.edges().next().unwrap();
-        let faults = FaultSet::single(inside);
+        let spec = FaultSpec::One(inside);
         engine.reset_stats();
         for t in g.vertices() {
-            engine.distance(&frozen, t, &faults);
+            engine.try_distance(&frozen, t, &spec).unwrap();
         }
         assert_eq!(engine.stats().searches, 1);
         assert_eq!(engine.stats().cache_hits, g.vertex_count() as u64 - 1);
+        assert_eq!(engine.stats().best_effort, 0);
     }
 
     #[test]
@@ -726,15 +1036,42 @@ mod tests {
         // Cycle through more fault pairs than the cache holds, twice.
         for _round in 0..2 {
             for i in 0..6 {
-                let faults = FaultSet::pair(edges[i], edges[i + 6]);
+                let spec = FaultSpec::from((edges[i], edges[i + 6]));
                 for t in [v(3), v(8), v(13)] {
-                    let expected =
-                        bfs(&GraphView::new(&g).without_faults(&faults), v(0)).distance(t);
-                    assert_eq!(engine.distance(&frozen, t, &faults), expected);
+                    let expected = bfs(
+                        &GraphView::new(&g).without_faults(&spec.to_fault_set()),
+                        v(0),
+                    )
+                    .distance(t);
+                    assert_eq!(
+                        engine.try_distance(&frozen, t, &spec).unwrap().into_value(),
+                        expected
+                    );
                 }
             }
         }
         assert!(engine.stats().searches >= 6, "evictions force re-searches");
+    }
+
+    #[test]
+    fn non_canonical_pair_hits_the_canonical_cache_entry() {
+        let g = generators::cycle(10);
+        let frozen = FrozenStructure::from_edges(&g, &[v(0)], 2, g.edges());
+        let mut engine = QueryEngine::new();
+        let edges: Vec<EdgeId> = g.edges().collect();
+        let canonical = FaultSpec::from((edges[1], edges[4]));
+        // Hand-built, deliberately un-ordered variant of the same pair.
+        let backwards = FaultSpec::Pair(edges[4], edges[1]);
+        let a = engine
+            .try_distance(&frozen, v(7), &canonical)
+            .unwrap()
+            .into_value();
+        let b = engine
+            .try_distance(&frozen, v(7), &backwards)
+            .unwrap()
+            .into_value();
+        assert_eq!(a, b);
+        assert_eq!(engine.stats().searches, 1, "second spec must hit the cache");
     }
 
     #[test]
@@ -746,16 +1083,16 @@ mod tests {
         let edges: Vec<EdgeId> = h.edges().collect();
         let queries: Vec<Query> = g
             .vertices()
-            .map(|t| {
-                let faults = match t.0 % 3 {
-                    0 => FaultSet::empty(),
-                    1 => FaultSet::single(edges[t.index() % edges.len()]),
-                    _ => FaultSet::pair(
+            .map(|t| match t.0 % 3 {
+                0 => Query::fault_free(t),
+                1 => Query::new(t, edges[t.index() % edges.len()]),
+                _ => Query::new(
+                    t,
+                    (
                         edges[t.index() % edges.len()],
                         edges[(t.index() * 7) % edges.len()],
                     ),
-                };
-                Query::new(t, faults)
+                ),
             })
             .collect();
         let mut batch_engine = QueryEngine::new();
@@ -763,7 +1100,10 @@ mod tests {
         let mut single_engine = QueryEngine::new();
         for (q, b) in queries.iter().zip(&batched) {
             assert_eq!(
-                single_engine.distance(&frozen, q.target, &q.faults),
+                single_engine
+                    .try_distance(&frozen, q.target, &q.faults)
+                    .unwrap()
+                    .into_value(),
                 *b,
                 "query {q:?}"
             );
@@ -774,22 +1114,28 @@ mod tests {
     fn all_distances_and_rebinding() {
         let g = generators::grid(3, 4);
         let frozen_full = FrozenStructure::from_edges(&g, &[v(0)], 2, g.edges());
-        let tree_edges: Vec<EdgeId> = {
-            // A sparser structure: drop one edge.
-            g.edges().skip(1).collect()
-        };
+        let tree_edges: Vec<EdgeId> = g.edges().skip(1).collect();
         let frozen_sparse = FrozenStructure::from_edges(&g, &[v(0)], 2, tree_edges);
         let mut engine = QueryEngine::new();
         let e = g.edge_between(v(1), v(2));
-        let faults = e.map(FaultSet::single).unwrap_or_else(FaultSet::empty);
-        let full = engine.all_distances(&frozen_full, &faults);
+        let spec = e.map(FaultSpec::One).unwrap_or(FaultSpec::None);
+        let full = engine
+            .try_all_distances(&frozen_full, &spec)
+            .unwrap()
+            .into_value();
         // Rebinding to a different structure must not reuse cached answers.
-        let sparse = engine.all_distances(&frozen_sparse, &faults);
-        let full_again = engine.all_distances(&frozen_full, &faults);
+        let sparse = engine
+            .try_all_distances(&frozen_sparse, &spec)
+            .unwrap()
+            .into_value();
+        let full_again = engine
+            .try_all_distances(&frozen_full, &spec)
+            .unwrap()
+            .into_value();
         assert_eq!(full, full_again);
         assert_eq!(full.len(), g.vertex_count());
         for t in g.vertices() {
-            let view = GraphView::new(&g).without_faults(&faults);
+            let view = GraphView::new(&g).without_faults(&spec.to_fault_set());
             assert_eq!(full[t.index()], bfs(&view, v(0)).distance(t));
         }
         // The sparse structure can only be worse (larger or equal distances).
@@ -808,19 +1154,207 @@ mod tests {
         let g = generators::grid(4, 4);
         let frozen = FrozenStructure::from_edges(&g, &[v(0), v(15)], 2, g.edges());
         let mut engine = QueryEngine::new();
-        let faults = FaultSet::empty();
         // Both precomputed sources answer in O(1).
-        assert_eq!(engine.distance_from(&frozen, v(15), v(0), &faults), Some(6));
+        assert_eq!(
+            engine
+                .try_distance_from(&frozen, v(15), v(0), &FaultSpec::None)
+                .unwrap()
+                .into_value(),
+            Some(6)
+        );
         assert_eq!(engine.stats().searches, 0);
         // A non-source falls back to BFS but is still exact.
-        let d = engine.distance_from(&frozen, v(5), v(10), &faults);
+        let d = engine
+            .try_distance_from(&frozen, v(5), v(10), &FaultSpec::None)
+            .unwrap()
+            .into_value();
         assert_eq!(d, bfs(&GraphView::new(&g), v(5)).distance(v(10)));
         assert_eq!(engine.stats().searches, 1);
     }
 
     #[test]
+    fn distance_matrix_covers_s_times_v() {
+        let g = generators::grid(4, 4);
+        let frozen = FrozenStructure::from_edges(&g, &[v(0), v(15)], 2, g.edges());
+        let mut engine = QueryEngine::new();
+        let e = g.edge_between(v(0), v(1)).unwrap();
+        let spec = FaultSpec::One(e);
+        let answer = engine.try_distance_matrix(&frozen, &spec).unwrap();
+        assert!(answer.is_exact());
+        let matrix = answer.into_value();
+        assert_eq!(matrix.sources(), &[v(0), v(15)]);
+        for (row, &s) in [v(0), v(15)].iter().enumerate() {
+            let truth = bfs(&GraphView::new(&g).without_edge(e), s);
+            for t in g.vertices() {
+                assert_eq!(matrix.get(row, t), truth.distance(t), "row {row} t {t:?}");
+            }
+        }
+        // The zero-alloc form agrees.
+        let mut flat = vec![None; 2 * g.vertex_count()];
+        let guarantee = engine
+            .try_distance_matrix_into(&frozen, &spec, &mut flat)
+            .unwrap();
+        assert!(guarantee.is_exact());
+        assert_eq!(flat.as_slice(), matrix.as_flat());
+    }
+
+    #[test]
+    fn errors_are_typed_not_panics() {
+        let g = generators::cycle(4);
+        let frozen = FrozenStructure::from_edges(&g, &[v(0)], 2, g.edges());
+        let mut engine = QueryEngine::new();
+        assert_eq!(
+            engine.try_distance(&frozen, v(99), &FaultSpec::None),
+            Err(QueryError::VertexOutOfRange {
+                vertex: v(99),
+                bound: 4
+            })
+        );
+        assert_eq!(
+            engine.try_distance_from(&frozen, v(99), v(1), &FaultSpec::None),
+            Err(QueryError::VertexOutOfRange {
+                vertex: v(99),
+                bound: 4
+            })
+        );
+        // Multi-source structures reject undeclared sources.
+        let w = TieBreak::new(&g, 3);
+        let parts = multi_failure_ftmbfs_parts(&g, &w, &[v(0)], 1);
+        let multi = FrozenMultiStructure::freeze(&g, &parts);
+        assert_eq!(
+            engine.try_distance_from(&multi, v(2), v(1), &FaultSpec::None),
+            Err(QueryError::UnservedSource { source: v(2) })
+        );
+    }
+
+    #[test]
+    fn degenerate_pair_spec_answers_like_a_single_fault() {
+        let g = generators::cycle(8);
+        let frozen = FrozenStructure::from_edges(&g, &[v(0)], 2, g.edges());
+        let mut engine = QueryEngine::new();
+        let e = g.edge_between(v(0), v(1)).unwrap();
+        // Hand-built non-canonical Pair(e, e): must not panic, must answer
+        // exactly like One(e), and must share its cache entry.
+        let one = FaultSpec::One(e);
+        let degenerate = FaultSpec::Pair(e, e);
+        for t in g.vertices() {
+            assert_eq!(
+                engine.try_distance(&frozen, t, &one).unwrap().into_value(),
+                engine
+                    .try_distance(&frozen, t, &degenerate)
+                    .unwrap()
+                    .into_value(),
+            );
+        }
+        assert_eq!(engine.stats().searches, 1, "one shared cache entry");
+    }
+
+    #[test]
+    fn path_and_distance_apis_agree_on_unserved_sources() {
+        let g = generators::cycle(6);
+        let w = TieBreak::new(&g, 2);
+        let parts = multi_failure_ftmbfs_parts(&g, &w, &[v(0)], 1);
+        let multi = FrozenMultiStructure::freeze(&g, &parts);
+        // source == target on an unserved source: both checked entry
+        // points must reject identically (no singleton-path special case).
+        assert_eq!(
+            engine_err(|e| e
+                .try_distance_from(&multi, v(2), v(2), &FaultSpec::None)
+                .map(|_| ())),
+            QueryError::UnservedSource { source: v(2) }
+        );
+        assert_eq!(
+            engine_err(|e| e
+                .try_shortest_path_from(&multi, v(2), v(2), &FaultSpec::None)
+                .map(|_| ())),
+            QueryError::UnservedSource { source: v(2) }
+        );
+        // The served source still gets its trivial path.
+        let mut engine = QueryEngine::new();
+        assert_eq!(
+            engine
+                .try_shortest_path_from(&multi, v(0), v(0), &FaultSpec::None)
+                .unwrap()
+                .into_value(),
+            Some(Path::singleton(v(0)))
+        );
+    }
+
+    fn engine_err(f: impl FnOnce(&mut QueryEngine) -> Result<(), QueryError>) -> QueryError {
+        let mut engine = QueryEngine::new();
+        f(&mut engine).expect_err("query must be rejected")
+    }
+
+    #[test]
+    fn multi_oracle_partitions_do_not_evict_each_other() {
+        let g = generators::cycle(12);
+        let w = TieBreak::new(&g, 5);
+        let sources = [v(0), v(6)];
+        let parts = multi_failure_ftmbfs_parts(&g, &w, &sources, 2);
+        let multi = FrozenMultiStructure::freeze(&g, &parts);
+        // Capacity 1 per partition: alternating sources with the same fault
+        // would thrash a shared cache, but partitions keep both hot.
+        let mut engine = QueryEngine::new().with_cache_capacity(1);
+        let e = g.edge_between(v(0), v(1)).unwrap();
+        let spec = FaultSpec::One(e);
+        for _ in 0..4 {
+            for &s in &sources {
+                engine.try_distance_from(&multi, s, v(3), &spec).unwrap();
+            }
+        }
+        // One search per source; all later queries are cache hits.
+        assert_eq!(engine.stats().searches, 2);
+        assert_eq!(engine.stats().cache_hits, 6);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_the_trait_path() {
+        let g = generators::connected_gnp(24, 0.18, 12);
+        let w = TieBreak::new(&g, 12);
+        let h = dual_failure_ftbfs(&g, &w, v(0));
+        let frozen = FrozenStructure::freeze(&g, &h);
+        let edges: Vec<EdgeId> = g.edges().collect();
+        let faults = FaultSet::pair(edges[2], edges[9]);
+        let spec = FaultSpec::from(&faults);
+        let mut old_engine = QueryEngine::new();
+        let mut new_engine = QueryEngine::new();
+        for t in g.vertices() {
+            assert_eq!(
+                old_engine.distance(&frozen, t, &faults),
+                new_engine
+                    .try_distance(&frozen, t, &spec)
+                    .unwrap()
+                    .into_value()
+            );
+            assert_eq!(
+                old_engine.shortest_path(&frozen, t, &faults),
+                new_engine
+                    .try_shortest_path(&frozen, t, &spec)
+                    .unwrap()
+                    .into_value()
+            );
+        }
+        assert_eq!(
+            old_engine.all_distances(&frozen, &faults),
+            new_engine
+                .try_all_distances(&frozen, &spec)
+                .unwrap()
+                .into_value()
+        );
+        assert_eq!(
+            old_engine.distance_from(&frozen, v(3), v(7), &faults),
+            new_engine
+                .try_distance_from(&frozen, v(3), v(7), &spec)
+                .unwrap()
+                .into_value()
+        );
+    }
+
+    #[test]
     #[should_panic]
-    fn out_of_range_target_panics() {
+    #[allow(deprecated)]
+    fn out_of_range_target_panics_via_the_shim() {
         let g = generators::cycle(4);
         let frozen = FrozenStructure::from_edges(&g, &[v(0)], 2, g.edges());
         let mut engine = QueryEngine::new();

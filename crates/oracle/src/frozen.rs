@@ -23,6 +23,7 @@
 //!   ([`FrozenStructure::save`] / [`FrozenStructure::load`], see
 //!   [`crate::snapshot`]) uses the same encoding.
 
+use crate::api::{DistanceOracle, OracleSlab, SlabTree};
 use crate::snapshot::SnapshotError;
 use ftbfs_core::FtBfsStructure;
 use ftbfs_graph::{EdgeId, Graph, Path, VertexId};
@@ -45,7 +46,7 @@ pub(crate) const NO_PARENT: u32 = u32::MAX;
 ///
 /// ```
 /// use ftbfs_core::dual_failure_ftbfs;
-/// use ftbfs_graph::{generators, FaultSet, TieBreak, VertexId};
+/// use ftbfs_graph::{generators, FaultSpec, TieBreak, VertexId};
 /// use ftbfs_oracle::{FrozenStructure, QueryEngine};
 ///
 /// let g = generators::connected_gnp(30, 0.15, 7);
@@ -55,7 +56,10 @@ pub(crate) const NO_PARENT: u32 = u32::MAX;
 /// let mut engine = QueryEngine::new();
 /// // Fault-free queries read the precomputed tree in O(1).
 /// assert_eq!(
-///     engine.distance(&frozen, VertexId(5), &FaultSet::empty()),
+///     engine
+///         .try_distance(&frozen, VertexId(5), &FaultSpec::None)
+///         .unwrap()
+///         .into_value(),
 ///     frozen.tree_for(VertexId(0)).unwrap().distance(VertexId(5)),
 /// );
 /// ```
@@ -416,27 +420,54 @@ impl FrozenStructure {
 
     // -- raw access for the query engine (same crate) --------------------
 
-    #[inline]
-    pub(crate) fn arc_range(&self, v: u32) -> std::ops::Range<usize> {
-        self.xadj[v as usize] as usize..self.xadj[v as usize + 1] as usize
-    }
-
-    #[inline]
-    pub(crate) fn arc_heads(&self) -> &[u32] {
-        &self.adj_head
-    }
-
-    #[inline]
-    pub(crate) fn arc_edges(&self) -> &[u32] {
-        &self.adj_edge
-    }
-
     pub(crate) fn raw_edge_orig(&self) -> &[u32] {
         &self.edge_orig
     }
 
     pub(crate) fn raw_edge_uv(&self) -> (&[u32], &[u32]) {
         (&self.edge_u, &self.edge_v)
+    }
+}
+
+impl DistanceOracle for FrozenStructure {
+    fn vertex_count(&self) -> usize {
+        FrozenStructure::vertex_count(self)
+    }
+
+    fn edge_count(&self) -> usize {
+        FrozenStructure::edge_count(self)
+    }
+
+    fn sources(&self) -> &[VertexId] {
+        FrozenStructure::sources(self)
+    }
+
+    fn resilience(&self) -> usize {
+        FrozenStructure::resilience(self)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        FrozenStructure::fingerprint(self)
+    }
+
+    /// Any in-range vertex can serve as a source: the structure keeps one
+    /// shared CSR, and sources listed in [`FrozenStructure::sources`]
+    /// additionally get their precomputed fault-free tree.
+    fn slab(&self, source: VertexId) -> Option<OracleSlab<'_>> {
+        if source.index() >= FrozenStructure::vertex_count(self) {
+            return None;
+        }
+        let tree = self
+            .tree_for(source)
+            .map(|t| SlabTree::new(&t.dist, &t.parent_head));
+        Some(OracleSlab::new(
+            source,
+            &self.xadj,
+            &self.adj_head,
+            &self.adj_edge,
+            &self.edge_orig,
+            tree,
+        ))
     }
 }
 

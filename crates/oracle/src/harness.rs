@@ -1,21 +1,33 @@
-//! [`ThroughputHarness`] — sharded multi-threaded batch query driving.
+//! [`ThroughputHarness`] — sharded multi-threaded batch query driving over
+//! any [`DistanceOracle`].
 //!
-//! The harness answers a batch of [`Query`]s against one shared
-//! [`FrozenStructure`] using `threads` worker threads
-//! (`std::thread::scope`, no detached state).  The batch is split into
-//! contiguous shards, each worker owns a private [`QueryEngine`] (so the
-//! per-thread caches and workspaces never contend), and every result is
-//! written to the slot of its originating query — the output order is
-//! deterministic and independent of the thread count, which the
-//! equivalence suite relies on.
+//! The harness answers a batch of [`Query`]s against one shared oracle
+//! using `threads` worker threads (`std::thread::scope`, no detached
+//! state).  The batch is split into contiguous shards, each worker owns a
+//! private [`QueryEngine`] (so the per-thread caches and workspaces never
+//! contend), and every result is written to the slot of its originating
+//! query — the output order is deterministic and independent of the thread
+//! count, which the equivalence suite relies on.
+//!
+//! Since the harness is generic over [`DistanceOracle`], the same driver
+//! measures the single-source dual-failure path (`FrozenStructure`) and
+//! the multi-source `S × V` path (`FrozenMultiStructure`, queries carrying
+//! explicit sources); the `exp_query_throughput` experiment runs both.
 //!
 //! The harness optionally records per-query latencies (for the
 //! `exp_query_throughput` percentile report); recording costs two
 //! `Instant::now()` calls per query, so leave it off when measuring raw
 //! throughput.
+//!
+//! # Panics
+//!
+//! The harness is a trusted batch driver: a query that the oracle cannot
+//! answer (out-of-range vertex, unserved source) panics the worker.  Route
+//! untrusted queries through [`QueryEngine::try_batch_distances`] first if
+//! they must be rejected gracefully.
 
+use crate::api::DistanceOracle;
 use crate::engine::{Query, QueryEngine};
-use crate::frozen::FrozenStructure;
 use std::time::{Duration, Instant};
 
 /// Configuration for one batched, sharded query run.
@@ -23,6 +35,7 @@ use std::time::{Duration, Instant};
 pub struct ThroughputHarness {
     threads: usize,
     record_latencies: bool,
+    cache_capacity: Option<usize>,
 }
 
 /// The outcome of a [`ThroughputHarness::run`].
@@ -68,6 +81,7 @@ impl ThroughputHarness {
         ThroughputHarness {
             threads: threads.max(1),
             record_latencies: false,
+            cache_capacity: None,
         }
     }
 
@@ -77,14 +91,23 @@ impl ThroughputHarness {
         self
     }
 
+    /// Overrides the per-partition fault-LRU capacity of each worker's
+    /// engine (default: the engine's
+    /// [`crate::engine::DEFAULT_CACHE_CAPACITY`]); the knob behind the
+    /// `exp_query_throughput --lru-sweep` cache-policy experiment.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
     /// The configured worker thread count.
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    /// Answers `queries` against `frozen`, sharded across the configured
-    /// threads; see the module docs for the determinism guarantees.
-    pub fn run(&self, frozen: &FrozenStructure, queries: &[Query]) -> BatchReport {
+    /// Answers `queries` against `oracle`, sharded across the configured
+    /// threads; see the module docs for determinism and panic behaviour.
+    pub fn run<O: DistanceOracle + Sync>(&self, oracle: &O, queries: &[Query]) -> BatchReport {
         let mut distances = vec![None; queries.len()];
         let mut latencies_ns = if self.record_latencies {
             vec![0u64; queries.len()]
@@ -102,9 +125,17 @@ impl ThroughputHarness {
         let threads = self.threads.min(queries.len());
         let chunk = queries.len().div_ceil(threads);
         let record = self.record_latencies;
+        let capacity = self.cache_capacity;
         let start = Instant::now();
         if threads == 1 {
-            run_shard(frozen, queries, &mut distances, &mut latencies_ns, record);
+            run_shard(
+                oracle,
+                queries,
+                &mut distances,
+                &mut latencies_ns,
+                record,
+                capacity,
+            );
         } else {
             std::thread::scope(|scope| {
                 let mut out_rest: &mut [Option<u32>] = &mut distances;
@@ -119,7 +150,7 @@ impl ThroughputHarness {
                     };
                     lat_rest = lat_tail;
                     scope.spawn(move || {
-                        run_shard(frozen, shard, out_here, lat_here, record);
+                        run_shard(oracle, shard, out_here, lat_here, record, capacity);
                     });
                 }
             });
@@ -135,34 +166,44 @@ impl ThroughputHarness {
 }
 
 /// One worker: a private engine answering its contiguous shard in order.
-fn run_shard(
-    frozen: &FrozenStructure,
+fn run_shard<O: DistanceOracle>(
+    oracle: &O,
     shard: &[Query],
     out: &mut [Option<u32>],
     latencies_ns: &mut [u64],
     record: bool,
+    cache_capacity: Option<usize>,
 ) {
-    let mut engine = QueryEngine::new();
+    let mut engine = match cache_capacity {
+        Some(c) => QueryEngine::new().with_cache_capacity(c),
+        None => QueryEngine::new(),
+    };
     if record {
         for ((q, slot), lat) in shard
             .iter()
             .zip(out.iter_mut())
             .zip(latencies_ns.iter_mut())
         {
+            let source = q.source.unwrap_or_else(|| oracle.primary_source());
             let t0 = Instant::now();
-            *slot = engine.distance(frozen, q.target, &q.faults);
+            *slot = engine
+                .try_distance_from(oracle, source, q.target, &q.faults)
+                .unwrap_or_else(|e| panic!("harness query failed: {e}"))
+                .into_value();
             *lat = t0.elapsed().as_nanos() as u64;
         }
     } else {
-        engine.batch_distances_into(frozen, shard, out);
+        engine.batch_distances_into(oracle, shard, out);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftbfs_core::dual_failure_ftbfs;
-    use ftbfs_graph::{generators, EdgeId, FaultSet, TieBreak, VertexId};
+    use crate::frozen::FrozenStructure;
+    use crate::multi::FrozenMultiStructure;
+    use ftbfs_core::{dual_failure_ftbfs, multi_failure_ftmbfs_parts};
+    use ftbfs_graph::{generators, EdgeId, FaultSpec, TieBreak, VertexId};
 
     fn workload(n_queries: usize) -> (ftbfs_graph::Graph, FrozenStructure, Vec<Query>) {
         let g = generators::connected_gnp(35, 0.14, 13);
@@ -173,12 +214,14 @@ mod tests {
         let queries = (0..n_queries)
             .map(|i| {
                 let target = VertexId((i % g.vertex_count()) as u32);
-                let faults = match i % 4 {
-                    0 => FaultSet::empty(),
-                    1 => FaultSet::single(edges[i % edges.len()]),
-                    _ => FaultSet::pair(edges[i % edges.len()], edges[(i * 3) % edges.len()]),
-                };
-                Query::new(target, faults)
+                match i % 4 {
+                    0 => Query::fault_free(target),
+                    1 => Query::new(target, edges[i % edges.len()]),
+                    _ => Query::new(
+                        target,
+                        (edges[i % edges.len()], edges[(i * 3) % edges.len()]),
+                    ),
+                }
             })
             .collect();
         (g, frozen, queries)
@@ -198,8 +241,52 @@ mod tests {
         // And both match a plain engine loop.
         let mut engine = QueryEngine::new();
         for (q, d) in queries.iter().zip(&serial.distances) {
-            assert_eq!(engine.distance(&frozen, q.target, &q.faults), *d);
+            assert_eq!(
+                engine
+                    .try_distance(&frozen, q.target, &q.faults)
+                    .unwrap()
+                    .into_value(),
+                *d
+            );
         }
+    }
+
+    #[test]
+    fn multi_source_batches_shard_deterministically() {
+        let g = generators::tree_plus_chords(16, 6, 3);
+        let w = TieBreak::new(&g, 3);
+        let sources = [VertexId(0), VertexId(9)];
+        let parts = multi_failure_ftmbfs_parts(&g, &w, &sources, 2);
+        let multi = FrozenMultiStructure::freeze(&g, &parts);
+        let edges: Vec<EdgeId> = g.edges().collect();
+        let queries: Vec<Query> = (0..180)
+            .map(|i| {
+                let s = sources[i % sources.len()];
+                let t = VertexId((i * 5 % g.vertex_count()) as u32);
+                match i % 3 {
+                    0 => Query::from_source(s, t, FaultSpec::None),
+                    1 => Query::from_source(s, t, edges[i % edges.len()]),
+                    _ => Query::from_source(
+                        s,
+                        t,
+                        (edges[i % edges.len()], edges[(i * 7 + 1) % edges.len()]),
+                    ),
+                }
+            })
+            .collect();
+        let serial = ThroughputHarness::new(1).run(&multi, &queries);
+        let parallel = ThroughputHarness::new(4).run(&multi, &queries);
+        assert_eq!(serial.distances, parallel.distances);
+        // Source-less queries default to the primary source.
+        let primary = ThroughputHarness::new(2).run(&multi, &[Query::fault_free(VertexId(3))]);
+        let mut engine = QueryEngine::new();
+        assert_eq!(
+            primary.distances[0],
+            engine
+                .try_distance(&multi, VertexId(3), &FaultSpec::None)
+                .unwrap()
+                .into_value()
+        );
     }
 
     #[test]
@@ -218,6 +305,17 @@ mod tests {
         let unrecorded = ThroughputHarness::new(2).run(&frozen, &queries);
         assert!(unrecorded.latencies_ns.is_empty());
         assert_eq!(unrecorded.latency_percentile_ns(99.0), None);
+    }
+
+    #[test]
+    fn cache_capacity_override_reaches_the_workers() {
+        let (_g, frozen, queries) = workload(120);
+        // Capacity 0 disables caching; answers must still agree.
+        let cached = ThroughputHarness::new(2).run(&frozen, &queries);
+        let uncached = ThroughputHarness::new(2)
+            .with_cache_capacity(0)
+            .run(&frozen, &queries);
+        assert_eq!(cached.distances, uncached.distances);
     }
 
     #[test]

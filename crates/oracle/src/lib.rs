@@ -6,19 +6,25 @@
 //! `dist(s, v, H ∖ {e1, e2})` should be answered *inside* `H`, exactly, and
 //! at production rates.  This crate turns an
 //! [`ftbfs_core::FtBfsStructure`] into that production query engine, in
-//! three layers:
+//! four layers:
 //!
-//! * [`FrozenStructure`] — the structure compiled into an immutable CSR
-//!   adjacency packed for cache locality, with the fault-free BFS tree of
-//!   every source precomputed at freeze time, plus a versioned compact
-//!   binary [`snapshot`] format ([`FrozenStructure::save`] /
-//!   [`FrozenStructure::load`]) with magic, checksum and a structural
-//!   fingerprint;
-//! * [`QueryEngine`] — per-thread zero-allocation query answering
-//!   ([`QueryEngine::distance`], [`QueryEngine::shortest_path`],
+//! * [`DistanceOracle`] — the serving abstraction (module [`api`]): a
+//!   trait handing out per-source CSR slabs, with a *typed* vocabulary for
+//!   queries ([`ftbfs_graph::FaultSpec`]) and answers ([`Answer`] carrying
+//!   a [`Guarantee`], [`QueryError`] instead of panics);
+//! * [`FrozenStructure`] / [`FrozenMultiStructure`] — the two oracle
+//!   backends: a single-source (or union) structure compiled into one
+//!   immutable CSR adjacency, and a multi-source FT-MBFS structure
+//!   compiled into per-source CSR slabs for `S × V` workloads; both with
+//!   fault-free BFS trees precomputed at freeze time, versioned compact
+//!   binary [`snapshot`] formats (`save`/`load`, magic + checksum) and
+//!   structural fingerprints;
+//! * [`QueryEngine`] — per-thread zero-allocation query answering over any
+//!   oracle ([`QueryEngine::try_distance`],
+//!   [`QueryEngine::try_shortest_path`],
+//!   [`QueryEngine::try_distance_matrix`],
 //!   [`QueryEngine::batch_distances`]) with an `O(1)` fault-free fast path
-//!   and a fixed-capacity LRU keyed by fault pair for repeated-failure
-//!   workloads;
+//!   and a per-source-partitioned LRU keyed by `(source, FaultSpec)`;
 //! * [`ThroughputHarness`] — a sharded `std::thread::scope` batch driver
 //!   with deterministic result order, feeding the `exp_query_throughput`
 //!   experiment binary.
@@ -30,7 +36,7 @@
 //!
 //! ```
 //! use ftbfs_core::dual_failure_ftbfs;
-//! use ftbfs_graph::{generators, FaultSet, TieBreak, VertexId};
+//! use ftbfs_graph::{generators, FaultSpec, TieBreak, VertexId};
 //! use ftbfs_oracle::{Freeze, FrozenStructure, QueryEngine};
 //!
 //! let g = generators::connected_gnp(40, 0.12, 2015);
@@ -44,22 +50,33 @@
 //!
 //! let mut engine = QueryEngine::new();
 //! let e = g.edge_between(VertexId(0), g.neighbors(VertexId(0))[0].0).unwrap();
-//! let d = engine.distance(&frozen, VertexId(7), &FaultSet::single(e));
-//! assert!(d.is_some(), "dual-failure structures keep the graph spanned");
+//! let d = engine
+//!     .try_distance(&frozen, VertexId(7), &FaultSpec::One(e))
+//!     .expect("in-range query");
+//! assert!(d.is_exact(), "one fault is within the design resilience");
+//! assert!(d.into_value().is_some(), "dual-failure structures keep the graph spanned");
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod engine;
 pub mod frozen;
 pub mod harness;
+pub mod multi;
 pub mod snapshot;
 
-pub use engine::{Query, QueryEngine, QueryStats};
+pub use api::{
+    Answer, DistanceMatrix, DistanceOracle, Guarantee, OracleSlab, QueryError, SlabTree,
+};
+pub use engine::{Query, QueryEngine, QueryStats, DEFAULT_CACHE_CAPACITY};
 pub use frozen::{FrozenStructure, SourceTree};
 pub use harness::{BatchReport, ThroughputHarness};
-pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use multi::FrozenMultiStructure;
+pub use snapshot::{
+    SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_MULTI_MAGIC, SNAPSHOT_MULTI_VERSION, SNAPSHOT_VERSION,
+};
 
 use ftbfs_core::FtBfsStructure;
 use ftbfs_graph::Graph;

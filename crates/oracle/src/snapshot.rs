@@ -33,10 +33,15 @@ use ftbfs_graph::bytes::{fnv1a64, put_u16, put_u32, put_u64, ByteReader};
 use ftbfs_graph::VertexId;
 use std::fmt;
 
-/// Magic prefix of every frozen-structure snapshot.
+/// Magic prefix of every single-source frozen-structure snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"FTBO";
-/// The snapshot format version this build writes.
+/// The single-source snapshot format version this build writes.
 pub const SNAPSHOT_VERSION: u16 = 1;
+/// Magic prefix of every multi-source frozen-structure snapshot (see
+/// [`crate::FrozenMultiStructure`]).
+pub const SNAPSHOT_MULTI_MAGIC: [u8; 4] = *b"FTBM";
+/// The multi-source snapshot format version this build writes.
+pub const SNAPSHOT_MULTI_VERSION: u16 = 1;
 
 /// Errors produced when decoding a frozen-structure snapshot.
 ///

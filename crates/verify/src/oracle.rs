@@ -1,4 +1,4 @@
-//! A dual-failure distance / routing oracle over a constructed structure.
+//! A post-failure distance / routing oracle over a constructed structure.
 //!
 //! This is the "quality of usage" side of the paper's motivation (objective
 //! (2) in the introduction): once a sparse FT-BFS structure `H` has been
@@ -6,33 +6,36 @@
 //! and still be exact.
 //!
 //! Since the `ftbfs-oracle` crate landed, this type is a thin compatibility
-//! wrapper: construction freezes the edge set into an
-//! [`ftbfs_oracle::FrozenStructure`] (CSR adjacency + precomputed fault-free
-//! tree) and every query is answered by an [`ftbfs_oracle::QueryEngine`]
-//! (epoch-stamped zero-allocation BFS, `O(1)` fault-free fast path, fault-pair
-//! LRU).  The old implementation rebuilt a `HashSet` edge view and ran a fresh
-//! allocating BFS per query; that path is gone, so all verification now
-//! exercises the same engine that production query serving uses.  The public
-//! API is unchanged.
+//! wrapper over its serving stack, and since the serving API unified behind
+//! the [`DistanceOracle`] trait, the wrapper is *generic over the backend*:
+//! the default (and the historical behaviour) freezes an edge set into an
+//! [`ftbfs_oracle::FrozenStructure`], but any oracle — notably the
+//! multi-source [`ftbfs_oracle::FrozenMultiStructure`] — can be wrapped via
+//! [`StructureOracle::with_oracle`] and verified through the *same* query
+//! path that production serving uses.  The raw-[`FaultSet`] methods
+//! (`distance`, `route`, `all_distances`) are kept for compatibility; the
+//! checked forms ([`StructureOracle::try_distance`],
+//! [`StructureOracle::try_route`]) surface the exactness guarantee for
+//! fault sets beyond the structure's resilience.
 
-use ftbfs_graph::{bfs, EdgeId, FaultSet, Graph, GraphView, Path, VertexId};
-use ftbfs_oracle::{FrozenStructure, QueryEngine};
+use ftbfs_graph::{bfs, EdgeId, FaultSet, FaultSpec, Graph, GraphView, Path, VertexId};
+use ftbfs_oracle::{Answer, DistanceOracle, FrozenStructure, QueryEngine, QueryError};
 use std::cell::RefCell;
 
-/// A query oracle over a fault-tolerant BFS structure.
+/// A query oracle over a fault-tolerant BFS structure, generic over the
+/// serving backend (default: [`FrozenStructure`]).
 ///
 /// Queries take `&self` for backwards compatibility; the per-thread
 /// [`QueryEngine`] scratch state lives behind a [`RefCell`], which makes the
-/// oracle `!Sync`.  For multi-threaded serving, share a
-/// [`FrozenStructure`] and give each thread its own engine (see
-/// `ftbfs_oracle::ThroughputHarness`).
-pub struct StructureOracle<'g> {
+/// oracle `!Sync`.  For multi-threaded serving, share the frozen backend and
+/// give each thread its own engine (see `ftbfs_oracle::ThroughputHarness`).
+pub struct StructureOracle<'g, O: DistanceOracle = FrozenStructure> {
     graph: &'g Graph,
-    frozen: FrozenStructure,
+    oracle: O,
     engine: RefCell<QueryEngine>,
 }
 
-impl<'g> StructureOracle<'g> {
+impl<'g> StructureOracle<'g, FrozenStructure> {
     /// Creates an oracle for the structure given by `structure_edges`
     /// (deduplicated), answering queries from `source`.
     ///
@@ -53,54 +56,116 @@ impl<'g> StructureOracle<'g> {
             .into_iter()
             .filter(|&e| graph.contains_edge(e));
         let frozen = FrozenStructure::from_edges(graph, &[source], 2, valid);
+        StructureOracle::with_oracle(graph, frozen)
+    }
+}
+
+impl<'g, O: DistanceOracle> StructureOracle<'g, O> {
+    /// Wraps an already-frozen serving backend (single- or multi-source).
+    pub fn with_oracle(graph: &'g Graph, oracle: O) -> Self {
         StructureOracle {
             graph,
-            frozen,
+            oracle,
             engine: RefCell::new(QueryEngine::new()),
         }
     }
 
-    /// The source all queries are answered from.
+    /// The source queries default to (the backend's primary source).
     pub fn source(&self) -> VertexId {
-        self.frozen.primary_source()
+        self.oracle.primary_source()
     }
 
-    /// Number of edges in the underlying structure.
+    /// Number of edges in the underlying structure (for multi-source
+    /// backends, the union).
     pub fn structure_size(&self) -> usize {
-        self.frozen.edge_count()
+        self.oracle.edge_count()
     }
 
-    /// The frozen compilation of the structure, for callers that want to
-    /// run their own engines (or snapshot it).
-    pub fn frozen(&self) -> &FrozenStructure {
-        &self.frozen
+    /// The frozen backend, for callers that want to run their own engines
+    /// (or snapshot it).
+    pub fn frozen(&self) -> &O {
+        &self.oracle
     }
 
     /// The distance `dist(source, v, H ∖ F)`, or `None` if `v` is
     /// unreachable inside the surviving structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range; use [`Self::try_distance`] for a
+    /// checked answer carrying its guarantee.
     pub fn distance(&self, v: VertexId, faults: &FaultSet) -> Option<u32> {
-        self.engine.borrow_mut().distance(&self.frozen, v, faults)
+        let spec = FaultSpec::from(faults);
+        self.try_distance(v, &spec)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_value()
+    }
+
+    /// The checked distance query: a typed error instead of a panic, and
+    /// an [`Answer`] carrying the exactness [`ftbfs_oracle::Guarantee`]
+    /// (best-effort once `|F|` exceeds the backend's resilience).
+    pub fn try_distance(
+        &self,
+        v: VertexId,
+        spec: &FaultSpec,
+    ) -> Result<Answer<Option<u32>>, QueryError> {
+        self.engine.borrow_mut().try_distance(&self.oracle, v, spec)
     }
 
     /// A shortest surviving route `source → v` inside `H ∖ F`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range; use [`Self::try_route`] for a checked
+    /// answer.
     pub fn route(&self, v: VertexId, faults: &FaultSet) -> Option<Path> {
+        let spec = FaultSpec::from(faults);
+        self.try_route(v, &spec)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_value()
+    }
+
+    /// The checked routing query; see [`Self::try_distance`].
+    pub fn try_route(
+        &self,
+        v: VertexId,
+        spec: &FaultSpec,
+    ) -> Result<Answer<Option<Path>>, QueryError> {
         self.engine
             .borrow_mut()
-            .shortest_path(&self.frozen, v, faults)
+            .try_shortest_path(&self.oracle, v, spec)
     }
 
     /// Distances to all vertices under one fault set (one shared
     /// resolution, then `O(1)` per vertex).
     pub fn all_distances(&self, faults: &FaultSet) -> Vec<Option<u32>> {
-        self.engine.borrow_mut().all_distances(&self.frozen, faults)
+        let spec = FaultSpec::from(faults);
+        self.engine
+            .borrow_mut()
+            .try_all_distances(&self.oracle, &spec)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_value()
     }
 
     /// Checks one query against ground truth computed in the full graph:
     /// returns `true` if the structure's answer matches `dist(s, v, G ∖ F)`.
     pub fn matches_ground_truth(&self, v: VertexId, faults: &FaultSet) -> bool {
+        self.matches_ground_truth_from(self.source(), v, faults)
+    }
+
+    /// [`Self::matches_ground_truth`] from an arbitrary served source — the
+    /// `S × V` form for multi-source backends.
+    pub fn matches_ground_truth_from(&self, s: VertexId, v: VertexId, faults: &FaultSet) -> bool {
         let gview = GraphView::new(self.graph).without_faults(faults);
-        let expected = bfs(&gview, self.source()).distance(v);
-        self.distance(v, faults) == expected
+        let expected = bfs(&gview, s).distance(v);
+        let spec = FaultSpec::from(faults);
+        let actual = self
+            .engine
+            .borrow_mut()
+            .try_distance_from(&self.oracle, s, v, &spec)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_value();
+        actual == expected
     }
 }
 
@@ -108,6 +173,7 @@ impl<'g> StructureOracle<'g> {
 mod tests {
     use super::*;
     use ftbfs_graph::generators;
+    use ftbfs_oracle::{FrozenMultiStructure, Guarantee};
 
     #[test]
     fn oracle_on_full_graph_matches_bfs() {
@@ -174,9 +240,50 @@ mod tests {
         let oracle = StructureOracle::new(&g, VertexId(4), g.edges());
         let frozen = oracle.frozen();
         assert_eq!(frozen.primary_source(), VertexId(4));
-        assert_eq!(frozen.edge_count(), g.edge_count());
+        assert_eq!(DistanceOracle::edge_count(frozen), g.edge_count());
         // The snapshot of the frozen structure round-trips.
         let reloaded = FrozenStructure::load(&frozen.save()).unwrap();
         assert_eq!(&reloaded, frozen);
+    }
+
+    #[test]
+    fn checked_queries_carry_guarantees() {
+        let g = generators::cycle(8);
+        let oracle = StructureOracle::new(&g, VertexId(0), g.edges());
+        let exact = oracle
+            .try_distance(VertexId(3), &FaultSpec::One(EdgeId(0)))
+            .unwrap();
+        assert_eq!(exact.guarantee(), Guarantee::Exact);
+        // Three faults exceed the declared resilience of 2.
+        let spec = FaultSpec::from([EdgeId(1), EdgeId(3), EdgeId(5)]);
+        let best = oracle.try_distance(VertexId(4), &spec).unwrap();
+        assert_eq!(best.guarantee(), Guarantee::BestEffort);
+        // Out-of-range vertices are typed errors through the checked path.
+        assert!(matches!(
+            oracle.try_distance(VertexId(99), &FaultSpec::None),
+            Err(QueryError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_source_backend_verifies_through_the_same_wrapper() {
+        let g = generators::tree_plus_chords(12, 5, 7);
+        let w = ftbfs_graph::TieBreak::new(&g, 7);
+        let sources = [VertexId(0), VertexId(5)];
+        let parts = ftbfs_core::multi_failure_ftmbfs_parts(&g, &w, &sources, 2);
+        let multi = FrozenMultiStructure::freeze(&g, &parts);
+        let oracle = StructureOracle::with_oracle(&g, multi);
+        assert_eq!(oracle.source(), VertexId(0));
+        let edges: Vec<EdgeId> = g.edges().collect();
+        for &s in &sources {
+            for v in g.vertices() {
+                assert!(oracle.matches_ground_truth_from(s, v, &FaultSet::empty()));
+                assert!(oracle.matches_ground_truth_from(
+                    s,
+                    v,
+                    &FaultSet::pair(edges[1], edges[edges.len() / 2])
+                ));
+            }
+        }
     }
 }
