@@ -9,17 +9,23 @@
 //! Usage:
 //!
 //! ```text
-//! exp_query_throughput [--smoke] [--lru-sweep] [--out PATH]
+//! exp_query_throughput [--smoke] [--lru-sweep] [--snapshot-bench] [--out PATH]
 //! ```
 //!
 //! `--smoke` shrinks the workloads to seconds-scale sizes for CI **and
-//! enforces the checked-in throughput floor** ([`SMOKE_QPS_FLOOR`], set
-//! with a ~3× margin below the container baseline): if the measured
-//! single-thread qps falls below it, the binary exits non-zero so a
-//! serving-path regression fails the build instead of silently landing.
+//! enforces the checked-in floors**: the throughput floor
+//! ([`SMOKE_QPS_FLOOR`], set with a ~3× margin below the container
+//! baseline) and the snapshot floor ([`SMOKE_SNAPSHOT_SPEEDUP_FLOOR`]:
+//! v2 open-and-first-query must be ≥ 5× faster than the v1
+//! load-and-first-query rebuild path).  If either is violated the binary
+//! exits non-zero so a serving- or load-path regression fails the build
+//! instead of silently landing.
 //! `--lru-sweep` additionally runs the cache-policy experiment: qps across
 //! per-partition LRU capacities {2, 4, 8, 16, 32} under tight and wide
 //! fault-pair locality, recorded in a `lru_sweep` section of the JSON.
+//! `--snapshot-bench` (implied by `--smoke`) measures snapshot load time —
+//! v1 load (full CSR + tree rebuild) vs v2 view open (validate only, zero
+//! rebuild) for both formats — into a `snapshot_bench` JSON section.
 //! `--out` overrides the JSON path (default `BENCH_query.json`).
 //!
 //! The query mix models a serving tail: 25% fault-free (precomputed-tree
@@ -32,8 +38,10 @@ use ftbfs_core::dual::DualFtBfsBuilder;
 use ftbfs_core::multi_failure_ftmbfs_parts;
 use ftbfs_graph::{generators, EdgeId, FaultSpec, Graph, TieBreak, VertexId};
 use ftbfs_oracle::{
-    DistanceOracle, Freeze, FrozenMultiStructure, FrozenStructure, Query, ThroughputHarness,
+    DistanceOracle, Freeze, FrozenMultiStructure, FrozenMultiView, FrozenStructure, FrozenView,
+    Query, QueryEngine, SnapshotVersion, ThroughputHarness,
 };
+use std::time::Instant;
 
 /// The `--smoke` throughput floor in queries per second, single-threaded.
 ///
@@ -42,6 +50,13 @@ use ftbfs_oracle::{
 /// floor sits a ~3× margin below that so only a real serving-path
 /// regression (not scheduler noise) trips it.
 const SMOKE_QPS_FLOOR: f64 = 1_000_000.0;
+
+/// The `--smoke` floor on the v2-open vs v1-load speedup for the
+/// single-source format: open-and-first-query must beat
+/// load-and-first-query by at least this factor on the smoke graph — the
+/// acceptance bar of the mmap-snapshot format (v2 validates but never
+/// rebuilds, so if this ratio collapses the zero-rebuild path regressed).
+const SMOKE_SNAPSHOT_SPEEDUP_FLOOR: f64 = 5.0;
 
 /// One measured configuration.
 struct Row {
@@ -205,10 +220,118 @@ fn lru_sweep(
     out
 }
 
+/// One snapshot load-time measurement.
+struct SnapRow {
+    format: &'static str,
+    n: usize,
+    structure_edges: usize,
+    v1_bytes: usize,
+    v2_bytes: usize,
+    load_v1_us: f64,
+    open_v2_us: f64,
+    speedup: f64,
+}
+
+/// Wall time of `f` in microseconds: the best of three mean-over-`reps`
+/// batches (one warm-up), so scheduler interference spikes cannot inflate
+/// a measurement the smoke floor compares.
+fn time_us<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(f());
+        }
+        best = best.min(start.elapsed().as_secs_f64() * 1e6 / reps as f64);
+    }
+    best
+}
+
+/// The snapshot experiment: time-to-first-answer from bytes, v1 (load =
+/// parse + full CSR/tree rebuild) vs v2 (open = validate only, serve from
+/// the mapped bytes), for both formats.
+///
+/// One long-lived `QueryEngine` per measurement models the server shape —
+/// per-thread engines persist across snapshot (re)loads; the reloaded
+/// structure keeps its fingerprint, so the engine does not even rebind —
+/// and keeps the measured cycle at exactly bytes → servable → answered.
+fn snapshot_bench(
+    g: &Graph,
+    frozen: &FrozenStructure,
+    multi: &FrozenMultiStructure,
+    reps: usize,
+) -> Vec<SnapRow> {
+    let n = g.vertex_count();
+    let target = VertexId((n / 2) as u32);
+    let mut rows = Vec::new();
+    {
+        let v1 = frozen.save();
+        let v2 = frozen.save_with(SnapshotVersion::V2);
+        let mut engine = QueryEngine::new();
+        let load_v1_us = time_us(reps, || {
+            let s = FrozenStructure::load(&v1).expect("v1 snapshot loads");
+            engine
+                .try_distance(&s, target, &FaultSpec::None)
+                .expect("in-range query")
+                .into_value()
+        });
+        let open_v2_us = time_us(reps, || {
+            let view = FrozenView::open_bytes(&v2).expect("v2 snapshot opens");
+            engine
+                .try_distance(&view, target, &FaultSpec::None)
+                .expect("in-range query")
+                .into_value()
+        });
+        rows.push(SnapRow {
+            format: "single",
+            n,
+            structure_edges: frozen.edge_count(),
+            v1_bytes: v1.len(),
+            v2_bytes: v2.len(),
+            load_v1_us,
+            open_v2_us,
+            speedup: load_v1_us / open_v2_us,
+        });
+    }
+    {
+        let v1 = multi.save();
+        let v2 = multi.save_with(SnapshotVersion::V2);
+        let source = multi.sources()[0];
+        let mut engine = QueryEngine::new();
+        let load_v1_us = time_us(reps, || {
+            let s = FrozenMultiStructure::load(&v1).expect("v1 snapshot loads");
+            engine
+                .try_distance_from(&s, source, target, &FaultSpec::None)
+                .expect("in-range query")
+                .into_value()
+        });
+        let open_v2_us = time_us(reps, || {
+            let view = FrozenMultiView::open_bytes(&v2).expect("v2 snapshot opens");
+            engine
+                .try_distance_from(&view, source, target, &FaultSpec::None)
+                .expect("in-range query")
+                .into_value()
+        });
+        rows.push(SnapRow {
+            format: "multi",
+            n,
+            structure_edges: multi.union_edge_count(),
+            v1_bytes: v1.len(),
+            v2_bytes: v2.len(),
+            load_v1_us,
+            open_v2_us,
+            speedup: load_v1_us / open_v2_us,
+        });
+    }
+    rows
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let sweep = args.iter().any(|a| a == "--lru-sweep");
+    let snap = smoke || args.iter().any(|a| a == "--snapshot-bench");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -247,6 +370,7 @@ fn main() {
     );
     let mut sweep_rows: Vec<SweepRow> = Vec::new();
     let mut smoke_qps: Option<f64> = None;
+    let mut first_frozen: Option<FrozenStructure> = None;
     for (name, g) in &workloads {
         let w = TieBreak::new(g, 1);
         let h = DualFtBfsBuilder::new(g, &w, VertexId(0)).build().structure;
@@ -271,12 +395,15 @@ fn main() {
         if sweep && sweep_rows.is_empty() {
             sweep_rows = lru_sweep(g, &frozen, &structure_edges, query_count);
         }
+        if first_frozen.is_none() {
+            first_frozen = Some(frozen);
+        }
     }
 
     // The multi-source S × V backend on the first workload's graph: freeze
     // the per-source FT-MBFS parts (f = 2) into per-source slabs and drive
     // explicit-source queries through the same harness.
-    {
+    let multi = {
         let (name, g) = &workloads[0];
         let w = TieBreak::new(g, 1);
         let sources: Vec<VertexId> = vec![
@@ -299,8 +426,51 @@ fn main() {
             &mut table,
             &mut rows,
         );
-    }
+        multi
+    };
     print!("{}", table.render());
+
+    // The snapshot experiment: v1 rebuild-on-load vs v2 zero-rebuild open,
+    // time-to-first-answer from bytes on the first workload's structures.
+    let snap_rows: Vec<SnapRow> = if snap {
+        let (_, g) = &workloads[0];
+        let reps = if smoke { 200 } else { 50 };
+        let measured = snapshot_bench(
+            g,
+            first_frozen.as_ref().expect("first workload was measured"),
+            &multi,
+            reps,
+        );
+        let mut snap_table = Table::new(
+            "E10b — snapshot load time: v1 rebuild vs v2 mmap-style open (+1 query)",
+            &[
+                "format",
+                "n",
+                "|E|",
+                "v1_bytes",
+                "v2_bytes",
+                "load_v1_us",
+                "open_v2_us",
+                "speedup",
+            ],
+        );
+        for r in &measured {
+            snap_table.row(vec![
+                r.format.to_string(),
+                r.n.to_string(),
+                r.structure_edges.to_string(),
+                r.v1_bytes.to_string(),
+                r.v2_bytes.to_string(),
+                format!("{:.2}", r.load_v1_us),
+                format!("{:.2}", r.open_v2_us),
+                format!("{:.1}x", r.speedup),
+            ]);
+        }
+        print!("{}", snap_table.render());
+        measured
+    } else {
+        Vec::new()
+    };
 
     if !sweep_rows.is_empty() {
         let mut sweep_table = Table::new(
@@ -353,6 +523,26 @@ fn main() {
         }
         json.push_str("  ]");
     }
+    if !snap_rows.is_empty() {
+        json.push_str(",\n  \"snapshot_bench\": [\n");
+        for (i, r) in snap_rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"format\": \"{}\", \"n\": {}, \"structure_edges\": {}, \
+                 \"v1_bytes\": {}, \"v2_bytes\": {}, \"load_v1_us\": {:.3}, \
+                 \"open_v2_us\": {:.3}, \"speedup\": {:.2}}}{}\n",
+                r.format,
+                r.n,
+                r.structure_edges,
+                r.v1_bytes,
+                r.v2_bytes,
+                r.load_v1_us,
+                r.open_v2_us,
+                r.speedup,
+                if i + 1 < snap_rows.len() { "," } else { "" },
+            ));
+        }
+        json.push_str("  ]");
+    }
     json.push_str("\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_query.json");
     println!("wrote {out_path}");
@@ -366,5 +556,21 @@ fn main() {
             std::process::exit(1);
         }
         println!("smoke floor ok: {qps:.0} qps >= {SMOKE_QPS_FLOOR:.0}");
+        let single = snap_rows
+            .iter()
+            .find(|r| r.format == "single")
+            .expect("smoke mode ran the snapshot bench");
+        if single.speedup < SMOKE_SNAPSHOT_SPEEDUP_FLOOR {
+            eprintln!(
+                "SMOKE SNAPSHOT FLOOR VIOLATION: v2 open {:.2}us is only {:.1}x faster than \
+                 v1 load {:.2}us (floor {SMOKE_SNAPSHOT_SPEEDUP_FLOOR}x)",
+                single.open_v2_us, single.speedup, single.load_v1_us
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "smoke snapshot floor ok: v2 open beats v1 load {:.1}x >= {SMOKE_SNAPSHOT_SPEEDUP_FLOOR}x",
+            single.speedup
+        );
     }
 }

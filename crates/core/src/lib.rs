@@ -49,6 +49,9 @@ pub use dual::{
     dual_failure_ftbfs, dual_failure_ftmbfs, DualFtBfs, DualFtBfsBuilder, SelectionStrategy,
 };
 pub use ftdiam::{ft_diameter_bound, FtDiameterBound};
-pub use multi::{multi_failure_ftbfs, multi_failure_ftmbfs, multi_failure_ftmbfs_parts};
+pub use multi::{
+    multi_failure_ftbfs, multi_failure_ftmbfs, multi_failure_ftmbfs_parts,
+    multi_failure_ftmbfs_parts_threads,
+};
 pub use single::{bfs_tree_size, single_failure_ftbfs, single_failure_ftmbfs};
 pub use structure::FtBfsStructure;

@@ -99,10 +99,50 @@ pub fn multi_failure_ftmbfs_parts(
     sources: &[VertexId],
     f: usize,
 ) -> Vec<FtBfsStructure> {
-    sources
-        .iter()
-        .map(|&s| multi_failure_ftbfs(graph, w, s, f))
-        .collect()
+    multi_failure_ftmbfs_parts_threads(graph, w, sources, f, 1)
+}
+
+/// [`multi_failure_ftmbfs_parts`] with a worker-thread count, mirroring
+/// [`crate::dual::DualFtBfsBuilder::threads`].
+///
+/// The per-source constructions are fully independent (each reads only the
+/// shared graph and tie-break weights), so the sources are split into
+/// contiguous chunks across `threads` scoped workers and the per-chunk
+/// outputs concatenated in spawn order — the returned parts are
+/// **bit-identical** to the serial ones, in `sources` order, for every
+/// thread count.
+pub fn multi_failure_ftmbfs_parts_threads(
+    graph: &Graph,
+    w: &TieBreak,
+    sources: &[VertexId],
+    f: usize,
+    threads: usize,
+) -> Vec<FtBfsStructure> {
+    let threads = threads.max(1).min(sources.len().max(1));
+    if threads <= 1 {
+        return sources
+            .iter()
+            .map(|&s| multi_failure_ftbfs(graph, w, s, f))
+            .collect();
+    }
+    let chunk_size = sources.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = sources
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|&s| multi_failure_ftbfs(graph, w, s, f))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("FT-MBFS part worker panicked"))
+            .collect()
+    })
 }
 
 /// Recursively explores relevant fault sets for target `v`.
@@ -275,6 +315,18 @@ mod tests {
         assert_eq!(rebuilt, union);
         // Parts are genuinely sparser than the union (on this instance).
         assert!(parts.iter().all(|p| p.edge_count() <= union.edge_count()));
+    }
+
+    #[test]
+    fn threaded_parts_are_bit_identical_to_serial() {
+        let g = generators::tree_plus_chords(14, 6, 13);
+        let w = TieBreak::new(&g, 13);
+        let sources = [VertexId(0), VertexId(4), VertexId(9), VertexId(13)];
+        let serial = multi_failure_ftmbfs_parts(&g, &w, &sources, 2);
+        for threads in [2usize, 3, 4, 16] {
+            let parallel = multi_failure_ftmbfs_parts_threads(&g, &w, &sources, 2, threads);
+            assert_eq!(serial, parallel, "parts differ with {threads} threads");
+        }
     }
 
     #[test]

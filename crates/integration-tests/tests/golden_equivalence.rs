@@ -106,6 +106,32 @@ fn parallel_construction_is_bit_identical_to_serial() {
 }
 
 #[test]
+fn parallel_ftmbfs_parts_are_bit_identical_to_serial() {
+    use ftbfs_core::{multi_failure_ftmbfs_parts, multi_failure_ftmbfs_parts_threads};
+    // The construction-side FT-MBFS parallelisation mirrors
+    // DualFtBfsBuilder::threads: contiguous source chunks, spawn-order
+    // merge, so the parts — and hence the frozen slabs and the union —
+    // must be bit-identical for every thread count.
+    let g = generators::tree_plus_chords(20, 9, 5);
+    let w = TieBreak::new(&g, 5);
+    let sources: Vec<VertexId> = vec![VertexId(0), VertexId(6), VertexId(13), VertexId(19)];
+    let serial = multi_failure_ftmbfs_parts(&g, &w, &sources, 2);
+    for threads in [2usize, 3, 4, 16] {
+        let parallel = multi_failure_ftmbfs_parts_threads(&g, &w, &sources, 2, threads);
+        assert_eq!(
+            serial, parallel,
+            "FT-MBFS parts differ with {threads} threads"
+        );
+        // And the frozen serving form is identical too (fingerprint covers
+        // the union edge list and every slab's index list).
+        let a = ftbfs_oracle::FrozenMultiStructure::freeze(&g, &serial);
+        let b = ftbfs_oracle::FrozenMultiStructure::freeze(&g, &parallel);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
 fn parallel_structures_still_verify_exhaustively() {
     use ftbfs_graph::{bfs, FaultSet, GraphView};
     let g = generators::connected_gnp(14, 0.2, 19);

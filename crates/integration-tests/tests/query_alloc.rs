@@ -13,7 +13,7 @@
 use ftbfs_core::dual::DualFtBfsBuilder;
 use ftbfs_core::multi_failure_ftmbfs_parts;
 use ftbfs_graph::{generators, EdgeId, FaultSpec, TieBreak, VertexId};
-use ftbfs_oracle::{Freeze, FrozenMultiStructure, Query, QueryEngine};
+use ftbfs_oracle::{Freeze, FrozenMultiStructure, FrozenView, Query, QueryEngine, SnapshotVersion};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -98,6 +98,56 @@ fn dual_fault_queries_allocate_nothing_after_warmup() {
         "warmed-up trait-dispatched dual-fault queries must not allocate"
     );
     // Sanity: the warmed-up answers are still real answers.
+    assert!(out.iter().filter(|d| d.is_some()).count() > out.len() / 2);
+}
+
+#[test]
+fn mmap_style_view_queries_allocate_nothing_after_warmup() {
+    // The v2 serving path: open a view over snapshot bytes (zero rebuild,
+    // zero copy of the big arrays) and serve the same dual-fault workload.
+    // After warm-up the engine must allocate exactly as little over the
+    // byte-backed slabs as over the heap-built ones: nothing.
+    let g = generators::connected_gnp(120, 0.08, 42);
+    let w = TieBreak::new(&g, 42);
+    let h = DualFtBfsBuilder::new(&g, &w, VertexId(0)).build().structure;
+    let bytes = h.freeze(&g).save_with(SnapshotVersion::V2);
+    let structure_edges: Vec<EdgeId> = h.edges().collect();
+    let view = FrozenView::open_bytes(&bytes).expect("v2 snapshot opens");
+
+    let fault_pairs: Vec<FaultSpec> = (0..24)
+        .map(|i| {
+            FaultSpec::from((
+                structure_edges[i * 5 % structure_edges.len()],
+                structure_edges[(i * 9 + 2) % structure_edges.len()],
+            ))
+        })
+        .collect();
+    let queries: Vec<Query> = (0..512)
+        .map(|i| {
+            Query::new(
+                VertexId((i * 7 % g.vertex_count()) as u32),
+                fault_pairs[i % fault_pairs.len()].clone(),
+            )
+        })
+        .collect();
+    let mut out = vec![None; queries.len()];
+    let mut engine = QueryEngine::new();
+    for _ in 0..2 {
+        engine.batch_distances_into(&view, &queries, &mut out);
+    }
+
+    let before = allocation_count();
+    engine.batch_distances_into(&view, &queries, &mut out);
+    for (q, spec) in queries.iter().zip(fault_pairs.iter().cycle()) {
+        let answer = engine.try_distance(&view, q.target, spec).unwrap();
+        assert!(answer.is_exact());
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "warmed-up queries over a mapped snapshot view must not allocate"
+    );
     assert!(out.iter().filter(|d| d.is_some()).count() > out.len() / 2);
 }
 

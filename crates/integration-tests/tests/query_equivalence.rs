@@ -18,8 +18,8 @@ use ftbfs_core::dual::DualFtBfsBuilder;
 use ftbfs_core::multi_failure_ftmbfs_parts;
 use ftbfs_graph::{bfs, generators, EdgeId, FaultSpec, Graph, GraphView, TieBreak, VertexId};
 use ftbfs_oracle::{
-    DistanceOracle, Freeze, FrozenMultiStructure, FrozenStructure, Guarantee, Query, QueryEngine,
-    QueryError, ThroughputHarness,
+    DistanceOracle, Freeze, FrozenMultiStructure, FrozenMultiView, FrozenStructure, FrozenView,
+    Guarantee, Query, QueryEngine, QueryError, SnapshotSource, SnapshotVersion, ThroughputHarness,
 };
 use proptest::prelude::*;
 
@@ -160,6 +160,89 @@ fn multi_source_oracle_matches_ground_truth() {
 }
 
 #[test]
+fn frozen_view_passes_the_full_generic_suite() {
+    // The acceptance bar of the v2 snapshot format: a FrozenView opened
+    // from the bytes answers the same backend-generic ground-truth suite
+    // the rebuilt FrozenStructure does — every engine path, bit-identical
+    // to BFS on G ∖ F — while serving straight from the mapped bytes.
+    for seed in [2015u64, 77] {
+        let g = generators::connected_gnp(34, 0.14, seed);
+        let frozen = frozen_for(&g, seed);
+        let bytes = frozen.save_with(SnapshotVersion::V2);
+        let view = FrozenView::open_bytes(&bytes).expect("v2 snapshot opens");
+        assert_eq!(view.fingerprint(), frozen.fingerprint());
+        assert_oracle_matches_ground_truth(&g, &view, 7);
+    }
+    // Also through an owned SnapshotSource (the mmap-shaped entry point).
+    let g = generators::grid(5, 6);
+    let frozen = frozen_for(&g, 2);
+    let source = SnapshotSource::owned(frozen.save_with(SnapshotVersion::V2));
+    let view = FrozenView::open(&source).expect("v2 snapshot opens");
+    assert_oracle_matches_ground_truth(&g, &view, 5);
+}
+
+#[test]
+fn frozen_multi_view_passes_the_full_generic_suite() {
+    let g = generators::tree_plus_chords(16, 7, 5);
+    let sources = [VertexId(0), VertexId(9), VertexId(15)];
+    let multi = multi_frozen_for(&g, &sources, 5);
+    let bytes = multi.save_with(SnapshotVersion::V2);
+    let view = FrozenMultiView::open_bytes(&bytes).expect("v2 snapshot opens");
+    assert_eq!(view.fingerprint(), multi.fingerprint());
+    assert_eq!(view.sources(), &sources[..]);
+    assert_oracle_matches_ground_truth(&g, &view, 4);
+    // Views keep the multi contract: undeclared sources are typed errors.
+    let mut engine = QueryEngine::new();
+    assert_eq!(
+        engine.try_distance_from(&view, VertexId(3), VertexId(1), &FaultSpec::None),
+        Err(QueryError::UnservedSource {
+            source: VertexId(3)
+        })
+    );
+}
+
+#[test]
+fn views_match_rebuilt_structures_beyond_the_resilience_too() {
+    // Bit-identity between a view and the rebuilt structure must extend to
+    // best-effort territory (|F| > f), where answers are defined inside H.
+    let g = generators::connected_gnp(28, 0.16, 31);
+    let frozen = frozen_for(&g, 31);
+    let bytes = frozen.save_with(SnapshotVersion::V2);
+    let view = FrozenView::open_bytes(&bytes).unwrap();
+    let edges: Vec<EdgeId> = g.edges().collect();
+    let spec = FaultSpec::from([edges[0], edges[edges.len() / 2], edges[edges.len() - 1]]);
+    let mut ea = QueryEngine::new();
+    let mut eb = QueryEngine::new();
+    for v in g.vertices() {
+        let a = ea.try_distance(&frozen, v, &spec).unwrap();
+        let b = eb.try_distance(&view, v, &spec).unwrap();
+        assert_eq!(a.guarantee(), Guarantee::BestEffort);
+        assert_eq!(a, b, "target {v:?}");
+    }
+}
+
+#[test]
+fn threaded_harness_serves_views_like_structures() {
+    let g = generators::connected_gnp(30, 0.15, 44);
+    let frozen = frozen_for(&g, 44);
+    let bytes = frozen.save_with(SnapshotVersion::V2);
+    let view = FrozenView::open_bytes(&bytes).unwrap();
+    let edges: Vec<EdgeId> = g.edges().collect();
+    let queries: Vec<Query> = (0..400)
+        .map(|i| {
+            let t = VertexId((i * 11 % g.vertex_count()) as u32);
+            Query::new(
+                t,
+                (edges[i % edges.len()], edges[(i * 7 + 1) % edges.len()]),
+            )
+        })
+        .collect();
+    let from_structure = ThroughputHarness::new(3).run(&frozen, &queries);
+    let from_view = ThroughputHarness::new(3).run(&view, &queries);
+    assert_eq!(from_structure.distances, from_view.distances);
+}
+
+#[test]
 fn beyond_resilience_answers_are_flagged_best_effort_and_exact_inside_h() {
     let g = generators::connected_gnp(30, 0.16, 21);
     let w = TieBreak::new(&g, 21);
@@ -282,6 +365,14 @@ proptest! {
         let loaded = FrozenStructure::load(&frozen.save()).expect("snapshot loads");
         prop_assert_eq!(&loaded, &frozen);
         prop_assert_eq!(loaded.fingerprint(), frozen.fingerprint());
+        // The v2 encoding round-trips identically and opens as a view with
+        // the same identity.
+        let v2 = frozen.save_with(SnapshotVersion::V2);
+        prop_assert_eq!(&FrozenStructure::load(&v2).expect("v2 loads"), &frozen);
+        prop_assert_eq!(
+            FrozenView::open_bytes(&v2).expect("v2 opens").fingerprint(),
+            frozen.fingerprint()
+        );
         let mut engine_a = QueryEngine::new();
         let mut engine_b = QueryEngine::new();
         for spec in fault_specs(&g, 5) {
@@ -307,6 +398,12 @@ proptest! {
         let loaded = FrozenMultiStructure::load(&multi.save()).expect("snapshot loads");
         prop_assert_eq!(&loaded, &multi);
         prop_assert_eq!(loaded.fingerprint(), multi.fingerprint());
+        let v2 = multi.save_with(SnapshotVersion::V2);
+        prop_assert_eq!(&FrozenMultiStructure::load(&v2).expect("v2 loads"), &multi);
+        prop_assert_eq!(
+            FrozenMultiView::open_bytes(&v2).expect("v2 opens").fingerprint(),
+            multi.fingerprint()
+        );
         let mut engine_a = QueryEngine::new();
         let mut engine_b = QueryEngine::new();
         for spec in fault_specs(&g, 4) {

@@ -15,37 +15,50 @@
 
 use ftbfs_core::dual::DualFtBfsBuilder;
 use ftbfs_core::multi_failure_ftmbfs_parts;
+use ftbfs_graph::bytes::{fnv1a64, fnv1a64_words, put_u32, put_u64};
 use ftbfs_graph::{generators, TieBreak, VertexId};
 use ftbfs_oracle::{
-    Freeze, FrozenMultiStructure, FrozenStructure, SnapshotError, SNAPSHOT_MAGIC,
-    SNAPSHOT_MULTI_MAGIC,
+    snapshot_layout, Freeze, FrozenMultiStructure, FrozenMultiView, FrozenStructure, FrozenView,
+    SnapshotError, SnapshotVersion, SNAPSHOT_ALIGN, SNAPSHOT_MAGIC, SNAPSHOT_MULTI_MAGIC,
 };
 use proptest::prelude::*;
 
-fn single_snapshot(seed: u64) -> Vec<u8> {
+fn single_snapshot_with(seed: u64, version: SnapshotVersion) -> Vec<u8> {
     let g = generators::connected_gnp(24, 0.18, seed);
     let w = TieBreak::new(&g, seed);
     DualFtBfsBuilder::new(&g, &w, VertexId(0))
         .build()
         .structure
         .freeze(&g)
-        .save()
+        .save_with(version)
 }
 
-fn multi_snapshot(seed: u64) -> Vec<u8> {
+fn single_snapshot(seed: u64) -> Vec<u8> {
+    single_snapshot_with(seed, SnapshotVersion::V1)
+}
+
+fn multi_snapshot_with(seed: u64, version: SnapshotVersion) -> Vec<u8> {
     let g = generators::tree_plus_chords(12, 5, seed);
     let w = TieBreak::new(&g, seed);
     let sources = [VertexId(0), VertexId(7)];
     let parts = multi_failure_ftmbfs_parts(&g, &w, &sources, 2);
-    FrozenMultiStructure::freeze(&g, &parts).save()
+    FrozenMultiStructure::freeze(&g, &parts).save_with(version)
+}
+
+fn multi_snapshot(seed: u64) -> Vec<u8> {
+    multi_snapshot_with(seed, SnapshotVersion::V1)
 }
 
 /// Every load attempt must produce `Err`, never a panic and never a
-/// structure (the input is corrupted by construction).
+/// structure (the input is corrupted by construction).  For v2 input the
+/// zero-rebuild view open must reject identically to the owned load.
 fn assert_single_rejects(data: &[u8], what: &str) {
     match FrozenStructure::load(data) {
         Err(_) => {}
         Ok(_) => panic!("{what}: corrupted single snapshot unexpectedly loaded"),
+    }
+    if let Ok(view) = FrozenView::open_bytes(data) {
+        panic!("{what}: corrupted single snapshot unexpectedly opened as {view:?}");
     }
 }
 
@@ -54,6 +67,67 @@ fn assert_multi_rejects(data: &[u8], what: &str) {
         Err(_) => {}
         Ok(_) => panic!("{what}: corrupted multi snapshot unexpectedly loaded"),
     }
+    if let Ok(view) = FrozenMultiView::open_bytes(data) {
+        panic!("{what}: corrupted multi snapshot unexpectedly opened as {view:?}");
+    }
+}
+
+/// Re-implements the v2 frame writer from its spec (module docs of
+/// `ftbfs_oracle::snapshot`), so tests can build variant files — e.g. with
+/// an extra unknown section — independently of the production encoder.
+fn assemble_v2_like(
+    magic: [u8; 4],
+    base: &[u8],
+    fingerprint: u64,
+    sections: &[(u32, Vec<u8>)],
+) -> Vec<u8> {
+    let align = |at: usize| at.div_ceil(SNAPSHOT_ALIGN) * SNAPSHOT_ALIGN;
+    let header_len = 4 + base.len() + 8 + 8 + 4 + 28 * sections.len() + 8;
+    let mut offsets = Vec::new();
+    let mut cursor = align(header_len);
+    for (_, bytes) in sections {
+        offsets.push(cursor);
+        cursor = align(cursor + bytes.len());
+    }
+    let mut frame = Vec::new();
+    put_u64(&mut frame, fingerprint);
+    put_u32(&mut frame, sections.len() as u32);
+    for ((kind, bytes), &offset) in sections.iter().zip(&offsets) {
+        put_u32(&mut frame, *kind);
+        put_u64(&mut frame, offset as u64);
+        put_u64(&mut frame, bytes.len() as u64);
+        put_u64(&mut frame, fnv1a64_words(bytes));
+    }
+    let mut out = Vec::new();
+    out.extend_from_slice(&magic);
+    out.extend_from_slice(base);
+    put_u64(&mut out, fnv1a64_words(base));
+    out.extend_from_slice(&frame);
+    put_u64(&mut out, fnv1a64_words(&frame));
+    for ((_, bytes), &offset) in sections.iter().zip(&offsets) {
+        out.resize(offset, 0);
+        out.extend_from_slice(bytes);
+    }
+    out.resize(cursor, 0);
+    out
+}
+
+/// Rebuilds a valid v2 snapshot with one extra section of an unknown kind
+/// appended.
+fn with_unknown_section(data: &[u8]) -> Vec<u8> {
+    let layout = snapshot_layout(data).expect("input is a valid v2 snapshot");
+    let magic: [u8; 4] = data[..4].try_into().unwrap();
+    let base = &data[layout.base.clone()];
+    let mut sections: Vec<(u32, Vec<u8>)> = layout
+        .sections
+        .iter()
+        .map(|s| (s.kind, data[s.offset..s.offset + s.len].to_vec()))
+        .collect();
+    sections.push((
+        u32::from_le_bytes(*b"ZZZZ"),
+        vec![7, 0, 0, 0, 9, 0, 0, 0, 42, 0, 0, 0],
+    ));
+    assemble_v2_like(magic, base, layout.fingerprint, &sections)
 }
 
 #[test]
@@ -112,6 +186,226 @@ fn wrong_and_foreign_magic_are_bad_magic() {
         FrozenStructure::load(b"FTBMxxxxxxxxxxxx").unwrap_err(),
         SnapshotError::BadMagic
     );
+}
+
+#[test]
+fn v2_every_truncation_point_is_a_typed_error() {
+    // The v2 writer pads the file to the aligned end of the last section
+    // and the loader demands that full length, so *every* proper prefix —
+    // including cuts inside trailing padding and at every section
+    // boundary — must be rejected, by load and by view open alike.
+    let single = single_snapshot_with(3, SnapshotVersion::V2);
+    for cut in 0..single.len() {
+        assert_single_rejects(&single[..cut], "v2 truncation");
+    }
+    let multi = multi_snapshot_with(3, SnapshotVersion::V2);
+    for cut in 0..multi.len() {
+        assert_multi_rejects(&multi[..cut], "v2 truncation");
+    }
+}
+
+#[test]
+fn v2_truncation_at_every_section_boundary_is_rejected() {
+    // The boundary cuts deserve their own sweep: exactly at each section
+    // start, one byte in, and exactly at each section end (still short of
+    // the following sections or trailing pad).
+    // (A "cut" equal to the full file length is the intact snapshot, which
+    // can happen when the last section ends exactly on the 64-byte
+    // boundary — skip that one.)
+    let single = single_snapshot_with(9, SnapshotVersion::V2);
+    let layout = snapshot_layout(&single).unwrap();
+    for s in &layout.sections {
+        for cut in [s.offset, s.offset + 1, s.offset + s.len] {
+            if cut < single.len() {
+                assert_single_rejects(&single[..cut], "section-boundary truncation");
+            }
+        }
+    }
+    let multi = multi_snapshot_with(9, SnapshotVersion::V2);
+    let layout = snapshot_layout(&multi).unwrap();
+    for s in &layout.sections {
+        for cut in [s.offset, s.offset + 1, s.offset + s.len] {
+            if cut < multi.len() {
+                assert_multi_rejects(&multi[..cut], "section-boundary truncation");
+            }
+        }
+    }
+}
+
+#[test]
+fn v2_every_single_bit_flip_is_rejected() {
+    // Every byte of a v2 snapshot is covered by the magic, a checksum, or
+    // the zero-padding rule, so a flip anywhere — header, TOC, section
+    // data, padding — must be caught.
+    let single = single_snapshot_with(5, SnapshotVersion::V2);
+    for i in 0..single.len() {
+        let mut bytes = single.clone();
+        bytes[i] ^= 1 << (i % 8);
+        assert_single_rejects(&bytes, "v2 bit flip");
+    }
+    let multi = multi_snapshot_with(5, SnapshotVersion::V2);
+    for i in 0..multi.len() {
+        let mut bytes = multi.clone();
+        bytes[i] ^= 1 << (i % 8);
+        assert_multi_rejects(&bytes, "v2 bit flip");
+    }
+}
+
+#[test]
+fn v2_per_section_checksum_corruption_is_attributed() {
+    let single = single_snapshot_with(7, SnapshotVersion::V2);
+    let layout = snapshot_layout(&single).unwrap();
+    for s in &layout.sections {
+        let mut bytes = single.clone();
+        bytes[s.offset] ^= 0x20;
+        assert_eq!(
+            FrozenView::open_bytes(&bytes).unwrap_err(),
+            SnapshotError::SectionChecksum { kind: s.kind },
+            "flip in section {:?}",
+            s.kind.to_le_bytes()
+        );
+        assert_single_rejects(&bytes, "section corruption");
+    }
+    let multi = multi_snapshot_with(7, SnapshotVersion::V2);
+    let layout = snapshot_layout(&multi).unwrap();
+    for s in &layout.sections {
+        let mut bytes = multi.clone();
+        bytes[s.offset + s.len - 1] ^= 0x01;
+        assert_eq!(
+            FrozenMultiView::open_bytes(&bytes).unwrap_err(),
+            SnapshotError::SectionChecksum { kind: s.kind },
+        );
+        assert_multi_rejects(&bytes, "section corruption");
+    }
+}
+
+#[test]
+fn v2_unknown_sections_are_skipped_forward_compatibly() {
+    // A future writer may add sections this reader does not know; after
+    // the bounds + checksum check they must be ignored, and the snapshot
+    // must load and open with unchanged answers.
+    let single = single_snapshot_with(11, SnapshotVersion::V2);
+    let extended = with_unknown_section(&single);
+    assert_ne!(extended, single);
+    let plain = FrozenStructure::load(&single).unwrap();
+    let with_extra = FrozenStructure::load(&extended).expect("unknown section must be skipped");
+    assert_eq!(plain, with_extra);
+    let view = FrozenView::open_bytes(&extended).expect("view skips unknown sections too");
+    assert_eq!(view.fingerprint(), plain.fingerprint());
+    // But a flip inside the unknown section is still corruption.
+    let layout = snapshot_layout(&extended).unwrap();
+    let unknown = layout
+        .sections
+        .iter()
+        .find(|s| s.kind == u32::from_le_bytes(*b"ZZZZ"))
+        .expect("extra section present");
+    let mut corrupted = extended.clone();
+    corrupted[unknown.offset] ^= 0x80;
+    assert_single_rejects(&corrupted, "unknown-section corruption");
+
+    let multi = multi_snapshot_with(11, SnapshotVersion::V2);
+    let extended = with_unknown_section(&multi);
+    let plain = FrozenMultiStructure::load(&multi).unwrap();
+    let with_extra = FrozenMultiStructure::load(&extended).expect("unknown section skipped");
+    assert_eq!(plain, with_extra);
+    assert!(FrozenMultiView::open_bytes(&extended).is_ok());
+}
+
+#[test]
+fn v2_forged_fingerprint_is_rejected_on_load() {
+    // The fingerprint is attested by the writer (open trusts it under the
+    // frame checksum), but the rebuild path recomputes the real value and
+    // must reject a file whose base and fingerprint disagree — the
+    // buggy-external-writer case.
+    let single = single_snapshot_with(23, SnapshotVersion::V2);
+    let layout = snapshot_layout(&single).unwrap();
+    let base = &single[layout.base.clone()];
+    let sections: Vec<(u32, Vec<u8>)> = layout
+        .sections
+        .iter()
+        .map(|s| (s.kind, single[s.offset..s.offset + s.len].to_vec()))
+        .collect();
+    let forged = assemble_v2_like(
+        single[..4].try_into().unwrap(),
+        base,
+        layout.fingerprint ^ 1,
+        &sections,
+    );
+    match FrozenStructure::load(&forged).unwrap_err() {
+        SnapshotError::Corrupt(why) => assert!(why.contains("fingerprint"), "{why}"),
+        other => panic!("expected Corrupt(fingerprint...), got {other:?}"),
+    }
+
+    let multi = multi_snapshot_with(23, SnapshotVersion::V2);
+    let layout = snapshot_layout(&multi).unwrap();
+    let base = &multi[layout.base.clone()];
+    let sections: Vec<(u32, Vec<u8>)> = layout
+        .sections
+        .iter()
+        .map(|s| (s.kind, multi[s.offset..s.offset + s.len].to_vec()))
+        .collect();
+    let forged = assemble_v2_like(
+        multi[..4].try_into().unwrap(),
+        base,
+        !layout.fingerprint,
+        &sections,
+    );
+    assert!(FrozenMultiStructure::load(&forged).is_err());
+}
+
+#[test]
+fn v2_trailing_extension_is_rejected_even_when_zero() {
+    // The v2 encoding is canonical — exactly one byte string per
+    // structure — so appended bytes must be rejected even if they are
+    // zeros that would pass a padding rule.
+    for extra in [1usize, 7, 64, 4096] {
+        let single = single_snapshot_with(21, SnapshotVersion::V2);
+        let mut extended = single.clone();
+        extended.resize(single.len() + extra, 0);
+        assert_single_rejects(&extended, "zero-extended tail");
+        extended[single.len()] = 0xFF;
+        assert_single_rejects(&extended, "nonzero-extended tail");
+        let multi = multi_snapshot_with(21, SnapshotVersion::V2);
+        let mut extended = multi.clone();
+        extended.resize(multi.len() + extra, 0);
+        assert_multi_rejects(&extended, "zero-extended tail");
+    }
+}
+
+#[test]
+fn v2_magic_with_v1_body_is_rejected() {
+    // Rewrite a v1 snapshot's version field to 2 and fix up the v1
+    // trailing checksum: the loader takes the v2 path, finds no frame
+    // after the base payload, and must reject cleanly (no panic, no
+    // misparse) — for both formats, load and open.
+    for (bytes, is_single) in [(single_snapshot(13), true), (multi_snapshot(13), false)] {
+        let mut payload = bytes[4..bytes.len() - 8].to_vec();
+        payload[0] = 0x02;
+        payload[1] = 0x00;
+        let mut crafted = Vec::new();
+        crafted.extend_from_slice(&bytes[..4]);
+        crafted.extend_from_slice(&payload);
+        put_u64(&mut crafted, fnv1a64(&payload));
+        if is_single {
+            assert_single_rejects(&crafted, "v2 magic with v1 body");
+        } else {
+            assert_multi_rejects(&crafted, "v2 magic with v1 body");
+        }
+    }
+}
+
+#[test]
+fn v2_cross_magic_is_rejected() {
+    let single = single_snapshot_with(15, SnapshotVersion::V2);
+    let mut crossed = single.clone();
+    crossed[..4].copy_from_slice(&SNAPSHOT_MULTI_MAGIC);
+    assert_multi_rejects(&crossed, "v2 cross magic");
+    assert_single_rejects(&crossed, "v2 cross magic");
+    let multi = multi_snapshot_with(15, SnapshotVersion::V2);
+    let mut crossed = multi.clone();
+    crossed[..4].copy_from_slice(&SNAPSHOT_MAGIC);
+    assert_single_rejects(&crossed, "v2 cross magic");
+    assert_multi_rejects(&crossed, "v2 cross magic");
 }
 
 #[test]
@@ -193,5 +487,30 @@ proptest! {
         let multi = multi_snapshot(seed);
         let cut = (multi.len() as f64 * cut_sel) as usize;
         prop_assert!(FrozenMultiStructure::load(&multi[..cut.min(multi.len() - 1)]).is_err());
+    }
+
+    /// Random single-byte mutations of v2 snapshots never panic and never
+    /// load or open, across seeds and both formats.
+    #[test]
+    fn v2_snapshot_mutations_never_panic(
+        seed in 0u64..16,
+        offset_sel in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let single = single_snapshot_with(seed, SnapshotVersion::V2);
+        let offset = ((single.len() - 1) as f64 * offset_sel) as usize;
+        let mut mutated = single.clone();
+        mutated[offset] ^= xor;
+        prop_assert!(FrozenStructure::load(&mutated).is_err());
+        prop_assert!(FrozenView::open_bytes(&mutated).is_err());
+        prop_assert!(FrozenStructure::load(&single).is_ok());
+
+        let multi = multi_snapshot_with(seed, SnapshotVersion::V2);
+        let offset = ((multi.len() - 1) as f64 * offset_sel) as usize;
+        let mut mutated = multi.clone();
+        mutated[offset] ^= xor;
+        prop_assert!(FrozenMultiStructure::load(&mutated).is_err());
+        prop_assert!(FrozenMultiView::open_bytes(&mutated).is_err());
+        prop_assert!(FrozenMultiStructure::load(&multi).is_ok());
     }
 }

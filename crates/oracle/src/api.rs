@@ -29,6 +29,7 @@
 //! `G ∖ F` distance (`H ⊆ G` implies `dist(s,v,H∖F) ≥ dist(s,v,G∖F)`);
 //! they are never silently wrong in the "too short" direction.
 
+use ftbfs_graph::bytes::WordSlice;
 use ftbfs_graph::{EdgeId, FaultSpec, VertexId};
 use std::fmt;
 
@@ -143,16 +144,21 @@ impl std::error::Error for QueryError {}
 
 /// The precomputed fault-free BFS tree of a slab's source, as borrowed
 /// dense arrays (`u32::MAX` sentinels for unreached / no parent).
+///
+/// The arrays are [`WordSlice`]s, so a tree can live either in heap-built
+/// `Vec`s (a [`crate::FrozenStructure`]) or directly in mapped snapshot
+/// bytes (a [`crate::FrozenView`]).
 #[derive(Clone, Copy, Debug)]
 pub struct SlabTree<'a> {
-    pub(crate) dist: &'a [u32],
-    pub(crate) parent_head: &'a [u32],
+    pub(crate) dist: WordSlice<'a>,
+    pub(crate) parent_head: WordSlice<'a>,
 }
 
 impl<'a> SlabTree<'a> {
     /// Wraps borrowed tree arrays; both must have length `n` and use
     /// `u32::MAX` as the unreached / no-parent sentinel.
-    pub fn new(dist: &'a [u32], parent_head: &'a [u32]) -> Self {
+    pub fn new(dist: impl Into<WordSlice<'a>>, parent_head: impl Into<WordSlice<'a>>) -> Self {
+        let (dist, parent_head) = (dist.into(), parent_head.into());
         debug_assert_eq!(dist.len(), parent_head.len());
         SlabTree { dist, parent_head }
     }
@@ -174,13 +180,17 @@ impl<'a> SlabTree<'a> {
 ///   is strictly increasing, so translating a query's faults is a binary
 ///   search per fault — and monotone, so canonical fault order is
 ///   preserved.
+///
+/// The arrays are [`WordSlice`]s: native slices for heap-built structures,
+/// little-endian byte views for structures served straight out of mapped
+/// v2 snapshot bytes.
 #[derive(Clone, Copy, Debug)]
 pub struct OracleSlab<'a> {
     source: VertexId,
-    xadj: &'a [u32],
-    adj_head: &'a [u32],
-    adj_edge: &'a [u32],
-    edge_orig: &'a [u32],
+    xadj: WordSlice<'a>,
+    adj_head: WordSlice<'a>,
+    adj_edge: WordSlice<'a>,
+    edge_orig: WordSlice<'a>,
     tree: Option<SlabTree<'a>>,
 }
 
@@ -192,16 +202,22 @@ impl<'a> OracleSlab<'a> {
     /// is strictly increasing, and `tree` (if present) covers `n` vertices.
     pub fn new(
         source: VertexId,
-        xadj: &'a [u32],
-        adj_head: &'a [u32],
-        adj_edge: &'a [u32],
-        edge_orig: &'a [u32],
+        xadj: impl Into<WordSlice<'a>>,
+        adj_head: impl Into<WordSlice<'a>>,
+        adj_edge: impl Into<WordSlice<'a>>,
+        edge_orig: impl Into<WordSlice<'a>>,
         tree: Option<SlabTree<'a>>,
     ) -> Self {
+        let (xadj, adj_head, adj_edge, edge_orig) = (
+            xadj.into(),
+            adj_head.into(),
+            adj_edge.into(),
+            edge_orig.into(),
+        );
         debug_assert!(!xadj.is_empty());
-        debug_assert_eq!(adj_head.len(), *xadj.last().unwrap() as usize);
+        debug_assert_eq!(adj_head.len(), xadj.get(xadj.len() - 1) as usize);
         debug_assert_eq!(adj_head.len(), adj_edge.len());
-        debug_assert!(edge_orig.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(edge_orig.is_strictly_increasing());
         OracleSlab {
             source,
             xadj,
@@ -231,7 +247,7 @@ impl<'a> OracleSlab<'a> {
     /// slab does not contain it.  `O(log |E(H_s)|)`.
     #[inline]
     pub fn frozen_index(&self, e: EdgeId) -> Option<u32> {
-        self.edge_orig.binary_search(&e.0).ok().map(|i| i as u32)
+        self.edge_orig.binary_search(e.0).ok().map(|i| i as u32)
     }
 
     /// Whether the slab carries a precomputed fault-free tree.
@@ -242,17 +258,17 @@ impl<'a> OracleSlab<'a> {
     // -- raw access for the engine's BFS kernel (same crate) --------------
 
     #[inline]
-    pub(crate) fn arc_range(&self, v: u32) -> std::ops::Range<usize> {
-        self.xadj[v as usize] as usize..self.xadj[v as usize + 1] as usize
+    pub(crate) fn csr_xadj(&self) -> WordSlice<'a> {
+        self.xadj
     }
 
     #[inline]
-    pub(crate) fn arc_heads(&self) -> &'a [u32] {
+    pub(crate) fn arc_heads(&self) -> WordSlice<'a> {
         self.adj_head
     }
 
     #[inline]
-    pub(crate) fn arc_edges(&self) -> &'a [u32] {
+    pub(crate) fn arc_edges(&self) -> WordSlice<'a> {
         self.adj_edge
     }
 

@@ -26,20 +26,23 @@
 //! `Result<`[`Answer`]`, `[`QueryError`]`>`: errors instead of panics for
 //! out-of-range vertices and unserved sources, and every answer carries the
 //! [`Guarantee`] derived from the oracle's declared resilience — the
-//! ROADMAP's "query-side admission of `f > 2`" story.  The PR 3 methods
-//! taking `&FrozenStructure` + `&FaultSet` remain as deprecated shims for
-//! one release.
+//! ROADMAP's "query-side admission of `f > 2`" story.  (The PR 3 methods
+//! taking `&FrozenStructure` + `&FaultSet` soaked one release as deprecated
+//! shims and have been removed.)
 //!
 //! Engines are cheap and thread-local by design: share one oracle across
-//! threads (`&O` is `Sync` for both frozen structure types) and give each
-//! thread its own `QueryEngine` — that is exactly what
+//! threads (`&O` is `Sync` for every frozen structure and view type) and
+//! give each thread its own `QueryEngine` — that is exactly what
 //! [`crate::ThroughputHarness`] does.  The engine notices (via
 //! [`DistanceOracle::fingerprint`]) when it is handed a different structure
-//! and transparently rebinds, invalidating its cache.
+//! and transparently rebinds, invalidating its cache.  All slab reads go
+//! through [`ftbfs_graph::bytes::WordSlice`], so the same kernel serves
+//! heap-built structures and mmap-backed snapshot views.
 
 use crate::api::{Answer, DistanceMatrix, DistanceOracle, Guarantee, OracleSlab, QueryError};
-use crate::frozen::{FrozenStructure, NO_PARENT, UNREACHED};
-use ftbfs_graph::{FaultSet, FaultSpec, Path, VertexId};
+use crate::frozen::{NO_PARENT, UNREACHED};
+use ftbfs_graph::bytes::{WordRead, WordSlice};
+use ftbfs_graph::{FaultSpec, Path, VertexId};
 use std::collections::VecDeque;
 
 /// Sentinel frozen-edge index meaning "no fault in this slot".
@@ -61,7 +64,7 @@ pub struct Query {
 impl Query {
     /// A query from the oracle's primary source under the given faults
     /// (anything convertible: an [`ftbfs_graph::EdgeId`], a pair, a slice,
-    /// a [`FaultSet`], or a [`FaultSpec`] itself).
+    /// a [`ftbfs_graph::FaultSet`], or a [`FaultSpec`] itself).
     pub fn new(target: VertexId, faults: impl Into<FaultSpec>) -> Self {
         Query {
             source: None,
@@ -249,7 +252,7 @@ impl QueryEngine {
     /// [`Self::try_distance`] from an arbitrary source vertex.
     ///
     /// Which sources are servable is the oracle's choice: a
-    /// [`FrozenStructure`] answers from any vertex (BFS fallback for
+    /// [`crate::FrozenStructure`] answers from any vertex (BFS fallback for
     /// undeclared sources), a [`crate::FrozenMultiStructure`] only from its
     /// declared set — others return [`QueryError::UnservedSource`].
     pub fn try_distance_from<O: DistanceOracle>(
@@ -302,7 +305,7 @@ impl QueryEngine {
                 let tree = slab.tree().expect("tree slot implies a slab tree");
                 reconstruct_path(
                     tree.parent_head,
-                    tree.dist[target.index()] != UNREACHED,
+                    tree.dist.get(target.index()) != UNREACHED,
                     source,
                     target,
                 )
@@ -310,11 +313,21 @@ impl QueryEngine {
             Slot::Cache(part, i) => {
                 let entry = &self.partitions[part][i];
                 let reached = entry.dist[target.index()] != UNREACHED;
-                reconstruct_path(&entry.parent_head, reached, source, target)
+                reconstruct_path(
+                    WordSlice::from(&entry.parent_head[..]),
+                    reached,
+                    source,
+                    target,
+                )
             }
             Slot::Fresh => {
                 let reached = self.stamp[target.index()] == self.epoch;
-                reconstruct_path(&self.parent_head, reached, source, target)
+                reconstruct_path(
+                    WordSlice::from(&self.parent_head[..]),
+                    reached,
+                    source,
+                    target,
+                )
             }
         };
         Ok(Answer::new(path, self.note_guarantee(oracle, spec)))
@@ -450,116 +463,6 @@ impl QueryEngine {
     ) {
         self.try_batch_distances_into(oracle, queries, out)
             .expect("batch query must be valid for this oracle")
-    }
-
-    // -- deprecated PR 3 compatibility shims -------------------------------
-
-    /// The distance from the structure's primary source under a raw
-    /// [`FaultSet`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `try_distance` with a `FaultSpec` via the `DistanceOracle` trait"
-    )]
-    pub fn distance(
-        &mut self,
-        frozen: &FrozenStructure,
-        target: VertexId,
-        faults: &FaultSet,
-    ) -> Option<u32> {
-        let spec = FaultSpec::from(faults);
-        self.try_distance(frozen, target, &spec)
-            .unwrap_or_else(|e| panic!("{e}"))
-            .into_value()
-    }
-
-    /// The distance from an arbitrary source under a raw [`FaultSet`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `try_distance_from` with a `FaultSpec` via the `DistanceOracle` trait"
-    )]
-    pub fn distance_from(
-        &mut self,
-        frozen: &FrozenStructure,
-        source: VertexId,
-        target: VertexId,
-        faults: &FaultSet,
-    ) -> Option<u32> {
-        let spec = FaultSpec::from(faults);
-        self.try_distance_from(frozen, source, target, &spec)
-            .unwrap_or_else(|e| panic!("{e}"))
-            .into_value()
-    }
-
-    /// A shortest surviving path from the primary source under a raw
-    /// [`FaultSet`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `try_shortest_path` with a `FaultSpec` via the `DistanceOracle` trait"
-    )]
-    pub fn shortest_path(
-        &mut self,
-        frozen: &FrozenStructure,
-        target: VertexId,
-        faults: &FaultSet,
-    ) -> Option<Path> {
-        let spec = FaultSpec::from(faults);
-        self.try_shortest_path(frozen, target, &spec)
-            .unwrap_or_else(|e| panic!("{e}"))
-            .into_value()
-    }
-
-    /// A shortest surviving path from an arbitrary source under a raw
-    /// [`FaultSet`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `try_shortest_path_from` with a `FaultSpec` via the `DistanceOracle` trait"
-    )]
-    pub fn shortest_path_from(
-        &mut self,
-        frozen: &FrozenStructure,
-        source: VertexId,
-        target: VertexId,
-        faults: &FaultSet,
-    ) -> Option<Path> {
-        let spec = FaultSpec::from(faults);
-        self.try_shortest_path_from(frozen, source, target, &spec)
-            .unwrap_or_else(|e| panic!("{e}"))
-            .into_value()
-    }
-
-    /// Distances to all vertices from the primary source under a raw
-    /// [`FaultSet`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `try_all_distances` with a `FaultSpec` via the `DistanceOracle` trait"
-    )]
-    pub fn all_distances(
-        &mut self,
-        frozen: &FrozenStructure,
-        faults: &FaultSet,
-    ) -> Vec<Option<u32>> {
-        let spec = FaultSpec::from(faults);
-        self.try_all_distances(frozen, &spec)
-            .unwrap_or_else(|e| panic!("{e}"))
-            .into_value()
-    }
-
-    /// Distances to all vertices from an arbitrary source under a raw
-    /// [`FaultSet`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `try_all_distances_from` with a `FaultSpec` via the `DistanceOracle` trait"
-    )]
-    pub fn all_distances_from(
-        &mut self,
-        frozen: &FrozenStructure,
-        source: VertexId,
-        faults: &FaultSet,
-    ) -> Vec<Option<u32>> {
-        let spec = FaultSpec::from(faults);
-        self.try_all_distances_from(frozen, source, &spec)
-            .unwrap_or_else(|e| panic!("{e}"))
-            .into_value()
     }
 
     // -- internals --------------------------------------------------------
@@ -716,7 +619,11 @@ impl QueryEngine {
     #[inline]
     fn read_distance(&self, slab: &OracleSlab<'_>, slot: Slot, target: VertexId) -> Option<u32> {
         let raw = match slot {
-            Slot::Tree => slab.tree().expect("tree slot implies a slab tree").dist[target.index()],
+            Slot::Tree => slab
+                .tree()
+                .expect("tree slot implies a slab tree")
+                .dist
+                .get(target.index()),
             Slot::Cache(part, i) => self.partitions[part][i].dist[target.index()],
             Slot::Fresh => {
                 if self.stamp[target.index()] != self.epoch {
@@ -822,12 +729,72 @@ impl QueryEngine {
     }
 }
 
+/// Storage dispatch for the BFS kernel: a slab's three CSR arrays always
+/// share one storage variant, so the hot loop is monomorphised once per
+/// search — direct slice indexing for heap-built structures, direct LE
+/// loads for mapped snapshot views — instead of paying a variant branch
+/// per arc access.  (The mixed arm cannot arise from in-tree oracles but
+/// keeps the dispatch total.)
+#[allow(clippy::too_many_arguments)]
+fn bfs_loop<F: Fn(u32) -> bool>(
+    slab: &OracleSlab<'_>,
+    source: VertexId,
+    epoch: u64,
+    stamp: &mut [u64],
+    dist: &mut [u32],
+    parent_head: &mut [u32],
+    queue: &mut VecDeque<u32>,
+    blocked: F,
+) {
+    let (xadj, heads, edges) = (slab.csr_xadj(), slab.arc_heads(), slab.arc_edges());
+    match (xadj, heads, edges) {
+        (WordSlice::Native(x), WordSlice::Native(h), WordSlice::Native(e)) => bfs_kernel(
+            x,
+            h,
+            e,
+            source,
+            epoch,
+            stamp,
+            dist,
+            parent_head,
+            queue,
+            blocked,
+        ),
+        (WordSlice::Le(x), WordSlice::Le(h), WordSlice::Le(e)) => bfs_kernel(
+            x,
+            h,
+            e,
+            source,
+            epoch,
+            stamp,
+            dist,
+            parent_head,
+            queue,
+            blocked,
+        ),
+        (x, h, e) => bfs_kernel(
+            x,
+            h,
+            e,
+            source,
+            epoch,
+            stamp,
+            dist,
+            parent_head,
+            queue,
+            blocked,
+        ),
+    }
+}
+
 /// The shared BFS kernel: FIFO traversal over a slab's CSR, labelling
 /// reached vertices in the epoch-stamped arrays, skipping arcs whose frozen
 /// edge index `blocked(e)` reports as failed.
 #[allow(clippy::too_many_arguments)]
-fn bfs_loop<F: Fn(u32) -> bool>(
-    slab: &OracleSlab<'_>,
+fn bfs_kernel<X: WordRead, H: WordRead, E: WordRead, F: Fn(u32) -> bool>(
+    xadj: X,
+    heads: H,
+    edges: E,
     source: VertexId,
     epoch: u64,
     stamp: &mut [u64],
@@ -842,30 +809,30 @@ fn bfs_loop<F: Fn(u32) -> bool>(
     dist[s] = 0;
     parent_head[s] = NO_PARENT;
     queue.push_back(source.0);
-    let heads = slab.arc_heads();
-    let edges = slab.arc_edges();
     while let Some(u) = queue.pop_front() {
         let du = dist[u as usize];
-        for i in slab.arc_range(u) {
-            let fe = edges[i];
+        let (lo, hi) = (xadj.read(u as usize), xadj.read(u as usize + 1));
+        for i in lo as usize..hi as usize {
+            let fe = edges.read(i);
             if blocked(fe) {
                 continue;
             }
-            let x = heads[i] as usize;
+            let head = heads.read(i);
+            let x = head as usize;
             if stamp[x] == epoch {
                 continue;
             }
             stamp[x] = epoch;
             dist[x] = du + 1;
             parent_head[x] = u;
-            queue.push_back(heads[i]);
+            queue.push_back(head);
         }
     }
 }
 
 /// Rebuilds the `source → target` path by walking parent pointers.
 fn reconstruct_path(
-    parent_head: &[u32],
+    parent_head: WordSlice<'_>,
     reached: bool,
     source: VertexId,
     target: VertexId,
@@ -875,8 +842,8 @@ fn reconstruct_path(
     }
     let mut vertices = vec![target];
     let mut cur = target;
-    while parent_head[cur.index()] != NO_PARENT {
-        cur = VertexId(parent_head[cur.index()]);
+    while parent_head.get(cur.index()) != NO_PARENT {
+        cur = VertexId(parent_head.get(cur.index()));
         vertices.push(cur);
     }
     debug_assert_eq!(cur, source);
@@ -887,9 +854,10 @@ fn reconstruct_path(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frozen::FrozenStructure;
     use crate::multi::FrozenMultiStructure;
     use ftbfs_core::{dual_failure_ftbfs, multi_failure_ftmbfs_parts};
-    use ftbfs_graph::{bfs, generators, EdgeId, FaultSet, GraphView, TieBreak};
+    use ftbfs_graph::{bfs, generators, EdgeId, GraphView, TieBreak};
 
     fn v(i: u32) -> VertexId {
         VertexId(i)
@@ -1305,59 +1273,5 @@ mod tests {
         // One search per source; all later queries are cache hits.
         assert_eq!(engine.stats().searches, 2);
         assert_eq!(engine.stats().cache_hits, 6);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_agree_with_the_trait_path() {
-        let g = generators::connected_gnp(24, 0.18, 12);
-        let w = TieBreak::new(&g, 12);
-        let h = dual_failure_ftbfs(&g, &w, v(0));
-        let frozen = FrozenStructure::freeze(&g, &h);
-        let edges: Vec<EdgeId> = g.edges().collect();
-        let faults = FaultSet::pair(edges[2], edges[9]);
-        let spec = FaultSpec::from(&faults);
-        let mut old_engine = QueryEngine::new();
-        let mut new_engine = QueryEngine::new();
-        for t in g.vertices() {
-            assert_eq!(
-                old_engine.distance(&frozen, t, &faults),
-                new_engine
-                    .try_distance(&frozen, t, &spec)
-                    .unwrap()
-                    .into_value()
-            );
-            assert_eq!(
-                old_engine.shortest_path(&frozen, t, &faults),
-                new_engine
-                    .try_shortest_path(&frozen, t, &spec)
-                    .unwrap()
-                    .into_value()
-            );
-        }
-        assert_eq!(
-            old_engine.all_distances(&frozen, &faults),
-            new_engine
-                .try_all_distances(&frozen, &spec)
-                .unwrap()
-                .into_value()
-        );
-        assert_eq!(
-            old_engine.distance_from(&frozen, v(3), v(7), &faults),
-            new_engine
-                .try_distance_from(&frozen, v(3), v(7), &spec)
-                .unwrap()
-                .into_value()
-        );
-    }
-
-    #[test]
-    #[should_panic]
-    #[allow(deprecated)]
-    fn out_of_range_target_panics_via_the_shim() {
-        let g = generators::cycle(4);
-        let frozen = FrozenStructure::from_edges(&g, &[v(0)], 2, g.edges());
-        let mut engine = QueryEngine::new();
-        let _ = engine.distance(&frozen, v(99), &FaultSet::empty());
     }
 }

@@ -418,7 +418,8 @@ impl FrozenStructure {
         )
     }
 
-    // -- raw access for the query engine (same crate) --------------------
+    // -- raw access for the query engine and the snapshot writer (same
+    // crate) --------------------------------------------------------------
 
     pub(crate) fn raw_edge_orig(&self) -> &[u32] {
         &self.edge_orig
@@ -426,6 +427,20 @@ impl FrozenStructure {
 
     pub(crate) fn raw_edge_uv(&self) -> (&[u32], &[u32]) {
         (&self.edge_u, &self.edge_v)
+    }
+
+    /// The CSR arrays `(xadj, adj_head, adj_edge)` — what the v2 snapshot
+    /// sections persist so a view can serve without rebuilding them.
+    pub(crate) fn raw_csr(&self) -> (&[u32], &[u32], &[u32]) {
+        (&self.xadj, &self.adj_head, &self.adj_edge)
+    }
+}
+
+impl SourceTree {
+    /// The dense `(dist, parent_head)` arrays persisted by v2 snapshots
+    /// (`parent_edge` is derivable and not stored).
+    pub(crate) fn raw_dist_parent(&self) -> (&[u32], &[u32]) {
+        (&self.dist, &self.parent_head)
     }
 }
 

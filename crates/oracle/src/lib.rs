@@ -12,13 +12,15 @@
 //!   trait handing out per-source CSR slabs, with a *typed* vocabulary for
 //!   queries ([`ftbfs_graph::FaultSpec`]) and answers ([`Answer`] carrying
 //!   a [`Guarantee`], [`QueryError`] instead of panics);
-//! * [`FrozenStructure`] / [`FrozenMultiStructure`] — the two oracle
-//!   backends: a single-source (or union) structure compiled into one
-//!   immutable CSR adjacency, and a multi-source FT-MBFS structure
+//! * [`FrozenStructure`] / [`FrozenMultiStructure`] — the two heap-built
+//!   oracle backends: a single-source (or union) structure compiled into
+//!   one immutable CSR adjacency, and a multi-source FT-MBFS structure
 //!   compiled into per-source CSR slabs for `S × V` workloads; both with
 //!   fault-free BFS trees precomputed at freeze time, versioned compact
 //!   binary [`snapshot`] formats (`save`/`load`, magic + checksum) and
-//!   structural fingerprints;
+//!   structural fingerprints — plus [`FrozenView`] / [`FrozenMultiView`]
+//!   (module [`view`]), their zero-rebuild counterparts that serve
+//!   directly out of mapped v2 snapshot bytes;
 //! * [`QueryEngine`] — per-thread zero-allocation query answering over any
 //!   oracle ([`QueryEngine::try_distance`],
 //!   [`QueryEngine::try_shortest_path`],
@@ -66,6 +68,7 @@ pub mod frozen;
 pub mod harness;
 pub mod multi;
 pub mod snapshot;
+pub mod view;
 
 pub use api::{
     Answer, DistanceMatrix, DistanceOracle, Guarantee, OracleSlab, QueryError, SlabTree,
@@ -75,8 +78,11 @@ pub use frozen::{FrozenStructure, SourceTree};
 pub use harness::{BatchReport, ThroughputHarness};
 pub use multi::FrozenMultiStructure;
 pub use snapshot::{
-    SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_MULTI_MAGIC, SNAPSHOT_MULTI_VERSION, SNAPSHOT_VERSION,
+    snapshot_layout, SectionEntry, SnapshotError, SnapshotLayout, SnapshotVersion, SNAPSHOT_ALIGN,
+    SNAPSHOT_MAGIC, SNAPSHOT_MULTI_MAGIC, SNAPSHOT_MULTI_VERSION, SNAPSHOT_VERSION,
+    SNAPSHOT_VERSION_V2,
 };
+pub use view::{FrozenMultiView, FrozenView, SnapshotSource};
 
 use ftbfs_core::FtBfsStructure;
 use ftbfs_graph::Graph;

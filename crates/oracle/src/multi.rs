@@ -35,15 +35,26 @@
 //! checksum   u64       FNV-1a over the payload bytes
 //! ```
 //!
-//! Like the single-source format, only the determining data is stored; the
-//! CSR arrays and trees are recomputed on load, so a loaded structure
-//! answers bit-identically to the saved one.
+//! In the v1 format only the determining data is stored; the CSR arrays
+//! and trees are recomputed on load, so a loaded structure answers
+//! bit-identically to the saved one.  The v2 format
+//! ([`FrozenMultiStructure::save_with`] with
+//! [`SnapshotVersion::V2`](crate::SnapshotVersion::V2)) keeps the same
+//! payload as its base and appends the derived per-slab arrays — the slab
+//! table plus concatenated edge-id/CSR/tree sections — in the aligned,
+//! checksummed section frame described in [`crate::snapshot`], so a
+//! [`crate::FrozenMultiView`] can serve the `S × V` workload straight
+//! from mapped bytes with zero rebuild.
 
 use crate::api::{DistanceOracle, OracleSlab};
 use crate::frozen::FrozenStructure;
-use crate::snapshot::{SnapshotError, SNAPSHOT_MULTI_MAGIC, SNAPSHOT_MULTI_VERSION};
+use crate::snapshot::{
+    assemble_v2, SnapshotError, SnapshotVersion, SEC_ARC_EDGES, SEC_ARC_HEADS, SEC_EDGE_ORIG,
+    SEC_SLAB_TABLE, SEC_TREES, SEC_XADJ, SNAPSHOT_MULTI_MAGIC, SNAPSHOT_MULTI_VERSION,
+    SNAPSHOT_VERSION_V2,
+};
 use ftbfs_core::FtBfsStructure;
-use ftbfs_graph::bytes::{fnv1a64, put_u16, put_u32, put_u64, ByteReader};
+use ftbfs_graph::bytes::{fnv1a64, put_u16, put_u32, put_u32_slice, put_u64, ByteReader};
 use ftbfs_graph::{EdgeId, Graph, VertexId};
 
 /// A multi-source FT-MBFS structure frozen into per-source CSR slabs; see
@@ -172,7 +183,7 @@ impl FrozenMultiStructure {
     /// Assembles a multi structure from validated raw parts; shared by
     /// [`Self::freeze`] and snapshot loading.
     #[allow(clippy::too_many_arguments)]
-    fn from_parts(
+    pub(crate) fn from_parts(
         n: u32,
         resilience: u32,
         sources: Vec<VertexId>,
@@ -286,9 +297,9 @@ impl FrozenMultiStructure {
         )
     }
 
-    /// The canonical payload encoding (between magic and checksum); also
-    /// the fingerprint input.
-    fn payload_bytes(&self) -> Vec<u8> {
+    /// The canonical payload encoding (between magic and checksum) with an
+    /// explicit version field value.
+    fn payload_bytes_versioned(&self, version: u16) -> Vec<u8> {
         let mut out = Vec::with_capacity(
             24 + 4 * self.sources.len()
                 + 12 * self.union_orig.len()
@@ -298,7 +309,7 @@ impl FrozenMultiStructure {
                     .map(|s| 4 + 4 * s.len())
                     .sum::<usize>(),
         );
-        put_u16(&mut out, SNAPSHOT_MULTI_VERSION);
+        put_u16(&mut out, version);
         put_u16(&mut out, 0); // flags, reserved
         put_u32(&mut out, self.n);
         put_u32(&mut out, self.resilience);
@@ -321,19 +332,76 @@ impl FrozenMultiStructure {
         out
     }
 
-    /// Serialises the structure to the versioned binary snapshot format
-    /// (magic `"FTBM"`); see the module docs for the layout.
-    pub fn save(&self) -> Vec<u8> {
-        let payload = self.payload_bytes();
-        let mut out = Vec::with_capacity(4 + payload.len() + 8);
-        out.extend_from_slice(&SNAPSHOT_MULTI_MAGIC);
-        out.extend_from_slice(&payload);
-        put_u64(&mut out, fnv1a64(&payload));
-        out
+    /// The canonical v1 payload — also the fingerprint input.
+    fn payload_bytes(&self) -> Vec<u8> {
+        self.payload_bytes_versioned(SNAPSHOT_MULTI_VERSION)
     }
 
-    /// Deserialises a snapshot produced by [`FrozenMultiStructure::save`],
-    /// recomputing every slab's CSR adjacency and fault-free tree.
+    /// Serialises the structure to the default (v1) binary snapshot format
+    /// (magic `"FTBM"`); equivalent to `save_with(SnapshotVersion::V1)`.
+    pub fn save(&self) -> Vec<u8> {
+        self.save_with(SnapshotVersion::V1)
+    }
+
+    /// Serialises the structure to the chosen snapshot format version; see
+    /// the module docs and [`crate::snapshot`] for the layouts.
+    pub fn save_with(&self, version: SnapshotVersion) -> Vec<u8> {
+        match version {
+            SnapshotVersion::V1 => {
+                let payload = self.payload_bytes();
+                let mut out = Vec::with_capacity(4 + payload.len() + 8);
+                out.extend_from_slice(&SNAPSHOT_MULTI_MAGIC);
+                out.extend_from_slice(&payload);
+                put_u64(&mut out, fnv1a64(&payload));
+                out
+            }
+            SnapshotVersion::V2 => {
+                let base = self.payload_bytes_versioned(SNAPSHOT_VERSION_V2);
+                let n = self.vertex_count();
+                let k = self.sources.len();
+                let mut slab_table = Vec::with_capacity(8 * k);
+                let mut eori = Vec::new();
+                let mut xadj = Vec::new();
+                let mut heads = Vec::new();
+                let mut edges = Vec::new();
+                let mut trees = Vec::with_capacity(8 * n * k);
+                let mut prefix = 0u32;
+                for slab in &self.slabs {
+                    put_u32(&mut slab_table, slab.edge_count() as u32);
+                    put_u32(&mut slab_table, prefix);
+                    prefix += slab.edge_count() as u32;
+                    put_u32_slice(&mut eori, slab.raw_edge_orig());
+                    let (x, h, e) = slab.raw_csr();
+                    put_u32_slice(&mut xadj, x);
+                    put_u32_slice(&mut heads, h);
+                    put_u32_slice(&mut edges, e);
+                    let tree = &slab.trees()[0];
+                    let (dist, parent) = tree.raw_dist_parent();
+                    put_u32_slice(&mut trees, dist);
+                    put_u32_slice(&mut trees, parent);
+                }
+                assemble_v2(
+                    SNAPSHOT_MULTI_MAGIC,
+                    &base,
+                    self.fingerprint(),
+                    &[
+                        (SEC_SLAB_TABLE, slab_table),
+                        (SEC_EDGE_ORIG, eori),
+                        (SEC_XADJ, xadj),
+                        (SEC_ARC_HEADS, heads),
+                        (SEC_ARC_EDGES, edges),
+                        (SEC_TREES, trees),
+                    ],
+                )
+            }
+        }
+    }
+
+    /// Deserialises a snapshot produced by [`FrozenMultiStructure::save`] /
+    /// [`FrozenMultiStructure::save_with`], accepting both format
+    /// versions (v1 recomputes every slab's CSR adjacency and fault-free
+    /// tree; v2 is validated like a [`crate::FrozenMultiView`] open, then
+    /// rebuilt).
     ///
     /// Malformed input of any kind — wrong magic, truncation, bit flips,
     /// inconsistent contents — returns a typed [`SnapshotError`]; this
@@ -342,6 +410,17 @@ impl FrozenMultiStructure {
         if data.len() < 4 || data[..4] != SNAPSHOT_MULTI_MAGIC {
             return Err(SnapshotError::BadMagic);
         }
+        if data.len() < 6 {
+            return Err(SnapshotError::Truncated { at: data.len() });
+        }
+        match u16::from_le_bytes([data[4], data[5]]) {
+            SNAPSHOT_MULTI_VERSION => Self::load_v1(data),
+            SNAPSHOT_VERSION_V2 => crate::view::FrozenMultiView::open_bytes(data)?.to_multi(),
+            v => Err(SnapshotError::UnsupportedVersion(v)),
+        }
+    }
+
+    fn load_v1(data: &[u8]) -> Result<Self, SnapshotError> {
         if data.len() < 4 + 8 {
             return Err(SnapshotError::Truncated { at: data.len() });
         }
