@@ -39,8 +39,9 @@ use ftbfs_core::multi_failure_ftmbfs_parts;
 use ftbfs_graph::{generators, EdgeId, FaultSpec, Graph, TieBreak, VertexId};
 use ftbfs_oracle::{
     DistanceOracle, Freeze, FrozenMultiStructure, FrozenMultiView, FrozenStructure, FrozenView,
-    Query, QueryEngine, SnapshotVersion, ThroughputHarness,
+    Query, QueryEngine, SnapshotVersion,
 };
+use ftbfs_serve::ThroughputHarness;
 use std::time::Instant;
 
 /// The `--smoke` throughput floor in queries per second, single-threaded.

@@ -1,0 +1,426 @@
+//! E11 — sustained serving load: the sharded continuous-stream front-end
+//! (`ftbfs_serve::StreamServer`) driven by concurrent client streams with
+//! a bounded in-flight window, **with a snapshot epoch swap landing in the
+//! middle of the run**.  Measures what a deployment cares about: sustained
+//! queries per second through the full submit → route → answer → reassemble
+//! path, client-observed end-to-end latency percentiles (queue time
+//! included, unlike E10's engine-side `work_ns`), and that an epoch swap
+//! under load loses nothing — every client receives exactly one response
+//! per submitted request, in submission order, each tagged with the epoch
+//! that answered it.
+//!
+//! Results are spliced into `BENCH_query.json` as a `serve_load` section
+//! (E10 owns the rest of the file and rewrites it wholesale, so CI runs
+//! E10 before E11).
+//!
+//! Usage:
+//!
+//! ```text
+//! exp_serve_load [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the run to seconds-scale for CI **and enforces the
+//! checked-in floors**: sustained throughput ≥ [`SMOKE_SERVE_QPS_FLOOR`]
+//! and client-observed p99 ≤ [`SMOKE_SERVE_P99_CEILING_US`] on the 2-worker
+//! configuration.  Either violation exits non-zero, so a serving-path
+//! regression (slow routing, a stall during epoch swaps, reassembly
+//! overhead) fails the build instead of silently landing.
+//! `--out` overrides the JSON path (default `BENCH_query.json`).
+
+use ftbfs_bench::Table;
+use ftbfs_core::dual::DualFtBfsBuilder;
+use ftbfs_graph::{generators, EdgeId, FaultSpec, Graph, TieBreak, VertexId};
+use ftbfs_oracle::{Freeze, SnapshotVersion};
+use ftbfs_serve::{EpochSnapshot, ServeConfig, ServeRequest, StreamServer};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// The `--smoke` sustained-throughput floor in requests per second,
+/// aggregate across clients, on the 2-worker configuration.
+///
+/// The smoke workload measures ≈ 900k req/s on the single-core CI
+/// container class this repo targets (every request crosses two channels
+/// and the reorder map); the floor sits a ~4× margin below that so only a
+/// real serving-path regression trips it, not scheduler noise.
+const SMOKE_SERVE_QPS_FLOOR: f64 = 200_000.0;
+
+/// The `--smoke` ceiling on client-observed p99 latency in microseconds.
+///
+/// End-to-end latency is dominated by queue wait behind the in-flight
+/// window (window / qps); with a 64-deep window the container measures a
+/// p99 of ≈ 150–300 µs including the epoch swaps.  The ceiling sits a
+/// wide margin above that: it exists to catch a swap-induced stall (a
+/// worker blocking readers while reopening would push p99 by
+/// milliseconds), not to police scheduler jitter.
+const SMOKE_SERVE_P99_CEILING_US: f64 = 5_000.0;
+
+/// One measured serving configuration.
+struct Row {
+    workers: usize,
+    clients: usize,
+    window: usize,
+    requests: usize,
+    publishes: usize,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    first_epoch_answers: usize,
+    second_epoch_answers: usize,
+}
+
+/// Deterministic splitmix64 so the workload needs no RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The serving mix of E10, phrased as requests: 25% fault-free, 25%
+/// single-fault, 50% dual-fault, faults drawn from a small pool of
+/// "active" pairs so the engines' fault LRU sees realistic locality.
+fn build_requests(
+    g: &Graph,
+    structure_edges: &[EdgeId],
+    count: usize,
+    seed: u64,
+) -> Vec<ServeRequest> {
+    let mut state = seed;
+    let mut active: Vec<(EdgeId, EdgeId)> = Vec::new();
+    let mut requests = Vec::with_capacity(count);
+    for i in 0..count {
+        if active.len() < 12 || splitmix64(&mut state) % 64 == 0 {
+            let a = structure_edges[splitmix64(&mut state) as usize % structure_edges.len()];
+            let b = structure_edges[splitmix64(&mut state) as usize % structure_edges.len()];
+            active.push((a, b));
+            if active.len() > 24 {
+                active.remove(0);
+            }
+        }
+        let target = VertexId((splitmix64(&mut state) as usize % g.vertex_count()) as u32);
+        let (a, b) = active[splitmix64(&mut state) as usize % active.len()];
+        requests.push(match i % 4 {
+            0 => ServeRequest::distance(target, FaultSpec::None),
+            1 => ServeRequest::distance(target, a),
+            _ => ServeRequest::distance(target, (a, b)),
+        });
+    }
+    requests
+}
+
+/// What one client stream observed: per-request end-to-end latencies and
+/// the epoch tag of every response.
+struct ClientObservation {
+    latencies_ns: Vec<u64>,
+    epoch_counts: (usize, usize),
+}
+
+/// Drives one client stream: windowed submission, end-to-end latency
+/// stamped client-side, every response checked for order and epoch
+/// validity.  Panics on any drop, reorder, error, or unknown epoch — the
+/// bench doubles as a load test.
+fn drive_client(
+    server: &StreamServer,
+    requests: &[ServeRequest],
+    window: usize,
+    epochs: (u64, u64),
+) -> ClientObservation {
+    let mut stream = server.open_stream();
+    let mut submit_times: VecDeque<Instant> = VecDeque::with_capacity(window);
+    let mut latencies_ns = Vec::with_capacity(requests.len());
+    let mut epoch_counts = (0usize, 0usize);
+    let mut next_expected = 0u64;
+    let recv_one = |stream: &mut ftbfs_serve::StreamHandle,
+                    submit_times: &mut VecDeque<Instant>,
+                    next_expected: &mut u64,
+                    epoch_counts: &mut (usize, usize),
+                    latencies: &mut Vec<u64>| {
+        let resp = stream.recv().expect("response for every request");
+        let t0 = submit_times
+            .pop_front()
+            .expect("a submit time per response");
+        latencies.push(t0.elapsed().as_nanos() as u64);
+        assert_eq!(resp.seq, *next_expected, "stream order violated");
+        *next_expected += 1;
+        if resp.epoch == epochs.0 {
+            epoch_counts.0 += 1;
+        } else if resp.epoch == epochs.1 {
+            epoch_counts.1 += 1;
+        } else {
+            panic!("response from unknown epoch {:#x}", resp.epoch);
+        }
+        resp.outcome.expect("in-range request answered");
+    };
+    for request in requests {
+        if submit_times.len() == window {
+            recv_one(
+                &mut stream,
+                &mut submit_times,
+                &mut next_expected,
+                &mut epoch_counts,
+                &mut latencies_ns,
+            );
+        }
+        submit_times.push_back(Instant::now());
+        stream.submit(request.clone()).expect("server is serving");
+    }
+    while !submit_times.is_empty() {
+        recv_one(
+            &mut stream,
+            &mut submit_times,
+            &mut next_expected,
+            &mut epoch_counts,
+            &mut latencies_ns,
+        );
+    }
+    assert_eq!(latencies_ns.len(), requests.len(), "request dropped");
+    ClientObservation {
+        latencies_ns,
+        epoch_counts,
+    }
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[rank.min(sorted_ns.len() - 1)] as f64 / 1e3
+}
+
+/// One sustained-load measurement: `clients` streams × `requests_each`
+/// requests through a `workers`-shard server, with `publishes` epoch
+/// swaps spread across the run (alternating between the two snapshots).
+fn measure(
+    snapshots: (&EpochSnapshot, &EpochSnapshot),
+    requests: &[ServeRequest],
+    workers: usize,
+    clients: usize,
+    window: usize,
+    publishes: usize,
+) -> Row {
+    let epochs = (snapshots.0.fingerprint(), snapshots.1.fingerprint());
+    let server = StreamServer::launch(snapshots.0.clone(), ServeConfig::new().workers(workers));
+    let publisher = server.publisher();
+    let start = Instant::now();
+    let observations: Vec<ClientObservation> = std::thread::scope(|scope| {
+        let swapper = scope.spawn(|| {
+            // Spread the swaps across the run: publish, breathe, repeat.
+            // Each publish alternates the serving snapshot, so requests in
+            // flight land on both sides of every swap.
+            for i in 0..publishes {
+                std::thread::sleep(Duration::from_millis(2));
+                let next = if i % 2 == 0 { snapshots.1 } else { snapshots.0 };
+                publisher
+                    .publish(next.clone())
+                    .expect("publisher outlives the run");
+            }
+        });
+        let handles: Vec<_> = (0..clients)
+            .map(|_| scope.spawn(|| drive_client(&server, requests, window, epochs)))
+            .collect();
+        let obs = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+        swapper.join().expect("swapper thread");
+        obs
+    });
+    let wall = start.elapsed();
+    server.shutdown();
+
+    let total = clients * requests.len();
+    let mut all_latencies: Vec<u64> = observations
+        .iter()
+        .flat_map(|o| o.latencies_ns.iter().copied())
+        .collect();
+    all_latencies.sort_unstable();
+    assert_eq!(all_latencies.len(), total, "every request answered once");
+    Row {
+        workers,
+        clients,
+        window,
+        requests: total,
+        publishes,
+        qps: total as f64 / wall.as_secs_f64(),
+        p50_us: percentile_us(&all_latencies, 50.0),
+        p99_us: percentile_us(&all_latencies, 99.0),
+        first_epoch_answers: observations.iter().map(|o| o.epoch_counts.0).sum(),
+        second_epoch_answers: observations.iter().map(|o| o.epoch_counts.1).sum(),
+    }
+}
+
+/// Splices `section` into the E10-owned JSON file as its `serve_load`
+/// key, replacing any previous `serve_load` section, preserving the rest.
+fn splice_serve_load(existing: Option<String>, section: &str) -> String {
+    match existing {
+        Some(text) => {
+            let trimmed = text.trim_end();
+            let body = trimmed.strip_suffix('}').unwrap_or(trimmed).trim_end();
+            // A previous serve_load section is always the trailing key
+            // (this function put it there); drop it and its comma.
+            let base = match body.find("\"serve_load\":") {
+                Some(pos) => body[..pos].trim_end().trim_end_matches(',').trim_end(),
+                None => body,
+            };
+            format!("{base},\n  \"serve_load\": {section}\n}}\n")
+        }
+        None => {
+            format!("{{\n  \"experiment\": \"serve_load\",\n  \"serve_load\": {section}\n}}\n")
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_query.json".to_string());
+
+    // Same graph family as E10.  The second epoch is a genuinely different
+    // structure over the same graph (different tie-break seed ⇒ different
+    // BFS forests ⇒ different fingerprint) but with identical fault-free
+    // distances, so mid-swap answers stay verifiable.
+    let g = if smoke {
+        generators::connected_gnp(40, 0.15, 42)
+    } else {
+        generators::connected_gnp(120, 0.08, 42)
+    };
+    let snapshot_with_seed = |seed: u64| {
+        let w = TieBreak::new(&g, seed);
+        let h = DualFtBfsBuilder::new(&g, &w, VertexId(0)).build().structure;
+        let frozen = h.freeze(&g);
+        let edges: Vec<EdgeId> = (0..frozen.edge_count())
+            .map(|i| frozen.original_edge(i as u32))
+            .collect();
+        let snap = EpochSnapshot::from_bytes(frozen.save_with(SnapshotVersion::V2))
+            .expect("freshly saved snapshot validates");
+        (snap, edges)
+    };
+    let (snap_a, structure_edges) = snapshot_with_seed(1);
+    let (snap_b, _) = snapshot_with_seed(7);
+    assert_ne!(
+        snap_a.fingerprint(),
+        snap_b.fingerprint(),
+        "epoch swap needs two distinguishable snapshots"
+    );
+
+    let requests_each = if smoke { 60_000 } else { 400_000 };
+    let publishes = if smoke { 10 } else { 40 };
+    let requests = build_requests(&g, &structure_edges, requests_each, 0xE11);
+    // (workers, clients, window): the smoke config first — its row feeds
+    // the floors.
+    let configs: &[(usize, usize, usize)] = if smoke {
+        &[(2, 2, 64)]
+    } else {
+        &[(2, 2, 64), (4, 2, 64), (2, 4, 128), (4, 4, 128)]
+    };
+
+    let mut table = Table::new(
+        "E11 — sustained stream serving under epoch swaps (StreamServer)",
+        &[
+            "workers", "clients", "window", "requests", "swaps", "req/s", "p50_us", "p99_us",
+            "epochA", "epochB",
+        ],
+    );
+    let mut rows = Vec::new();
+    for &(workers, clients, window) in configs {
+        let row = measure(
+            (&snap_a, &snap_b),
+            &requests,
+            workers,
+            clients,
+            window,
+            publishes,
+        );
+        assert_eq!(
+            row.first_epoch_answers + row.second_epoch_answers,
+            row.requests,
+            "every answer tagged with one of the two epochs"
+        );
+        table.row(vec![
+            row.workers.to_string(),
+            row.clients.to_string(),
+            row.window.to_string(),
+            row.requests.to_string(),
+            row.publishes.to_string(),
+            format!("{:.0}", row.qps),
+            format!("{:.2}", row.p50_us),
+            format!("{:.2}", row.p99_us),
+            row.first_epoch_answers.to_string(),
+            row.second_epoch_answers.to_string(),
+        ]);
+        rows.push(row);
+    }
+    print!("{}", table.render());
+
+    let mut section = String::from("{\n    \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        section.push_str(&format!(
+            "      {{\"workers\": {}, \"clients\": {}, \"window\": {}, \"requests\": {}, \
+             \"publishes\": {}, \"qps\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \
+             \"first_epoch_answers\": {}, \"second_epoch_answers\": {}}}{}\n",
+            r.workers,
+            r.clients,
+            r.window,
+            r.requests,
+            r.publishes,
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            r.first_epoch_answers,
+            r.second_epoch_answers,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    section.push_str(&format!(
+        "    ],\n    \"floors\": {{\"qps_floor\": {SMOKE_SERVE_QPS_FLOOR:.1}, \
+         \"p99_ceiling_us\": {SMOKE_SERVE_P99_CEILING_US:.1}}}\n  }}"
+    ));
+    let json = splice_serve_load(std::fs::read_to_string(&out_path).ok(), &section);
+    std::fs::write(&out_path, &json).expect("write serve_load JSON");
+    println!("wrote serve_load section to {out_path}");
+
+    if smoke {
+        let r = &rows[0];
+        if r.qps < SMOKE_SERVE_QPS_FLOOR {
+            eprintln!(
+                "SMOKE FLOOR VIOLATION: sustained {:.0} req/s < floor {SMOKE_SERVE_QPS_FLOOR:.0}",
+                r.qps
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "smoke serve floor ok: {:.0} req/s >= {SMOKE_SERVE_QPS_FLOOR:.0}",
+            r.qps
+        );
+        if r.p99_us > SMOKE_SERVE_P99_CEILING_US {
+            eprintln!(
+                "SMOKE P99 VIOLATION: client-observed p99 {:.1}us > ceiling \
+                 {SMOKE_SERVE_P99_CEILING_US:.1}us",
+                r.p99_us
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "smoke serve p99 ok: {:.1}us <= {SMOKE_SERVE_P99_CEILING_US:.1}us",
+            r.p99_us
+        );
+        if r.first_epoch_answers == 0 || r.second_epoch_answers == 0 {
+            eprintln!(
+                "SMOKE EPOCH VIOLATION: swaps did not land mid-run (epochA {} / epochB {})",
+                r.first_epoch_answers, r.second_epoch_answers
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "smoke epoch swap ok: answers from both epochs ({} / {})",
+            r.first_epoch_answers, r.second_epoch_answers
+        );
+    }
+}

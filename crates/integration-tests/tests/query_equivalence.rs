@@ -19,8 +19,9 @@ use ftbfs_core::multi_failure_ftmbfs_parts;
 use ftbfs_graph::{bfs, generators, EdgeId, FaultSpec, Graph, GraphView, TieBreak, VertexId};
 use ftbfs_oracle::{
     DistanceOracle, Freeze, FrozenMultiStructure, FrozenMultiView, FrozenStructure, FrozenView,
-    Guarantee, Query, QueryEngine, QueryError, SnapshotSource, SnapshotVersion, ThroughputHarness,
+    Guarantee, Query, QueryEngine, QueryError, SnapshotSource, SnapshotVersion,
 };
+use ftbfs_serve::ThroughputHarness;
 use proptest::prelude::*;
 
 /// Ground truth `dist(s, ·, G ∖ F)` for all vertices.

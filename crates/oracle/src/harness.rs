@@ -1,6 +1,14 @@
 //! [`ThroughputHarness`] — sharded multi-threaded batch query driving over
 //! any [`DistanceOracle`].
 //!
+//! **Deprecated:** batch driving now lives in the serving front-end as a
+//! thin adapter over its stream API — migrate to
+//! `ftbfs_serve::ThroughputHarness` (same configuration surface, same
+//! [`BatchReport`]; one batch = one bounded stream through the same
+//! routing rule and serving core as live streams).  [`BatchReport`]
+//! itself is *not* deprecated: it remains the shared report type and is
+//! re-exported by `ftbfs-serve`.
+//!
 //! The harness answers a batch of [`Query`]s against one shared oracle
 //! using `threads` worker threads (`std::thread::scope`, no detached
 //! state).  The batch is split into contiguous shards, each worker owns a
@@ -31,6 +39,11 @@ use crate::engine::{Query, QueryEngine};
 use std::time::{Duration, Instant};
 
 /// Configuration for one batched, sharded query run.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ftbfs_serve::ThroughputHarness`, the stream-API batch adapter \
+            (same configuration surface and `BatchReport`)"
+)]
 #[derive(Clone, Debug)]
 pub struct ThroughputHarness {
     threads: usize,
@@ -75,8 +88,14 @@ impl BatchReport {
     }
 }
 
+#[allow(deprecated)]
 impl ThroughputHarness {
     /// A harness running on `threads` worker threads (clamped to ≥ 1).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ftbfs_serve::ThroughputHarness::new` — batches run as \
+                bounded streams through the serving core"
+    )]
     pub fn new(threads: usize) -> Self {
         ThroughputHarness {
             threads: threads.max(1),
@@ -198,6 +217,7 @@ fn run_shard<O: DistanceOracle>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::frozen::FrozenStructure;

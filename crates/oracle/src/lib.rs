@@ -28,8 +28,10 @@
 //!   [`QueryEngine::batch_distances`]) with an `O(1)` fault-free fast path
 //!   and a per-source-partitioned LRU keyed by `(source, FaultSpec)`;
 //! * [`ThroughputHarness`] — a sharded `std::thread::scope` batch driver
-//!   with deterministic result order, feeding the `exp_query_throughput`
-//!   experiment binary.
+//!   with deterministic result order.  *Deprecated:* batch driving moved
+//!   into the serving front-end (`ftbfs_serve::ThroughputHarness`, a thin
+//!   adapter over its stream API); [`BatchReport`] stays here as the
+//!   shared report type.
 //!
 //! `ftbfs_verify::StructureOracle` delegates to this crate, so all existing
 //! verification exercises the same query path that production serving uses.
@@ -75,7 +77,9 @@ pub use api::{
 };
 pub use engine::{Query, QueryEngine, QueryStats, DEFAULT_CACHE_CAPACITY};
 pub use frozen::{FrozenStructure, SourceTree};
-pub use harness::{BatchReport, ThroughputHarness};
+pub use harness::BatchReport;
+#[allow(deprecated)]
+pub use harness::ThroughputHarness;
 pub use multi::FrozenMultiStructure;
 pub use snapshot::{
     snapshot_layout, SectionEntry, SnapshotError, SnapshotLayout, SnapshotVersion, SNAPSHOT_ALIGN,

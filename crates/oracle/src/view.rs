@@ -49,9 +49,13 @@ use ftbfs_graph::bytes::LeU32s;
 use ftbfs_graph::VertexId;
 use std::borrow::Cow;
 
-/// Snapshot bytes for a view to open: either owned (read from disk or the
-/// network into a `Vec<u8>`) or borrowed (for example an mmap'd region —
-/// any `&[u8]` whose lifetime outlives the views opened over it).
+/// Snapshot bytes for a view to open: owned (read from disk or the
+/// network into a `Vec<u8>`), borrowed (for example a caller-managed
+/// mapped region — any `&[u8]` whose lifetime outlives the views opened
+/// over it), or — with the `mmap` feature — a file mapped by the source
+/// itself via [`SnapshotSource::map_file`].  Borrowed and owned sources
+/// stay the dependency-free default; the `mmap` feature adds the
+/// `memmap2` dependency and nothing else changes.
 ///
 /// The source only carries the bytes; validation happens when a
 /// [`FrozenView`] or [`FrozenMultiView`] is opened over it.
@@ -71,37 +75,66 @@ use std::borrow::Cow;
 /// ```
 #[derive(Clone, Debug)]
 pub struct SnapshotSource<'a> {
-    data: Cow<'a, [u8]>,
+    data: SourceBytes<'a>,
+}
+
+/// The storage behind a [`SnapshotSource`]; the mapped variant keeps its
+/// mapping alive (in an `Arc`, so sources stay cheaply cloneable).
+#[derive(Clone, Debug)]
+enum SourceBytes<'a> {
+    Inline(Cow<'a, [u8]>),
+    #[cfg(feature = "mmap")]
+    Mapped(std::sync::Arc<memmap2::Mmap>),
 }
 
 impl<'a> SnapshotSource<'a> {
     /// A source that owns its bytes.
     pub fn owned(data: Vec<u8>) -> SnapshotSource<'static> {
         SnapshotSource {
-            data: Cow::Owned(data),
+            data: SourceBytes::Inline(Cow::Owned(data)),
         }
     }
 
     /// A source borrowing bytes that live elsewhere (e.g. a mapped file).
     pub fn borrowed(data: &'a [u8]) -> Self {
         SnapshotSource {
-            data: Cow::Borrowed(data),
+            data: SourceBytes::Inline(Cow::Borrowed(data)),
         }
+    }
+
+    /// Maps the snapshot file at `path` and wraps the mapping as a
+    /// source (`mmap` feature).
+    ///
+    /// The mapping lives as long as the source (and any clone of it), so
+    /// the usual open-and-go flow is `map_file` → [`FrozenView::open`] /
+    /// [`FrozenMultiView::open`] — no copy of the snapshot on the heap,
+    /// no rebuild.  The file must not be truncated while mapped.
+    #[cfg(feature = "mmap")]
+    pub fn map_file(path: impl AsRef<std::path::Path>) -> std::io::Result<SnapshotSource<'static>> {
+        let file = std::fs::File::open(path)?;
+        let map = memmap2::Mmap::map(&file)?;
+        Ok(SnapshotSource {
+            data: SourceBytes::Mapped(std::sync::Arc::new(map)),
+        })
     }
 
     /// The snapshot bytes.
     pub fn bytes(&self) -> &[u8] {
-        &self.data
+        match &self.data {
+            SourceBytes::Inline(data) => data,
+            #[cfg(feature = "mmap")]
+            SourceBytes::Mapped(map) => map,
+        }
     }
 
     /// Number of bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.bytes().len()
     }
 
     /// Returns `true` if the source holds no bytes.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.bytes().is_empty()
     }
 }
 
@@ -643,6 +676,36 @@ mod tests {
         let h = dual_failure_ftbfs(&g, &w, v(0));
         let frozen = FrozenStructure::freeze(&g, &h);
         (g, frozen)
+    }
+
+    #[cfg(feature = "mmap")]
+    #[test]
+    fn mapped_snapshot_files_serve_identically_to_owned_bytes() {
+        let (_g, frozen) = sample();
+        let bytes = frozen.save_with(SnapshotVersion::V2);
+        let path = std::env::temp_dir().join("ftbfs_oracle_mmap_test.ftbo");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mapped = SnapshotSource::map_file(&path).unwrap();
+        assert_eq!(mapped.len(), bytes.len());
+        assert_eq!(mapped.bytes(), &bytes[..]);
+        let from_map = FrozenView::open(&mapped).unwrap();
+        let from_vec = FrozenView::open_bytes(&bytes).unwrap();
+        assert_eq!(from_map.fingerprint(), from_vec.fingerprint());
+        let mut ea = QueryEngine::new();
+        let mut eb = QueryEngine::new();
+        for t in 0..from_vec.vertex_count() as u32 {
+            assert_eq!(
+                ea.try_distance(&from_map, v(t), &FaultSpec::None).unwrap(),
+                eb.try_distance(&from_vec, v(t), &FaultSpec::None).unwrap(),
+            );
+        }
+        // Clones share the mapping and survive the original being dropped.
+        let clone = mapped.clone();
+        drop(mapped);
+        assert!(FrozenView::open(&clone).is_ok());
+
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

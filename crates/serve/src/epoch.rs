@@ -1,0 +1,377 @@
+//! Epoch-swapped snapshots: [`EpochSnapshot`], [`SnapshotOracle`] and the
+//! lock-light two-slot [`EpochCell`].
+//!
+//! The serving front-end's workers answer out of *snapshots* — v2 snapshot
+//! bytes (owned, or a caller-mapped region promoted to `'static`) that a
+//! zero-rebuild [`FrozenView`]/[`FrozenMultiView`] opens over.  Replacing
+//! the live snapshot with a new one is an **epoch swap**:
+//!
+//! * the publisher validates the new [`EpochSnapshot`] (a full v2 open:
+//!   bounds, checksums, freeze invariants) *before* installing it, so
+//!   workers never meet malformed bytes;
+//! * [`EpochCell::publish`] writes the new snapshot into the inactive slot
+//!   of a two-slot cell and then bumps an atomic generation counter —
+//!   readers of the active slot never wait on a publish in progress;
+//! * each worker re-checks the generation after *receiving* a request and
+//!   before answering it, reopening its view when the generation moved.
+//!   A request already held by a worker is answered by whichever epoch the
+//!   worker has open — requests are never dropped, and every answer is
+//!   consistent with exactly one epoch, whose fingerprint the response
+//!   carries.
+//!
+//! Ordering guarantee: `publish` happens-before any request *submitted
+//! after it returns on the same thread* is received (the channel send
+//! synchronises), so such requests are always answered by the new epoch
+//! (or a newer one).  Requests in flight across the swap may land on
+//! either side; their responses say which.
+//!
+//! The cell is the `ArcSwap` idea rebuilt from safe parts (the workspace
+//! forbids `unsafe`): an [`AtomicU64`] generation plus two mutex-guarded
+//! `Arc` slots, with readers retrying the (cheap) slot clone if a publish
+//! raced them.
+
+use crate::error::ServeError;
+use ftbfs_graph::VertexId;
+use ftbfs_oracle::{
+    DistanceOracle, FrozenMultiView, FrozenView, OracleSlab, SnapshotError, SnapshotSource,
+    SNAPSHOT_MAGIC, SNAPSHOT_MULTI_MAGIC,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which serving format a snapshot's bytes carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// A `FrozenStructure` v2 snapshot (`"FTBO"`): one shared CSR, any
+    /// source answerable.
+    Single,
+    /// A `FrozenMultiStructure` v2 snapshot (`"FTBM"`): per-source slabs,
+    /// only declared sources answerable.
+    Multi,
+}
+
+/// One validated, servable generation of snapshot bytes.
+///
+/// Construction performs the full v2 open (and is the *only* place it can
+/// fail), so a worker's later [`EpochSnapshot::open`] is infallible: the
+/// bytes are immutable and the validation deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use ftbfs_graph::{generators, VertexId};
+/// use ftbfs_oracle::{FrozenStructure, SnapshotSource, SnapshotVersion};
+/// use ftbfs_serve::EpochSnapshot;
+///
+/// let g = generators::cycle(8);
+/// let frozen = FrozenStructure::from_edges(&g, &[VertexId(0)], 2, g.edges());
+/// let snap = EpochSnapshot::new(SnapshotSource::owned(
+///     frozen.save_with(SnapshotVersion::V2),
+/// ))
+/// .unwrap();
+/// assert_eq!(snap.fingerprint(), frozen.fingerprint());
+/// ```
+#[derive(Clone, Debug)]
+pub struct EpochSnapshot {
+    source: SnapshotSource<'static>,
+    kind: SnapshotKind,
+    fingerprint: u64,
+    vertex_count: usize,
+}
+
+impl EpochSnapshot {
+    /// Validates v2 snapshot bytes (either format, detected from the
+    /// magic) into a servable snapshot.
+    pub fn new(source: SnapshotSource<'static>) -> Result<Self, SnapshotError> {
+        let bytes = source.bytes();
+        let kind = if bytes.len() >= 4 && bytes[..4] == SNAPSHOT_MULTI_MAGIC {
+            SnapshotKind::Multi
+        } else if bytes.len() >= 4 && bytes[..4] == SNAPSHOT_MAGIC {
+            SnapshotKind::Single
+        } else {
+            return Err(SnapshotError::BadMagic);
+        };
+        let (fingerprint, vertex_count) = match kind {
+            SnapshotKind::Single => {
+                let view = FrozenView::open_bytes(bytes)?;
+                (view.fingerprint(), view.vertex_count())
+            }
+            SnapshotKind::Multi => {
+                let view = FrozenMultiView::open_bytes(bytes)?;
+                (view.fingerprint(), view.vertex_count())
+            }
+        };
+        Ok(EpochSnapshot {
+            source,
+            kind,
+            fingerprint,
+            vertex_count,
+        })
+    }
+
+    /// Convenience: validate owned snapshot bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, SnapshotError> {
+        EpochSnapshot::new(SnapshotSource::owned(bytes))
+    }
+
+    /// The snapshot's format.
+    pub fn kind(&self) -> SnapshotKind {
+        self.kind
+    }
+
+    /// The structural fingerprint responses answered from this snapshot
+    /// carry as their epoch tag.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of vertices of the snapshotted structure's graph.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    /// Opens a zero-rebuild serving view over the snapshot bytes.
+    ///
+    /// Infallible by construction: `new` already ran the identical
+    /// validation over the same immutable bytes.
+    pub fn open(&self) -> SnapshotOracle<'_> {
+        match self.kind {
+            SnapshotKind::Single => SnapshotOracle::Single(
+                FrozenView::open_bytes(self.source.bytes())
+                    .expect("bytes were validated at EpochSnapshot construction"),
+            ),
+            SnapshotKind::Multi => SnapshotOracle::Multi(
+                FrozenMultiView::open_bytes(self.source.bytes())
+                    .expect("bytes were validated at EpochSnapshot construction"),
+            ),
+        }
+    }
+}
+
+/// A [`DistanceOracle`] over either view format, so worker code is
+/// monomorphic over the snapshot kind.
+#[derive(Debug)]
+pub enum SnapshotOracle<'a> {
+    /// Single-source (any-source) serving view.
+    Single(FrozenView<'a>),
+    /// Multi-source per-slab serving view.
+    Multi(FrozenMultiView<'a>),
+}
+
+impl DistanceOracle for SnapshotOracle<'_> {
+    fn vertex_count(&self) -> usize {
+        match self {
+            SnapshotOracle::Single(v) => v.vertex_count(),
+            SnapshotOracle::Multi(v) => v.vertex_count(),
+        }
+    }
+
+    fn edge_count(&self) -> usize {
+        match self {
+            SnapshotOracle::Single(v) => v.edge_count(),
+            SnapshotOracle::Multi(v) => v.edge_count(),
+        }
+    }
+
+    fn sources(&self) -> &[VertexId] {
+        match self {
+            SnapshotOracle::Single(v) => v.sources(),
+            SnapshotOracle::Multi(v) => v.sources(),
+        }
+    }
+
+    fn resilience(&self) -> usize {
+        match self {
+            SnapshotOracle::Single(v) => v.resilience(),
+            SnapshotOracle::Multi(v) => v.resilience(),
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        match self {
+            SnapshotOracle::Single(v) => v.fingerprint(),
+            SnapshotOracle::Multi(v) => v.fingerprint(),
+        }
+    }
+
+    fn slab(&self, source: VertexId) -> Option<OracleSlab<'_>> {
+        match self {
+            SnapshotOracle::Single(v) => v.slab(source),
+            SnapshotOracle::Multi(v) => v.slab(source),
+        }
+    }
+}
+
+/// The two-slot epoch cell workers and publishers share; see the
+/// [module docs](self) for the swap protocol.
+#[derive(Debug)]
+pub struct EpochCell {
+    generation: AtomicU64,
+    slots: [Mutex<Arc<EpochSnapshot>>; 2],
+    /// Serialises publishers (readers never take it).
+    publish_lock: Mutex<()>,
+}
+
+impl EpochCell {
+    /// A cell starting at generation 0 with `initial` in both slots.
+    pub fn new(initial: Arc<EpochSnapshot>) -> Self {
+        EpochCell {
+            generation: AtomicU64::new(0),
+            slots: [Mutex::new(initial.clone()), Mutex::new(initial)],
+            publish_lock: Mutex::new(()),
+        }
+    }
+
+    /// The current generation number (bumped by every publish).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// The current `(generation, snapshot)` pair.
+    ///
+    /// Readers lock only the *active* slot, which a publisher never
+    /// writes; the retry loop discards a read that raced two publishes.
+    pub fn load(&self) -> (u64, Arc<EpochSnapshot>) {
+        loop {
+            let gen = self.generation.load(Ordering::Acquire);
+            let snap = self.slots[(gen % 2) as usize]
+                .lock()
+                .expect("epoch slot lock poisoned")
+                .clone();
+            if self.generation.load(Ordering::Acquire) == gen {
+                return (gen, snap);
+            }
+        }
+    }
+
+    /// Installs `snapshot` as the new epoch, returning its generation.
+    ///
+    /// Writes the inactive slot, then bumps the generation; concurrent
+    /// publishers are serialised, concurrent readers never wait on this.
+    pub fn publish(&self, snapshot: Arc<EpochSnapshot>) -> u64 {
+        let _guard = self.publish_lock.lock().expect("publish lock poisoned");
+        let gen = self.generation.load(Ordering::Acquire);
+        *self.slots[((gen + 1) % 2) as usize]
+            .lock()
+            .expect("epoch slot lock poisoned") = snapshot;
+        self.generation.store(gen + 1, Ordering::Release);
+        gen + 1
+    }
+}
+
+/// A cloneable, `Send + Sync` publishing handle onto a server's epoch
+/// cell, so snapshots can be swapped from any thread (a loader thread, a
+/// control plane) while the [`crate::StreamServer`] value stays with its
+/// controller.
+#[derive(Clone, Debug)]
+pub struct EpochPublisher {
+    pub(crate) cell: Arc<EpochCell>,
+}
+
+impl EpochPublisher {
+    /// Validates and installs a new snapshot; returns its generation.
+    ///
+    /// Validation happens here, before the swap, so workers can open the
+    /// installed bytes infallibly.
+    pub fn publish(&self, snapshot: EpochSnapshot) -> Result<u64, ServeError> {
+        Ok(self.cell.publish(Arc::new(snapshot)))
+    }
+
+    /// The generation currently being served.
+    pub fn generation(&self) -> u64 {
+        self.cell.generation()
+    }
+
+    /// The fingerprint of the snapshot currently being served.
+    pub fn fingerprint(&self) -> u64 {
+        self.cell.load().1.fingerprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbfs_graph::generators;
+    use ftbfs_oracle::{FrozenStructure, SnapshotVersion};
+
+    fn snapshot(n: usize) -> EpochSnapshot {
+        let g = generators::cycle(n);
+        let frozen = FrozenStructure::from_edges(&g, &[VertexId(0)], 2, g.edges());
+        EpochSnapshot::from_bytes(frozen.save_with(SnapshotVersion::V2)).unwrap()
+    }
+
+    #[test]
+    fn snapshot_validates_and_reopens() {
+        let snap = snapshot(8);
+        assert_eq!(snap.kind(), SnapshotKind::Single);
+        assert_eq!(snap.vertex_count(), 8);
+        let view = snap.open();
+        assert_eq!(view.fingerprint(), snap.fingerprint());
+        assert_eq!(view.vertex_count(), 8);
+        assert_eq!(view.sources(), &[VertexId(0)]);
+        assert_eq!(view.resilience(), 2);
+        assert!(view.slab(VertexId(0)).is_some());
+        assert!(view.edge_count() > 0);
+    }
+
+    #[test]
+    fn malformed_bytes_are_rejected_at_construction() {
+        assert!(matches!(
+            EpochSnapshot::from_bytes(vec![0, 1, 2]),
+            Err(SnapshotError::BadMagic)
+        ));
+        // Valid magic, corrupt tail: the open-time validation runs here.
+        let mut bytes = {
+            let g = generators::cycle(6);
+            let f = FrozenStructure::from_edges(&g, &[VertexId(0)], 2, g.edges());
+            f.save_with(SnapshotVersion::V2)
+        };
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(EpochSnapshot::from_bytes(bytes).is_err());
+    }
+
+    #[test]
+    fn cell_swaps_between_slots() {
+        let a = Arc::new(snapshot(6));
+        let b = Arc::new(snapshot(10));
+        let cell = EpochCell::new(a.clone());
+        assert_eq!(cell.generation(), 0);
+        let (g0, s0) = cell.load();
+        assert_eq!((g0, s0.fingerprint()), (0, a.fingerprint()));
+
+        assert_eq!(cell.publish(b.clone()), 1);
+        let (g1, s1) = cell.load();
+        assert_eq!((g1, s1.fingerprint()), (1, b.fingerprint()));
+
+        // A third publish reuses the first slot.
+        assert_eq!(cell.publish(a.clone()), 2);
+        assert_eq!(cell.load().1.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn concurrent_loads_see_only_published_snapshots() {
+        let a = Arc::new(snapshot(6));
+        let b = Arc::new(snapshot(10));
+        let cell = EpochCell::new(a.clone());
+        let fps = [a.fingerprint(), b.fingerprint()];
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    for _ in 0..2_000 {
+                        let (_, snap) = cell.load();
+                        assert!(fps.contains(&snap.fingerprint()));
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for i in 0..500 {
+                    let next = if i % 2 == 0 { b.clone() } else { a.clone() };
+                    cell.publish(next);
+                }
+            });
+        });
+        // 500 publishes on top of generation 0.
+        assert_eq!(cell.generation(), 500);
+    }
+}

@@ -1,0 +1,92 @@
+//! [`ServeError`] — the one error surface of the stream API.
+//!
+//! The `DistanceOracle` layer reports per-query problems as
+//! [`QueryError`]; the serving layer adds failure modes of its own
+//! (routing to a shut-down server, deadlines, streams with nothing in
+//! flight).  Callers of the stream API match on a single
+//! `#[non_exhaustive]` enum, with `From<QueryError>` so engine-level
+//! errors convert silently at the boundary.
+
+use ftbfs_oracle::QueryError;
+use std::fmt;
+
+/// Everything that can go wrong serving a stream request.
+///
+/// Per-request variants ([`ServeError::Query`],
+/// [`ServeError::DeadlineExceeded`]) arrive inside
+/// [`crate::ServeResponse::outcome`]; stream-level variants
+/// ([`ServeError::Shutdown`], [`ServeError::Idle`]) are returned by
+/// [`crate::StreamHandle`] entry points themselves.  The enum may grow
+/// variants; match with a wildcard arm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The query itself was rejected by the engine (out-of-range vertex,
+    /// unserved source).
+    Query(QueryError),
+    /// The request's deadline had already passed when a worker picked it
+    /// up; the query was not run.
+    DeadlineExceeded,
+    /// The server has shut down (or is shutting down): the request could
+    /// not be routed, or the response channel is gone.
+    Shutdown,
+    /// `recv` was called on a stream with no requests in flight.
+    Idle,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Query(e) => write!(f, "query rejected: {e}"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded before serving"),
+            ServeError::Shutdown => write!(f, "serving front-end has shut down"),
+            ServeError::Idle => write!(f, "no requests in flight on this stream"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for ServeError {
+    fn from(e: QueryError) -> Self {
+        ServeError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbfs_graph::VertexId;
+
+    #[test]
+    fn query_errors_convert_and_chain() {
+        let q = QueryError::VertexOutOfRange {
+            vertex: VertexId(9),
+            bound: 4,
+        };
+        let e: ServeError = q.clone().into();
+        assert_eq!(e, ServeError::Query(q));
+        assert!(e.to_string().contains("query rejected"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn serve_level_variants_display_and_have_no_source() {
+        for e in [
+            ServeError::DeadlineExceeded,
+            ServeError::Shutdown,
+            ServeError::Idle,
+        ] {
+            assert!(!e.to_string().is_empty());
+            assert!(std::error::Error::source(&e).is_none());
+        }
+        assert_ne!(ServeError::Shutdown, ServeError::Idle);
+    }
+}

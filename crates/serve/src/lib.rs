@@ -1,0 +1,77 @@
+//! # ftbfs-serve
+//!
+//! The sharded serving front-end of the FT-BFS reproduction: a
+//! continuous-stream request/response API over the [`DistanceOracle`]
+//! seam, with snapshot epochs that can be swapped under live load.
+//!
+//! The `ftbfs-oracle` crate answers *queries*; this crate serves
+//! *requests*.  The difference is everything around the query: a typed
+//! wire contract, routing across worker shards, response reassembly in
+//! submission order, deadlines, a single error surface, and the ability
+//! to replace the underlying snapshot without dropping or reordering a
+//! single in-flight request.  Four layers:
+//!
+//! * [`ServeRequest`] / [`ServeResponse`] (module [`request`]) — the
+//!   typed contract: source, target(s), [`ftbfs_graph::FaultSpec`],
+//!   optional deadline in; sequence number, epoch fingerprint, work
+//!   time, and `Answer`-or-[`ServeError`] out.
+//! * [`StreamServer`] / [`StreamHandle`] (module [`server`]) — the shard
+//!   router: requests with explicit sources pin to `source % workers`
+//!   (fault-LRU affinity), source-less requests round-robin; each worker
+//!   owns a private [`ftbfs_oracle::QueryEngine`] over a shared view of
+//!   the current snapshot; responses are reassembled into submission
+//!   order per stream.
+//! * [`EpochSnapshot`] / [`EpochCell`] / [`EpochPublisher`] (module
+//!   [`epoch`]) — safe two-slot epoch swapping: a publisher installs a
+//!   validated v2 snapshot, workers notice the generation move and
+//!   reopen, and every request is answered exactly once, by exactly one
+//!   epoch; requests submitted after `publish` returns are served by the
+//!   new epoch.
+//! * [`ThroughputHarness`] (module [`harness`]) — batch driving as a
+//!   thin adapter over the stream core (one batch = one bounded stream);
+//!   supersedes the deprecated `ftbfs_oracle::ThroughputHarness`.
+//!
+//! # Quick example
+//!
+//! ```
+//! use ftbfs_graph::{generators, FaultSpec, VertexId};
+//! use ftbfs_oracle::{FrozenStructure, SnapshotVersion};
+//! use ftbfs_serve::{EpochSnapshot, ServeConfig, ServeRequest, StreamServer};
+//!
+//! let g = generators::grid(4, 4);
+//! let frozen = FrozenStructure::from_edges(&g, &[VertexId(0)], 2, g.edges());
+//! let snapshot = EpochSnapshot::from_bytes(frozen.save_with(SnapshotVersion::V2)).unwrap();
+//!
+//! let server = StreamServer::launch(snapshot, ServeConfig::new().workers(2));
+//! let mut stream = server.open_stream();
+//! for v in 0..16 {
+//!     stream.submit(ServeRequest::distance(VertexId(v), FaultSpec::None)).unwrap();
+//! }
+//! let responses = stream.drain().unwrap();
+//! assert_eq!(responses.len(), 16);
+//! assert!(responses.iter().enumerate().all(|(i, r)| r.seq == i as u64));
+//! assert_eq!(responses[15].distance(), Some(Some(6)), "far corner of the 4×4 grid");
+//!
+//! drop(stream);
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod epoch;
+pub mod error;
+pub mod harness;
+pub mod request;
+pub mod server;
+
+pub use epoch::{EpochCell, EpochPublisher, EpochSnapshot, SnapshotKind, SnapshotOracle};
+pub use error::ServeError;
+pub use harness::{BatchReport, ThroughputHarness};
+pub use request::{ServeOutput, ServeRequest, ServeResponse, ServeTarget};
+pub use server::{ServeConfig, StreamHandle, StreamServer};
+
+// The serving front-end is generic over the oracle seam; re-export the
+// trait so downstream users of this crate can name it without a direct
+// `ftbfs-oracle` dependency.
+pub use ftbfs_oracle::DistanceOracle;

@@ -1,0 +1,528 @@
+//! The sharded continuous-stream front-end: [`ServeConfig`],
+//! [`StreamServer`], [`StreamHandle`] and the worker loop.
+//!
+//! ## Shape
+//!
+//! ```text
+//!   clients                router                    workers
+//!   ───────                ──────                    ───────
+//!   StreamHandle ──submit──▶ shard-by-source ──mpsc──▶ worker 0 ─┐
+//!   StreamHandle ──submit──▶ (seq assigned    ──mpsc──▶ worker 1 ─┤ per-worker
+//!       ⋮                     at submit)         ⋮        ⋮      │ QueryEngine,
+//!                                              ──mpsc──▶ worker N ┘ view over the
+//!                                                                   epoch snapshot
+//!   StreamHandle ◀─recv──── seq-ordered reassembly ◀──mpsc── responses
+//! ```
+//!
+//! * **Routing.**  Requests with an explicit source are pinned to shard
+//!   `source % workers` — all traffic for one source of an `S × V`
+//!   workload lands on one worker, whose private engine keeps that
+//!   source's fault-LRU partition hot.  Source-less requests (primary
+//!   source) round-robin by sequence number, so a single-source stream
+//!   still spreads across every worker.
+//! * **Ordering.**  Each stream assigns sequence numbers at submit time;
+//!   workers tag responses with them; [`StreamHandle::recv`] reassembles
+//!   input order from whatever order the shards answer in.
+//! * **Epochs.**  Workers serve from a [`SnapshotOracle`] view opened over
+//!   the current [`EpochSnapshot`]; after receiving each request they
+//!   re-check the epoch generation and reopen when it moved (see
+//!   [`crate::epoch`] for the exact guarantee).  Publishing never drops or
+//!   reorders requests.
+//! * **Shutdown.**  [`StreamServer::shutdown`] marks the server closed
+//!   (further submits fail with [`ServeError::Shutdown`]) and joins the
+//!   workers; already-submitted requests are drained and answered, never
+//!   dropped.  Workers exit when the last stream is gone, so shutdown
+//!   completes once every [`StreamHandle`] is dropped.
+//!
+//! Workers are plain `std::thread`s over `std::sync::mpsc` channels — the
+//! async story of the ROADMAP stays open, but the request/response
+//! contract (and everything behind the router) is runtime-agnostic.
+
+use crate::epoch::{EpochCell, EpochPublisher, EpochSnapshot};
+use crate::error::ServeError;
+use crate::request::{ServeOutput, ServeRequest, ServeResponse, ServeTarget};
+use ftbfs_oracle::{DistanceOracle, QueryEngine};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configuration of a [`StreamServer`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { workers: 2 }
+    }
+}
+
+impl ServeConfig {
+    /// The default configuration (2 workers).
+    pub fn new() -> Self {
+        ServeConfig::default()
+    }
+
+    /// Sets the number of shard workers (clamped to ≥ 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+}
+
+/// One routed unit of work: the request, its stream-local sequence number,
+/// and the channel its response goes back on.
+pub(crate) struct WorkItem {
+    pub(crate) seq: u64,
+    pub(crate) request: ServeRequest,
+    pub(crate) reply: Sender<ServeResponse>,
+}
+
+/// The long-running sharded serving front-end over epoch-swapped
+/// snapshots.
+///
+/// Owned by a controller thread; hand out [`StreamHandle`]s to clients
+/// (they are `Send`) and an [`EpochPublisher`] to whoever loads new
+/// snapshots.
+///
+/// # Examples
+///
+/// ```
+/// use ftbfs_graph::{generators, FaultSpec, VertexId};
+/// use ftbfs_oracle::{FrozenStructure, SnapshotVersion};
+/// use ftbfs_serve::{EpochSnapshot, ServeConfig, ServeRequest, StreamServer};
+///
+/// let g = generators::cycle(8);
+/// let frozen = FrozenStructure::from_edges(&g, &[VertexId(0)], 2, g.edges());
+/// let snap = EpochSnapshot::from_bytes(frozen.save_with(SnapshotVersion::V2)).unwrap();
+///
+/// let server = StreamServer::launch(snap, ServeConfig::new().workers(2));
+/// let mut stream = server.open_stream();
+/// stream.submit(ServeRequest::distance(VertexId(4), FaultSpec::None)).unwrap();
+/// let resp = stream.recv().unwrap();
+/// assert_eq!(resp.seq, 0);
+/// assert_eq!(resp.distance(), Some(Some(4)));
+/// assert_eq!(resp.epoch, frozen.fingerprint());
+///
+/// drop(stream);
+/// server.shutdown();
+/// ```
+pub struct StreamServer {
+    cell: Arc<EpochCell>,
+    closed: Arc<AtomicBool>,
+    senders: Vec<Sender<WorkItem>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl StreamServer {
+    /// Spawns the worker threads serving `initial` and returns the
+    /// controller handle.
+    pub fn launch(initial: EpochSnapshot, config: ServeConfig) -> Self {
+        let cell = Arc::new(EpochCell::new(Arc::new(initial)));
+        let closed = Arc::new(AtomicBool::new(false));
+        let mut senders = Vec::with_capacity(config.workers);
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let (tx, rx) = mpsc::channel::<WorkItem>();
+            let cell = Arc::clone(&cell);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ftbfs-serve-{i}"))
+                    .spawn(move || worker_loop(&cell, &rx))
+                    .expect("spawn serve worker"),
+            );
+            senders.push(tx);
+        }
+        StreamServer {
+            cell,
+            closed,
+            senders,
+            workers,
+        }
+    }
+
+    /// Opens a new request stream onto the server.
+    pub fn open_stream(&self) -> StreamHandle {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        StreamHandle {
+            shards: self.senders.clone(),
+            closed: Arc::clone(&self.closed),
+            reply_tx,
+            reply_rx,
+            next_seq: 0,
+            next_deliver: 0,
+            reorder: HashMap::new(),
+        }
+    }
+
+    /// A `Send + Sync` handle for swapping in new snapshots from any
+    /// thread.
+    pub fn publisher(&self) -> EpochPublisher {
+        EpochPublisher {
+            cell: Arc::clone(&self.cell),
+        }
+    }
+
+    /// Installs a new (already validated) snapshot epoch; returns its
+    /// generation.  Equivalent to [`EpochPublisher::publish`].
+    pub fn publish(&self, snapshot: EpochSnapshot) -> Result<u64, ServeError> {
+        self.publisher().publish(snapshot)
+    }
+
+    /// The fingerprint of the epoch currently being served.
+    pub fn fingerprint(&self) -> u64 {
+        self.cell.load().1.fingerprint()
+    }
+
+    /// Number of shard workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stops intake and waits for the workers to drain and exit.
+    ///
+    /// Submissions begun after this call fail with
+    /// [`ServeError::Shutdown`]; every request submitted before it is
+    /// still answered.  Workers exit when the last shard sender is gone,
+    /// so shutdown completes once every [`StreamHandle`] has been dropped
+    /// (streams hold shard senders for lock-free submission).
+    pub fn shutdown(self) {
+        let StreamServer {
+            closed,
+            senders,
+            workers,
+            ..
+        } = self;
+        closed.store(true, Ordering::Release);
+        drop(senders);
+        for worker in workers {
+            worker.join().expect("serve worker panicked");
+        }
+    }
+}
+
+/// A client's ordered request/response stream; created by
+/// [`StreamServer::open_stream`] (or scoped batch serving in
+/// [`crate::harness`]).
+///
+/// Submission assigns each request the next sequence number; responses are
+/// delivered by [`StreamHandle::recv`] in exactly that order, whatever
+/// order the shards finish in.  The handle is `Send` but not `Sync`: one
+/// client drives one stream (open several streams for several clients).
+pub struct StreamHandle {
+    shards: Vec<Sender<WorkItem>>,
+    closed: Arc<AtomicBool>,
+    reply_tx: Sender<ServeResponse>,
+    reply_rx: Receiver<ServeResponse>,
+    next_seq: u64,
+    next_deliver: u64,
+    reorder: HashMap<u64, ServeResponse>,
+}
+
+impl StreamHandle {
+    /// Submits a request, returning the sequence number its response will
+    /// carry.  Fails with [`ServeError::Shutdown`] once the server's
+    /// shutdown has begun.
+    pub fn submit(&mut self, request: ServeRequest) -> Result<u64, ServeError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(ServeError::Shutdown);
+        }
+        let seq = self.next_seq;
+        let shard = match request.source {
+            // Explicit sources pin their shard (engine-cache affinity);
+            // primary-source requests round-robin for spread.
+            Some(s) => s.index() % self.shards.len(),
+            None => (seq as usize) % self.shards.len(),
+        };
+        let item = WorkItem {
+            seq,
+            request,
+            reply: self.reply_tx.clone(),
+        };
+        self.shards[shard]
+            .send(item)
+            .map_err(|_| ServeError::Shutdown)?;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Number of submitted requests whose responses have not yet been
+    /// delivered.
+    pub fn in_flight(&self) -> u64 {
+        self.next_seq - self.next_deliver
+    }
+
+    /// Receives the next response **in submission order**, blocking until
+    /// it arrives.
+    ///
+    /// Returns [`ServeError::Idle`] if nothing is in flight.
+    pub fn recv(&mut self) -> Result<ServeResponse, ServeError> {
+        if self.in_flight() == 0 {
+            return Err(ServeError::Idle);
+        }
+        loop {
+            if let Some(resp) = self.reorder.remove(&self.next_deliver) {
+                self.next_deliver += 1;
+                return Ok(resp);
+            }
+            let resp = self.reply_rx.recv().map_err(|_| ServeError::Shutdown)?;
+            self.reorder.insert(resp.seq, resp);
+        }
+    }
+
+    /// Receives all outstanding responses, in submission order.
+    pub fn drain(&mut self) -> Result<Vec<ServeResponse>, ServeError> {
+        let mut out = Vec::with_capacity(self.in_flight() as usize);
+        while self.in_flight() > 0 {
+            out.push(self.recv()?);
+        }
+        Ok(out)
+    }
+}
+
+/// One worker: open a view over the current epoch, answer requests until
+/// the epoch moves (then reopen) or every sender is gone (then exit).
+///
+/// The generation is re-checked after *receiving* each request, so a
+/// request submitted after a publish returned is never answered by the
+/// old epoch; a request already received when the publish lands is
+/// answered by the epoch the worker has open.  Either way it is answered
+/// exactly once.
+fn worker_loop(cell: &EpochCell, rx: &Receiver<WorkItem>) {
+    let mut engine = QueryEngine::new();
+    let mut pending: Option<WorkItem> = None;
+    'epochs: loop {
+        let (generation, snapshot) = cell.load();
+        let view = snapshot.open();
+        let fingerprint = snapshot.fingerprint();
+        loop {
+            let item = match pending.take() {
+                Some(item) => item,
+                None => match rx.recv() {
+                    Ok(item) => item,
+                    // All senders dropped: drained, done.
+                    Err(_) => return,
+                },
+            };
+            if cell.generation() != generation {
+                pending = Some(item);
+                continue 'epochs;
+            }
+            let response = answer(&mut engine, &view, fingerprint, item.seq, &item.request);
+            // A closed reply channel means the stream's client is gone and
+            // the response is unwanted; requests from live streams are
+            // unaffected.
+            let _ = item.reply.send(response);
+        }
+    }
+}
+
+/// Answers one request against an open view — the shared serving core of
+/// the epoch workers and the scoped batch workers in [`crate::harness`].
+pub(crate) fn answer<O: DistanceOracle>(
+    engine: &mut QueryEngine,
+    oracle: &O,
+    fingerprint: u64,
+    seq: u64,
+    request: &ServeRequest,
+) -> ServeResponse {
+    let start = Instant::now();
+    let outcome = if request
+        .deadline
+        .is_some_and(|deadline| Instant::now() > deadline)
+    {
+        Err(ServeError::DeadlineExceeded)
+    } else {
+        let source = match request.source {
+            Some(s) => s,
+            None => oracle.primary_source(),
+        };
+        match &request.target {
+            ServeTarget::One(target) => engine
+                .try_distance_from(oracle, source, *target, &request.faults)
+                .map(|a| a.map(ServeOutput::Distance))
+                .map_err(ServeError::from),
+            ServeTarget::All => engine
+                .try_all_distances_from(oracle, source, &request.faults)
+                .map(|a| a.map(ServeOutput::Distances))
+                .map_err(ServeError::from),
+        }
+    };
+    ServeResponse {
+        seq,
+        epoch: fingerprint,
+        work_ns: start.elapsed().as_nanos() as u64,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbfs_graph::{generators, FaultSpec, VertexId};
+    use ftbfs_oracle::{FrozenStructure, QueryError, SnapshotVersion};
+
+    fn snapshot_of(g: &ftbfs_graph::Graph) -> (EpochSnapshot, FrozenStructure) {
+        let frozen = FrozenStructure::from_edges(g, &[VertexId(0)], 2, g.edges());
+        let snap = EpochSnapshot::from_bytes(frozen.save_with(SnapshotVersion::V2)).unwrap();
+        (snap, frozen)
+    }
+
+    #[test]
+    fn streams_answer_in_submission_order_across_shards() {
+        let g = generators::grid(5, 5);
+        let (snap, frozen) = snapshot_of(&g);
+        let server = StreamServer::launch(snap, ServeConfig::new().workers(3));
+        let mut stream = server.open_stream();
+        let mut engine = QueryEngine::new();
+        let n = g.vertex_count() as u32;
+        for i in 0..200u32 {
+            let target = VertexId(i % n);
+            stream
+                .submit(ServeRequest::distance(target, FaultSpec::None))
+                .unwrap();
+        }
+        for i in 0..200u64 {
+            let resp = stream.recv().unwrap();
+            assert_eq!(resp.seq, i, "responses must arrive in submission order");
+            let expected = engine
+                .try_distance(&frozen, VertexId((i as u32) % n), &FaultSpec::None)
+                .unwrap()
+                .into_value();
+            assert_eq!(resp.distance(), Some(expected));
+            assert_eq!(resp.epoch, frozen.fingerprint());
+        }
+        assert_eq!(stream.in_flight(), 0);
+        assert!(matches!(stream.recv(), Err(ServeError::Idle)));
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
+    fn all_distances_and_errors_ride_the_same_stream() {
+        let g = generators::cycle(8);
+        let (snap, frozen) = snapshot_of(&g);
+        let server = StreamServer::launch(snap, ServeConfig::default());
+        let mut stream = server.open_stream();
+        stream
+            .submit(ServeRequest::all_distances(FaultSpec::None))
+            .unwrap();
+        stream
+            .submit(ServeRequest::distance(VertexId(99), FaultSpec::None))
+            .unwrap();
+        let all = stream.recv().unwrap();
+        match all.outcome.as_ref().unwrap().value() {
+            ServeOutput::Distances(d) => {
+                let mut engine = QueryEngine::new();
+                let expected = engine
+                    .try_all_distances(&frozen, &FaultSpec::None)
+                    .unwrap()
+                    .into_value();
+                assert_eq!(d, &expected);
+            }
+            other => panic!("expected Distances, got {other:?}"),
+        }
+        let bad = stream.recv().unwrap();
+        assert_eq!(
+            bad.outcome,
+            Err(ServeError::Query(QueryError::VertexOutOfRange {
+                vertex: VertexId(99),
+                bound: 8
+            }))
+        );
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadlines_are_answered_not_dropped() {
+        let g = generators::cycle(6);
+        let (snap, _) = snapshot_of(&g);
+        let server = StreamServer::launch(snap, ServeConfig::new().workers(1));
+        let mut stream = server.open_stream();
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        stream
+            .submit(ServeRequest::distance(VertexId(2), FaultSpec::None).with_deadline(past))
+            .unwrap();
+        let future = Instant::now() + std::time::Duration::from_secs(600);
+        stream
+            .submit(ServeRequest::distance(VertexId(2), FaultSpec::None).with_deadline(future))
+            .unwrap();
+        let missed = stream.recv().unwrap();
+        assert_eq!(missed.outcome, Err(ServeError::DeadlineExceeded));
+        let made = stream.recv().unwrap();
+        assert_eq!(made.distance(), Some(Some(2)));
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_begins_is_rejected() {
+        let g = generators::cycle(6);
+        let (snap, _) = snapshot_of(&g);
+        let server = StreamServer::launch(snap, ServeConfig::new().workers(2));
+        let mut stream = server.open_stream();
+        stream
+            .submit(ServeRequest::distance(VertexId(1), FaultSpec::None))
+            .unwrap();
+        assert_eq!(stream.recv().unwrap().distance(), Some(Some(1)));
+        std::thread::scope(|scope| {
+            // Shutdown from another thread: it marks the server closed and
+            // then blocks until this stream is dropped.
+            scope.spawn(move || server.shutdown());
+            loop {
+                match stream.submit(ServeRequest::distance(VertexId(1), FaultSpec::None)) {
+                    Err(ServeError::Shutdown) => break,
+                    Err(e) => panic!("unexpected error {e}"),
+                    Ok(_) => {
+                        // Raced ahead of the close flag: the request is
+                        // still served; drain and retry.
+                        let _ = stream.recv().unwrap();
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            drop(stream);
+        });
+    }
+
+    #[test]
+    fn publish_then_submit_is_served_by_the_new_epoch() {
+        let g = generators::cycle(12);
+        let (snap_a, frozen_a) = snapshot_of(&g);
+        // A sparser structure over the same graph: different fingerprint.
+        let tree_edges: Vec<_> = g.edges().take(g.vertex_count() - 1).collect();
+        let frozen_b = FrozenStructure::from_edges(&g, &[VertexId(0)], 2, tree_edges);
+        let snap_b = EpochSnapshot::from_bytes(frozen_b.save_with(SnapshotVersion::V2)).unwrap();
+        assert_ne!(frozen_a.fingerprint(), frozen_b.fingerprint());
+
+        let server = StreamServer::launch(snap_a, ServeConfig::new().workers(2));
+        let mut stream = server.open_stream();
+        stream
+            .submit(ServeRequest::distance(VertexId(6), FaultSpec::None))
+            .unwrap();
+        let before = stream.recv().unwrap();
+        assert_eq!(before.epoch, frozen_a.fingerprint());
+
+        server.publish(snap_b).unwrap();
+        assert_eq!(server.fingerprint(), frozen_b.fingerprint());
+        // Submitted after publish returned: must be served by epoch B.
+        stream
+            .submit(ServeRequest::distance(VertexId(6), FaultSpec::None))
+            .unwrap();
+        let after = stream.recv().unwrap();
+        assert_eq!(after.epoch, frozen_b.fingerprint());
+        assert_eq!(after.distance(), Some(Some(6)));
+        drop(stream);
+        server.shutdown();
+    }
+}

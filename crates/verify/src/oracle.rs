@@ -28,7 +28,7 @@ use std::cell::RefCell;
 /// Queries take `&self` for backwards compatibility; the per-thread
 /// [`QueryEngine`] scratch state lives behind a [`RefCell`], which makes the
 /// oracle `!Sync`.  For multi-threaded serving, share the frozen backend and
-/// give each thread its own engine (see `ftbfs_oracle::ThroughputHarness`).
+/// give each thread its own engine (see `ftbfs_serve::ThroughputHarness`).
 pub struct StructureOracle<'g, O: DistanceOracle = FrozenStructure> {
     graph: &'g Graph,
     oracle: O,

@@ -1,0 +1,124 @@
+//! Minimal, dependency-free stand-in for the
+//! [`memmap2`](https://crates.io/crates/memmap2) crate, vendored because
+//! the build environment has no network access to crates.io.
+//!
+//! Only the read-only surface the workspace uses is provided: an
+//! [`Mmap`] that derefs to `&[u8]` and is constructed from an open
+//! [`File`] via [`Mmap::map`].  The stand-in **reads the file into an
+//! anonymous buffer** instead of establishing a real memory mapping —
+//! the real crate's `Mmap::map` is `unsafe` (the mapping's validity
+//! depends on the file not being truncated behind it), and this
+//! workspace denies `unsafe_code`.  Callers get identical semantics for
+//! immutable snapshot files: zero-copy *views* over the bytes, stable
+//! addresses for the lifetime of the `Mmap`, `len`/`Deref`/`AsRef`
+//! exactly as upstream.  Swapping in the real crate is the usual
+//! one-line change in `[workspace.dependencies]` (plus an
+//! `unsafe { ... }` at the single `map` call site).
+//!
+//! The upstream API takes `&File` and leaves the offset/length
+//! defaulting to the whole file; so does this stand-in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::ops::Deref;
+
+/// An immutable byte view over a file's full contents.
+///
+/// Stand-in for `memmap2::Mmap`: same construction path and read-only
+/// accessor surface, backed by an owned buffer rather than a kernel
+/// mapping (see the crate docs for why).
+pub struct Mmap {
+    bytes: Vec<u8>,
+}
+
+impl Mmap {
+    /// Maps the whole of `file` read-only.
+    ///
+    /// Upstream this is `unsafe fn map`; the stand-in is safe because it
+    /// copies rather than maps.  Reads from the file's start regardless
+    /// of the current cursor, like a real mapping would.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let mut f = file;
+        let len = f.metadata()?.len();
+        let mut bytes = Vec::with_capacity(len.min(usize::MAX as u64) as usize);
+        f.seek(SeekFrom::Start(0))?;
+        f.read_to_end(&mut bytes)?;
+        Ok(Mmap { bytes })
+    }
+
+    /// Length of the mapped region in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the mapped region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_whole_file_from_any_cursor_position() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("memmap2_standin_test.bin");
+        let payload: Vec<u8> = (0u8..=255).collect();
+        std::fs::write(&path, &payload).unwrap();
+
+        let mut file = File::open(&path).unwrap();
+        // Disturb the cursor: map must still see the whole file.
+        let mut scratch = [0u8; 7];
+        file.read_exact(&mut scratch).unwrap();
+
+        let map = Mmap::map(&file).unwrap();
+        assert_eq!(map.len(), 256);
+        assert!(!map.is_empty());
+        assert_eq!(&map[..], &payload[..]);
+        assert_eq!(map.as_ref()[255], 255);
+        assert!(format!("{map:?}").contains("256"));
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_files_map_to_empty_slices() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("memmap2_standin_empty.bin");
+        {
+            let mut f = File::create(&path).unwrap();
+            f.flush().unwrap();
+        }
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert_eq!(map.len(), 0);
+        assert!(map.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}
