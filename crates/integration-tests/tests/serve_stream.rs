@@ -225,10 +225,11 @@ fn stream_reports_typed_errors_in_order() {
     server.shutdown();
 }
 
-/// The batch adapter and a plain engine loop agree, so migrating from the
-/// deprecated oracle harness is behaviour-preserving.
+/// The batch adapter and a plain engine loop agree — the
+/// behaviour-preservation contract that let the deprecated
+/// `ftbfs_oracle::ThroughputHarness` be removed.
 #[test]
-fn harness_adapter_matches_direct_engine_and_deprecated_harness() {
+fn harness_adapter_matches_direct_engine() {
     let g = generators::connected_gnp(30, 0.16, 3);
     let frozen = frozen_for(&g, 3);
     let edges: Vec<EdgeId> = g.edges().collect();
@@ -245,18 +246,97 @@ fn harness_adapter_matches_direct_engine_and_deprecated_harness() {
             }
         })
         .collect();
-    let new = ftbfs_serve::ThroughputHarness::new(3).run(&frozen, &queries);
-    #[allow(deprecated)]
-    let old = ftbfs_oracle::ThroughputHarness::new(3).run(&frozen, &queries);
-    assert_eq!(new.distances, old.distances);
+    let report = ftbfs_serve::ThroughputHarness::new(3).run(&frozen, &queries);
+    assert_eq!(report.distances.len(), queries.len());
     let mut engine = QueryEngine::new();
-    for (q, d) in queries.iter().zip(&new.distances) {
+    for (q, d) in queries.iter().zip(&report.distances) {
         assert_eq!(
             engine
                 .try_distance(&frozen, q.target, &q.faults)
                 .unwrap()
                 .into_value(),
             *d
+        );
+    }
+}
+
+/// Deterministic fault-injection coverage (`--features chaos`): the exact
+/// shape of degraded service, pinned down without randomness.  The
+/// randomised schedule sweep lives in `serve_chaos.rs`.
+#[cfg(feature = "chaos")]
+mod chaos_gated {
+    use super::*;
+    use ftbfs_serve::{ChaosConfig, EpochCell};
+    use std::sync::Arc;
+
+    /// A worker that panics on its first three pickups answers exactly
+    /// those three requests with `WorkerRestarted` carrying the
+    /// per-shard generations 1, 2, 3 — and serves the rest correctly
+    /// from the same (thrice-respawned) shard.
+    #[test]
+    fn restart_generations_count_per_shard_and_in_flight_is_answered() {
+        let g = generators::connected_gnp(20, 0.2, 11);
+        let frozen = frozen_for(&g, 11);
+        // Rate 1_000_000 ⇒ every pickup fires until the cap of 3.
+        let schedule = ChaosConfig::new(99).with_worker_panics(1_000_000, 3);
+        let server = StreamServer::launch(
+            epoch_snapshot(&frozen),
+            ServeConfig::new().workers(1).chaos(schedule),
+        );
+        let mut stream = server.open_stream();
+        for r in mixed_requests(&g, 6) {
+            stream.submit(r).expect("server is live");
+        }
+        let responses = stream.drain().expect("every response arrives");
+        assert_eq!(responses.len(), 6, "a request was dropped");
+        for (i, resp) in responses.iter().take(3).enumerate() {
+            assert_eq!(
+                resp.outcome,
+                Err(ServeError::WorkerRestarted {
+                    generation: i as u64 + 1
+                }),
+                "panicked pickup {i} must carry its restart generation"
+            );
+        }
+        let mut engine = QueryEngine::new();
+        for (r, resp) in mixed_requests(&g, 6).iter().zip(&responses).skip(3) {
+            let t = match r.target {
+                ftbfs_serve::ServeTarget::One(t) => t,
+                _ => unreachable!(),
+            };
+            let expected = engine
+                .try_distance(&frozen, t, &r.faults)
+                .unwrap()
+                .into_value();
+            assert_eq!(resp.distance(), Some(expected), "post-restart answer wrong");
+        }
+        assert_eq!(server.health().worker_restarts, 3);
+        assert_eq!(server.chaos_stats().panics, 3);
+        drop(stream);
+        server.shutdown();
+    }
+
+    /// Lock poisoning is survivable end-to-end: a cell whose slot and
+    /// publish locks were all poisoned by panicking holders still loads
+    /// views and accepts publishes (the `into_inner` recovery path),
+    /// so a poisoned cell can never wedge the serving plane.
+    #[test]
+    fn poisoned_epoch_cell_still_loads_and_publishes() {
+        let g = generators::connected_gnp(20, 0.2, 13);
+        let frozen_a = frozen_for(&g, 13);
+        let frozen_b = frozen_for(&g, 17);
+        let cell = Arc::new(EpochCell::new(Arc::new(epoch_snapshot(&frozen_a))));
+        cell.poison_locks();
+
+        let (generation, snap) = cell.load();
+        assert_eq!(snap.fingerprint(), frozen_a.fingerprint());
+        let published = cell.publish(Arc::new(epoch_snapshot(&frozen_b)));
+        assert!(published > generation, "publish must advance the epoch");
+        let (_, snap) = cell.load();
+        assert_eq!(
+            snap.fingerprint(),
+            frozen_b.fingerprint(),
+            "post-poison publish must be visible"
         );
     }
 }

@@ -33,7 +33,7 @@
 //! Engines are cheap and thread-local by design: share one oracle across
 //! threads (`&O` is `Sync` for every frozen structure and view type) and
 //! give each thread its own `QueryEngine` — that is exactly what
-//! [`crate::ThroughputHarness`] does.  The engine notices (via
+//! `ftbfs_serve::ThroughputHarness` does.  The engine notices (via
 //! [`DistanceOracle::fingerprint`]) when it is handed a different structure
 //! and transparently rebinds, invalidating its cache.  All slab reads go
 //! through [`ftbfs_graph::bytes::WordSlice`], so the same kernel serves
@@ -187,6 +187,13 @@ pub struct QueryEngine {
 /// doubles the resident footprint per partition and mostly caches the
 /// churn tail; 16 is the knee.
 pub const DEFAULT_CACHE_CAPACITY: usize = 16;
+
+/// How many per-target reads
+/// [`QueryEngine::try_all_distances_from_budgeted`] performs between budget
+/// polls: coarse enough that the poll (typically an `Instant::now`) stays
+/// off the per-read critical path, fine enough that an overrun is noticed
+/// within microseconds.
+pub const BUDGET_CHECK_STRIDE: usize = 256;
 
 impl Default for QueryEngine {
     fn default() -> Self {
@@ -357,6 +364,41 @@ impl QueryEngine {
         Ok(Answer::new(distances, self.note_guarantee(oracle, spec)))
     }
 
+    /// [`Self::try_all_distances_from`] under a caller-supplied budget —
+    /// the serving layer's mid-request deadline enforcement.
+    ///
+    /// `within_budget` is polled once before the (possibly BFS-running)
+    /// fault resolution and then every [`BUDGET_CHECK_STRIDE`] per-target
+    /// reads; the first `false` abandons the request and returns
+    /// `Ok(None)`, discarding the partial work.  The polling points are
+    /// deterministic, so a budget closure that counts calls makes the
+    /// cutoff reproducible in tests.  `Ok(Some(_))` answers are exactly
+    /// [`Self::try_all_distances_from`]'s.
+    pub fn try_all_distances_from_budgeted<O: DistanceOracle>(
+        &mut self,
+        oracle: &O,
+        source: VertexId,
+        spec: &FaultSpec,
+        mut within_budget: impl FnMut() -> bool,
+    ) -> Result<Option<Answer<Vec<Option<u32>>>>, QueryError> {
+        if !within_budget() {
+            return Ok(None);
+        }
+        let (slab, slot) = self.prepare(oracle, source, source, spec)?;
+        let n = oracle.vertex_count();
+        let mut distances = Vec::with_capacity(n);
+        for i in 0..n {
+            if i % BUDGET_CHECK_STRIDE == 0 && !within_budget() {
+                return Ok(None);
+            }
+            distances.push(self.read_distance(&slab, slot, VertexId::new(i)));
+        }
+        Ok(Some(Answer::new(
+            distances,
+            self.note_guarantee(oracle, spec),
+        )))
+    }
+
     /// The full `S × V` distance table under one fault spec — the batch
     /// form of Gupta–Khan's multi-source FT-MBFS workload.  One resolution
     /// per source, `O(1)` per `(s, v)` cell afterwards.
@@ -414,7 +456,7 @@ impl QueryEngine {
     }
 
     /// [`Self::try_batch_distances`] into a caller-provided slice (the
-    /// zero-allocation form used by [`crate::ThroughputHarness`]).
+    /// zero-allocation form used by `ftbfs_serve::ThroughputHarness`).
     ///
     /// # Panics
     ///
@@ -1115,6 +1157,54 @@ mod tests {
                 (None, None) => {}
             }
         }
+    }
+
+    #[test]
+    fn budgeted_all_distances_completes_or_abandons_deterministically() {
+        let g = generators::grid(4, 4);
+        let frozen = FrozenStructure::from_edges(&g, &[v(0)], 2, g.edges());
+        let mut engine = QueryEngine::new();
+        let e = g.edge_between(v(0), v(1));
+        let spec = e.map(FaultSpec::One).unwrap_or(FaultSpec::None);
+
+        // Unlimited budget: identical to the unbudgeted form.
+        let unbudgeted = engine
+            .try_all_distances_from(&frozen, v(0), &spec)
+            .unwrap()
+            .into_value();
+        let budgeted = engine
+            .try_all_distances_from_budgeted(&frozen, v(0), &spec, || true)
+            .unwrap()
+            .expect("unlimited budget completes")
+            .into_value();
+        assert_eq!(budgeted, unbudgeted);
+
+        // Budget exhausted before resolution: abandoned, nothing computed.
+        assert!(engine
+            .try_all_distances_from_budgeted(&frozen, v(0), &spec, || false)
+            .unwrap()
+            .is_none());
+
+        // Budget exhausted mid-request (the second poll, at target read 0
+        // after the resolution): abandoned deterministically.
+        let mut polls = 0;
+        let outcome = engine
+            .try_all_distances_from_budgeted(&frozen, v(0), &spec, || {
+                polls += 1;
+                polls <= 1
+            })
+            .unwrap();
+        assert!(outcome.is_none(), "second poll cuts the request off");
+        assert_eq!(polls, 2, "poll points are deterministic");
+
+        // Invalid queries are still typed errors, not budget outcomes.
+        assert_eq!(
+            engine.try_all_distances_from_budgeted(&frozen, v(99), &FaultSpec::None, || true),
+            Err(QueryError::VertexOutOfRange {
+                vertex: v(99),
+                bound: 16
+            })
+        );
     }
 
     #[test]

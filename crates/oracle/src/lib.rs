@@ -27,11 +27,11 @@
 //!   [`QueryEngine::try_distance_matrix`],
 //!   [`QueryEngine::batch_distances`]) with an `O(1)` fault-free fast path
 //!   and a per-source-partitioned LRU keyed by `(source, FaultSpec)`;
-//! * [`ThroughputHarness`] — a sharded `std::thread::scope` batch driver
-//!   with deterministic result order.  *Deprecated:* batch driving moved
-//!   into the serving front-end (`ftbfs_serve::ThroughputHarness`, a thin
-//!   adapter over its stream API); [`BatchReport`] stays here as the
-//!   shared report type.
+//! * [`BatchReport`] — the shared result type of batched query driving
+//!   (module [`report`]).  The batch *driver* lives in the serving
+//!   front-end (`ftbfs_serve::ThroughputHarness`, a thin adapter over its
+//!   stream API); the deprecated `ftbfs_oracle::ThroughputHarness` soaked
+//!   one release and has been removed.
 //!
 //! `ftbfs_verify::StructureOracle` delegates to this crate, so all existing
 //! verification exercises the same query path that production serving uses.
@@ -67,20 +67,18 @@
 pub mod api;
 pub mod engine;
 pub mod frozen;
-pub mod harness;
 pub mod multi;
+pub mod report;
 pub mod snapshot;
 pub mod view;
 
 pub use api::{
     Answer, DistanceMatrix, DistanceOracle, Guarantee, OracleSlab, QueryError, SlabTree,
 };
-pub use engine::{Query, QueryEngine, QueryStats, DEFAULT_CACHE_CAPACITY};
+pub use engine::{Query, QueryEngine, QueryStats, BUDGET_CHECK_STRIDE, DEFAULT_CACHE_CAPACITY};
 pub use frozen::{FrozenStructure, SourceTree};
-pub use harness::BatchReport;
-#[allow(deprecated)]
-pub use harness::ThroughputHarness;
 pub use multi::FrozenMultiStructure;
+pub use report::BatchReport;
 pub use snapshot::{
     snapshot_layout, SectionEntry, SnapshotError, SnapshotLayout, SnapshotVersion, SNAPSHOT_ALIGN,
     SNAPSHOT_MAGIC, SNAPSHOT_MULTI_MAGIC, SNAPSHOT_MULTI_VERSION, SNAPSHOT_VERSION,

@@ -30,7 +30,9 @@
 //! `Arc` slots, with readers retrying the (cheap) slot clone if a publish
 //! raced them.
 
+use crate::chaos::FaultInjector;
 use crate::error::ServeError;
+use crate::health::HealthCounters;
 use ftbfs_graph::VertexId;
 use ftbfs_oracle::{
     DistanceOracle, FrozenMultiView, FrozenView, OracleSlab, SnapshotError, SnapshotSource,
@@ -112,6 +114,11 @@ impl EpochSnapshot {
     /// Convenience: validate owned snapshot bytes.
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, SnapshotError> {
         EpochSnapshot::new(SnapshotSource::owned(bytes))
+    }
+
+    /// The raw snapshot bytes this epoch serves from.
+    pub fn bytes(&self) -> &[u8] {
+        self.source.bytes()
     }
 
     /// The snapshot's format.
@@ -231,12 +238,17 @@ impl EpochCell {
     ///
     /// Readers lock only the *active* slot, which a publisher never
     /// writes; the retry loop discards a read that raced two publishes.
+    ///
+    /// Poison-safe: a slot holds a plain `Arc`, which is consistent at
+    /// every instant, so a reader or publisher that panicked while holding
+    /// the lock left nothing half-written — the poison flag is cleared
+    /// with [`std::sync::PoisonError::into_inner`] and serving continues.
     pub fn load(&self) -> (u64, Arc<EpochSnapshot>) {
         loop {
             let gen = self.generation.load(Ordering::Acquire);
             let snap = self.slots[(gen % 2) as usize]
                 .lock()
-                .expect("epoch slot lock poisoned")
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .clone();
             if self.generation.load(Ordering::Acquire) == gen {
                 return (gen, snap);
@@ -248,14 +260,42 @@ impl EpochCell {
     ///
     /// Writes the inactive slot, then bumps the generation; concurrent
     /// publishers are serialised, concurrent readers never wait on this.
+    /// Poison on either lock is recovered the same way as in
+    /// [`EpochCell::load`]: the generation counter is only ever bumped
+    /// *after* a complete slot write, so a publisher that died mid-publish
+    /// left the cell serving the old epoch, which is exactly the state the
+    /// next publish overwrites.
     pub fn publish(&self, snapshot: Arc<EpochSnapshot>) -> u64 {
-        let _guard = self.publish_lock.lock().expect("publish lock poisoned");
+        let _guard = self
+            .publish_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         let gen = self.generation.load(Ordering::Acquire);
         *self.slots[((gen + 1) % 2) as usize]
             .lock()
-            .expect("epoch slot lock poisoned") = snapshot;
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = snapshot;
         self.generation.store(gen + 1, Ordering::Release);
         gen + 1
+    }
+
+    /// Test seam: poisons both slot locks and the publish lock by
+    /// panicking a thread that holds them, proving the cell recovers.
+    /// Chaos-builds only.
+    #[cfg(feature = "chaos")]
+    pub fn poison_locks(&self) {
+        for slot in &self.slots {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                panic!("chaos: poisoning epoch slot lock");
+            }));
+        }
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self
+                .publish_lock
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            panic!("chaos: poisoning epoch publish lock");
+        }));
     }
 }
 
@@ -266,14 +306,29 @@ impl EpochCell {
 #[derive(Clone, Debug)]
 pub struct EpochPublisher {
     pub(crate) cell: Arc<EpochCell>,
+    pub(crate) health: Arc<HealthCounters>,
+    pub(crate) injector: Arc<FaultInjector>,
 }
 
 impl EpochPublisher {
     /// Validates and installs a new snapshot; returns its generation.
     ///
     /// Validation happens here, before the swap, so workers can open the
-    /// installed bytes infallibly.
+    /// installed bytes infallibly.  The bytes that would be installed are
+    /// re-validated as a unit (under chaos, possibly after injected
+    /// corruption): if they no longer validate, the publish is rejected
+    /// with [`ServeError::SnapshotRejected`], the generation does not
+    /// move, and workers keep serving the old epoch.
     pub fn publish(&self, snapshot: EpochSnapshot) -> Result<u64, ServeError> {
+        if let Some(corrupted) = self.injector.corrupt_publish(snapshot.bytes()) {
+            // Chaos corrupted the bytes between validation and install;
+            // the re-validation a real loader would run must catch it.
+            if let Err(e) = EpochSnapshot::from_bytes(corrupted) {
+                HealthCounters::bump(&self.health.rejected_publishes);
+                return Err(ServeError::SnapshotRejected(e));
+            }
+        }
+        HealthCounters::bump(&self.health.publishes);
         Ok(self.cell.publish(Arc::new(snapshot)))
     }
 
@@ -347,6 +402,40 @@ mod tests {
         // A third publish reuses the first slot.
         assert_eq!(cell.publish(a.clone()), 2);
         assert_eq!(cell.load().1.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn cell_recovers_from_poisoned_locks() {
+        let a = Arc::new(snapshot(6));
+        let b = Arc::new(snapshot(10));
+        let cell = EpochCell::new(a.clone());
+
+        // Poison both slot locks and the publish lock: a thread panics
+        // while holding each guard.
+        std::thread::scope(|scope| {
+            for slot in &cell.slots {
+                let handle = scope.spawn(move || {
+                    let _guard = slot.lock().unwrap();
+                    panic!("poisoning slot lock");
+                });
+                assert!(handle.join().is_err());
+            }
+            let publish_lock = &cell.publish_lock;
+            let handle = scope.spawn(move || {
+                let _guard = publish_lock.lock().unwrap();
+                panic!("poisoning publish lock");
+            });
+            assert!(handle.join().is_err());
+        });
+        assert!(cell.slots[0].lock().is_err(), "slot 0 really is poisoned");
+        assert!(cell.publish_lock.lock().is_err(), "publish lock poisoned");
+
+        // Loads and publishes shrug the poison off.
+        let (g0, s0) = cell.load();
+        assert_eq!((g0, s0.fingerprint()), (0, a.fingerprint()));
+        assert_eq!(cell.publish(b.clone()), 1);
+        let (g1, s1) = cell.load();
+        assert_eq!((g1, s1.fingerprint()), (1, b.fingerprint()));
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! [`ThroughputHarness`] — batched query driving as a thin adapter over
 //! the stream API: one batch = one bounded stream.
 //!
-//! This supersedes `ftbfs_oracle::ThroughputHarness` (now deprecated).
-//! The configuration surface and the [`BatchReport`] it returns are
-//! unchanged — callers migrate by switching the import — but the
+//! This supersedes `ftbfs_oracle::ThroughputHarness` (deprecated in PR 6,
+//! removed in PR 7).  The configuration surface and the [`BatchReport`] it
+//! returns are unchanged — callers migrate by switching the import — but the
 //! multi-threaded path now goes through the same routing rule and the
 //! same per-request serving core ([`crate::server`]'s `answer`) as the
 //! continuous-stream front-end, so batch measurements exercise exactly

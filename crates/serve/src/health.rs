@@ -1,0 +1,101 @@
+//! Serving health introspection: [`ServeHealth`] snapshots of the
+//! self-healing machinery's counters.
+//!
+//! The supervised front-end absorbs faults instead of propagating them —
+//! which means the only way to *see* a fault happened is to count it.
+//! Every absorb path increments a counter here: worker restarts, shed and
+//! rejected requests, expired-at-submit admissions, publishes and
+//! rejected publishes.  [`crate::StreamServer::health`] returns a
+//! consistent-enough snapshot (relaxed atomics; exact once the server is
+//! quiescent), which is what a chaos run's "server ends healthy" assertion
+//! and an operator's dashboard both read.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters shared across workers, streams and
+/// publishers.
+#[derive(Debug, Default)]
+pub(crate) struct HealthCounters {
+    pub(crate) worker_restarts: AtomicU64,
+    pub(crate) shed_expired: AtomicU64,
+    pub(crate) rejected_overloaded: AtomicU64,
+    pub(crate) rejected_unavailable: AtomicU64,
+    pub(crate) expired_at_submit: AtomicU64,
+    pub(crate) publishes: AtomicU64,
+    pub(crate) rejected_publishes: AtomicU64,
+}
+
+impl HealthCounters {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServeHealth {
+        ServeHealth {
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            shed_expired: self.shed_expired.load(Ordering::Relaxed),
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
+            rejected_unavailable: self.rejected_unavailable.load(Ordering::Relaxed),
+            expired_at_submit: self.expired_at_submit.load(Ordering::Relaxed),
+            publishes: self.publishes.load(Ordering::Relaxed),
+            rejected_publishes: self.rejected_publishes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a server's self-healing counters; returned
+/// by [`crate::StreamServer::health`].
+///
+/// Every counter is "faults absorbed", not "faults outstanding": a large
+/// [`ServeHealth::worker_restarts`] on a server that still answers probes
+/// correctly is the *success* mode of the design.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServeHealth {
+    /// Worker panics absorbed by supervision (each one respawned the
+    /// shard's serving state and answered its in-flight request with
+    /// [`crate::ServeError::WorkerRestarted`]).
+    pub worker_restarts: u64,
+    /// Queued requests shed by [`crate::OverloadPolicy::ShedExpired`]
+    /// (each answered [`crate::ServeError::DeadlineExceeded`]).
+    pub shed_expired: u64,
+    /// Submits rejected with [`crate::SubmitError::Overloaded`].
+    pub rejected_overloaded: u64,
+    /// Submits rejected with [`crate::SubmitError::ShardUnavailable`]
+    /// (dropped shard-channel sends).
+    pub rejected_unavailable: u64,
+    /// Requests already past their deadline at submit, answered
+    /// [`crate::ServeError::DeadlineExceeded`] without ever being routed.
+    pub expired_at_submit: u64,
+    /// Successful epoch publishes.
+    pub publishes: u64,
+    /// Publishes rejected by re-validation
+    /// ([`crate::ServeError::SnapshotRejected`]).
+    pub rejected_publishes: u64,
+}
+
+impl ServeHealth {
+    /// Total submits turned away at the door (overload + unavailable).
+    pub fn rejected_submits(&self) -> u64 {
+        self.rejected_overloaded + self.rejected_unavailable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let counters = HealthCounters::default();
+        assert_eq!(counters.snapshot(), ServeHealth::default());
+        HealthCounters::bump(&counters.worker_restarts);
+        HealthCounters::bump(&counters.rejected_overloaded);
+        HealthCounters::bump(&counters.rejected_unavailable);
+        HealthCounters::bump(&counters.rejected_unavailable);
+        let snap = counters.snapshot();
+        assert_eq!(snap.worker_restarts, 1);
+        assert_eq!(snap.rejected_submits(), 3);
+        assert_eq!(snap.publishes, 0);
+    }
+}

@@ -28,8 +28,20 @@
 //!   epoch; requests submitted after `publish` returns are served by the
 //!   new epoch.
 //! * [`ThroughputHarness`] (module [`harness`]) — batch driving as a
-//!   thin adapter over the stream core (one batch = one bounded stream);
-//!   supersedes the deprecated `ftbfs_oracle::ThroughputHarness`.
+//!   thin adapter over the stream core (one batch = one bounded stream).
+//!
+//! # Failure model
+//!
+//! The front-end is *self-healing*: worker panics are absorbed by
+//! supervision (the shard respawns; the interrupted request is answered
+//! [`ServeError::WorkerRestarted`] in its stream slot), queue overload is
+//! surfaced at submit time as typed [`SubmitError`]s under a configurable
+//! [`OverloadPolicy`], expired-deadline work is refused admission or shed,
+//! and poisoned epoch locks are recovered rather than propagated.  The
+//! absorbed faults are counted in [`ServeHealth`]
+//! ([`StreamServer::health`]).  With the `chaos` cargo feature the whole
+//! machinery can be exercised under a deterministic fault schedule — see
+//! module [`chaos`].
 //!
 //! # Quick example
 //!
@@ -59,15 +71,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "chaos")]
+pub mod chaos;
+#[cfg(not(feature = "chaos"))]
+pub(crate) mod chaos;
 pub mod epoch;
 pub mod error;
 pub mod harness;
+pub mod health;
+pub mod queue;
 pub mod request;
 pub mod server;
 
+#[cfg(feature = "chaos")]
+pub use chaos::{ChaosConfig, ChaosStats, CHAOS_PANIC_MARKER};
 pub use epoch::{EpochCell, EpochPublisher, EpochSnapshot, SnapshotKind, SnapshotOracle};
-pub use error::ServeError;
+pub use error::{ServeError, SubmitError};
 pub use harness::{BatchReport, ThroughputHarness};
+pub use health::ServeHealth;
+pub use queue::OverloadPolicy;
 pub use request::{ServeOutput, ServeRequest, ServeResponse, ServeTarget};
 pub use server::{ServeConfig, StreamHandle, StreamServer};
 

@@ -1,0 +1,359 @@
+//! The bounded per-shard work queue behind [`crate::StreamHandle::submit`]:
+//! explicit depth accounting, overload policies, and poison-safe blocking
+//! pops for the supervised workers.
+//!
+//! PR 6 routed requests over unbounded `std::sync::mpsc` channels: under
+//! overload the queues ballooned memory and nothing ever said "no".  This
+//! queue replaces them with a `Mutex<VecDeque>` + `Condvar` pair per
+//! shard, which buys three things the channel could not do:
+//!
+//! * **bounded depth** — [`ShardQueue::push`] observes a capacity and an
+//!   [`OverloadPolicy`] *at submit time*, so overload turns into a typed
+//!   [`crate::SubmitError::Overloaded`] in the caller instead of unbounded
+//!   growth in the server;
+//! * **expired-first shedding** — [`OverloadPolicy::ShedExpired`] scans
+//!   the queue for items whose deadline has already passed and hands them
+//!   back to the caller (who answers each with
+//!   [`crate::ServeError::DeadlineExceeded`] — still exactly one response
+//!   per admitted request), freeing room for work that can still meet its
+//!   deadline;
+//! * **supervision-friendly receivers** — the queue is shared behind an
+//!   `Arc`, so a worker that panics and restarts keeps draining the same
+//!   queue: no `Receiver` dies with the thread, no queued request is ever
+//!   lost to a worker fault.  All locking recovers from poison
+//!   ([`std::sync::PoisonError::into_inner`]): the queue state is a plain
+//!   `VecDeque`, consistent at every step, so a panicking peer never
+//!   cascades.
+//!
+//! Producers register with [`ShardQueue::attach`] / [`ShardQueue::detach`]
+//! (the server itself plus every open stream); [`ShardQueue::pop`] blocks
+//! until an item arrives and returns `None` once the queue is drained and
+//! the last producer detached — the workers' drain-then-exit signal.
+
+use crate::server::WorkItem;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// What [`crate::StreamHandle::submit`] does when a shard's queue is at
+/// capacity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OverloadPolicy {
+    /// Reject the new request with [`crate::SubmitError::Overloaded`];
+    /// everything already queued keeps its slot.  The default.
+    #[default]
+    RejectNew,
+    /// First shed queued requests whose deadline has already passed (each
+    /// is answered [`crate::ServeError::DeadlineExceeded`], preserving
+    /// exactly-once); if that frees room, admit the new request, else
+    /// reject it like [`OverloadPolicy::RejectNew`].
+    ShedExpired,
+}
+
+/// Outcome of a [`ShardQueue::push`]: whether the item was admitted, and
+/// any expired items shed to make room (the caller must answer each).
+pub(crate) enum PushOutcome {
+    /// The item was enqueued.
+    Admitted {
+        /// Expired items removed by [`OverloadPolicy::ShedExpired`]; the
+        /// caller answers each with `DeadlineExceeded`.
+        shed: Vec<WorkItem>,
+    },
+    /// The queue stayed full; the item is handed back.
+    Rejected {
+        /// The rejected item (not enqueued; the caller keeps ownership).
+        item: WorkItem,
+        /// Queue depth at rejection time.
+        depth: usize,
+    },
+}
+
+/// One shard's bounded work queue; see the [module docs](self).
+#[derive(Debug)]
+pub(crate) struct ShardQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    items: VecDeque<WorkItem>,
+    producers: usize,
+}
+
+impl ShardQueue {
+    pub(crate) fn new() -> Self {
+        ShardQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                producers: 0,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Locks the queue state, recovering from poison: the state is a plain
+    /// `VecDeque` plus a counter, consistent between any two operations,
+    /// so a panicking peer must not cascade.
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a producer (the server, or one open stream).
+    pub(crate) fn attach(&self) {
+        self.lock().producers += 1;
+    }
+
+    /// Deregisters a producer; once the count reaches zero and the queue
+    /// drains, blocked [`ShardQueue::pop`]s return `None`.
+    pub(crate) fn detach(&self) {
+        let mut state = self.lock();
+        state.producers = state.producers.saturating_sub(1);
+        if state.producers == 0 {
+            drop(state);
+            self.available.notify_all();
+        }
+    }
+
+    /// Current queue depth (used for health reporting).
+    pub(crate) fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Attempts to enqueue `item` under `capacity` and `policy`; `now` is
+    /// the deadline reference for expired-first shedding.
+    pub(crate) fn push(
+        &self,
+        item: WorkItem,
+        capacity: Option<usize>,
+        policy: OverloadPolicy,
+        now: Instant,
+    ) -> PushOutcome {
+        let mut state = self.lock();
+        let mut shed = Vec::new();
+        if let Some(cap) = capacity {
+            if state.items.len() >= cap && policy == OverloadPolicy::ShedExpired {
+                // Shed already-expired work first: those items can only be
+                // answered DeadlineExceeded anyway, so their slots go to
+                // requests that can still make their deadlines.
+                let mut kept = VecDeque::with_capacity(state.items.len());
+                for queued in state.items.drain(..) {
+                    if queued.request.deadline.is_some_and(|d| now > d) {
+                        shed.push(queued);
+                    } else {
+                        kept.push_back(queued);
+                    }
+                }
+                state.items = kept;
+            }
+            if state.items.len() >= cap {
+                let depth = state.items.len();
+                // Rejected pushes free no worker, so nothing to notify —
+                // but shed items still need answering by the caller.
+                debug_assert!(shed.is_empty(), "shedding frees room below capacity");
+                return PushOutcome::Rejected { item, depth };
+            }
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        PushOutcome::Admitted { shed }
+    }
+
+    /// Blocks until an item is available (returning it) or the queue is
+    /// drained with no producers left (returning `None` — the worker's
+    /// exit signal).
+    pub(crate) fn pop(&self) -> Option<WorkItem> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.producers == 0 {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ServeRequest, ServeResponse};
+    use ftbfs_graph::{FaultSpec, VertexId};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn item(seq: u64, reply: &mpsc::Sender<ServeResponse>, deadline: Option<Instant>) -> WorkItem {
+        let mut request = ServeRequest::distance(VertexId(0), FaultSpec::None);
+        request.deadline = deadline;
+        WorkItem {
+            seq,
+            request,
+            reply: reply.clone(),
+        }
+    }
+
+    #[test]
+    fn push_pop_is_fifo_and_drains_on_last_detach() {
+        let q = ShardQueue::new();
+        q.attach();
+        let (tx, _rx) = mpsc::channel();
+        for seq in 0..5 {
+            assert!(matches!(
+                q.push(
+                    item(seq, &tx, None),
+                    None,
+                    OverloadPolicy::RejectNew,
+                    Instant::now()
+                ),
+                PushOutcome::Admitted { .. }
+            ));
+        }
+        assert_eq!(q.depth(), 5);
+        for seq in 0..5 {
+            assert_eq!(q.pop().expect("queued item").seq, seq);
+        }
+        q.detach();
+        assert!(q.pop().is_none(), "drained + no producers = exit signal");
+    }
+
+    #[test]
+    fn reject_new_bounces_pushes_at_capacity() {
+        let q = ShardQueue::new();
+        q.attach();
+        let (tx, _rx) = mpsc::channel();
+        let now = Instant::now();
+        for seq in 0..3 {
+            assert!(matches!(
+                q.push(
+                    item(seq, &tx, None),
+                    Some(3),
+                    OverloadPolicy::RejectNew,
+                    now
+                ),
+                PushOutcome::Admitted { .. }
+            ));
+        }
+        match q.push(item(3, &tx, None), Some(3), OverloadPolicy::RejectNew, now) {
+            PushOutcome::Rejected { item, depth } => {
+                assert_eq!(item.seq, 3, "the rejected item is handed back");
+                assert_eq!(depth, 3);
+            }
+            PushOutcome::Admitted { .. } => panic!("push above capacity admitted"),
+        }
+        // Popping one frees a slot.
+        q.pop().unwrap();
+        assert!(matches!(
+            q.push(item(3, &tx, None), Some(3), OverloadPolicy::RejectNew, now),
+            PushOutcome::Admitted { .. }
+        ));
+        q.detach();
+    }
+
+    #[test]
+    fn shed_expired_frees_room_expired_first() {
+        let q = ShardQueue::new();
+        q.attach();
+        let (tx, _rx) = mpsc::channel();
+        let now = Instant::now();
+        let past = now - Duration::from_secs(1);
+        let future = now + Duration::from_secs(600);
+        // Fill to capacity 3: expired, live, expired.
+        q.push(
+            item(0, &tx, Some(past)),
+            Some(3),
+            OverloadPolicy::ShedExpired,
+            now,
+        );
+        q.push(
+            item(1, &tx, Some(future)),
+            Some(3),
+            OverloadPolicy::ShedExpired,
+            now,
+        );
+        q.push(
+            item(2, &tx, Some(past)),
+            Some(3),
+            OverloadPolicy::ShedExpired,
+            now,
+        );
+        match q.push(
+            item(3, &tx, None),
+            Some(3),
+            OverloadPolicy::ShedExpired,
+            now,
+        ) {
+            PushOutcome::Admitted { shed } => {
+                let shed_seqs: Vec<u64> = shed.iter().map(|i| i.seq).collect();
+                assert_eq!(shed_seqs, vec![0, 2], "exactly the expired items shed");
+            }
+            PushOutcome::Rejected { .. } => panic!("shedding should have made room"),
+        }
+        // Order of survivors: the live item then the new one.
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().seq, 3);
+        q.detach();
+    }
+
+    #[test]
+    fn shed_expired_still_rejects_when_nothing_expired() {
+        let q = ShardQueue::new();
+        q.attach();
+        let (tx, _rx) = mpsc::channel();
+        let now = Instant::now();
+        let future = now + Duration::from_secs(600);
+        for seq in 0..2 {
+            q.push(
+                item(seq, &tx, Some(future)),
+                Some(2),
+                OverloadPolicy::ShedExpired,
+                now,
+            );
+        }
+        assert!(matches!(
+            q.push(
+                item(2, &tx, None),
+                Some(2),
+                OverloadPolicy::ShedExpired,
+                now
+            ),
+            PushOutcome::Rejected { depth: 2, .. }
+        ));
+        q.detach();
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push_and_on_final_detach() {
+        let q = std::sync::Arc::new(ShardQueue::new());
+        q.attach();
+        let (tx, _rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            let popper = {
+                let q = std::sync::Arc::clone(&q);
+                scope.spawn(move || {
+                    let first = q.pop().map(|i| i.seq);
+                    let second = q.pop().map(|i| i.seq);
+                    (first, second)
+                })
+            };
+            std::thread::sleep(Duration::from_millis(10));
+            q.push(
+                item(7, &tx, None),
+                None,
+                OverloadPolicy::RejectNew,
+                Instant::now(),
+            );
+            std::thread::sleep(Duration::from_millis(10));
+            q.detach();
+            let (first, second) = popper.join().expect("popper thread");
+            assert_eq!(first, Some(7));
+            assert_eq!(second, None, "final detach wakes and exits the popper");
+        });
+    }
+}

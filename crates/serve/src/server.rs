@@ -1,16 +1,16 @@
 //! The sharded continuous-stream front-end: [`ServeConfig`],
-//! [`StreamServer`], [`StreamHandle`] and the worker loop.
+//! [`StreamServer`], [`StreamHandle`] and the supervised worker loop.
 //!
 //! ## Shape
 //!
 //! ```text
-//!   clients                router                    workers
-//!   ───────                ──────                    ───────
-//!   StreamHandle ──submit──▶ shard-by-source ──mpsc──▶ worker 0 ─┐
-//!   StreamHandle ──submit──▶ (seq assigned    ──mpsc──▶ worker 1 ─┤ per-worker
-//!       ⋮                     at submit)         ⋮        ⋮      │ QueryEngine,
-//!                                              ──mpsc──▶ worker N ┘ view over the
-//!                                                                   epoch snapshot
+//!   clients                router                      workers
+//!   ───────                ──────                      ───────
+//!   StreamHandle ──submit──▶ shard-by-source ──queue──▶ [supervisor 0] ─┐
+//!   StreamHandle ──submit──▶ (admission +    ──queue──▶ [supervisor 1] ─┤ per-worker
+//!       ⋮                     backpressure      ⋮           ⋮          │ QueryEngine,
+//!                             at submit)     ──queue──▶ [supervisor N] ─┘ view over the
+//!                                                                         epoch snapshot
 //!   StreamHandle ◀─recv──── seq-ordered reassembly ◀──mpsc── responses
 //! ```
 //!
@@ -20,49 +20,81 @@
 //!   source's fault-LRU partition hot.  Source-less requests (primary
 //!   source) round-robin by sequence number, so a single-source stream
 //!   still spreads across every worker.
+//! * **Admission.**  [`StreamHandle::submit`] is the backpressure point:
+//!   requests already past their deadline are answered
+//!   [`ServeError::DeadlineExceeded`] without ever being routed, and a
+//!   shard queue at its configured capacity turns the submit into a typed
+//!   [`SubmitError`] (or sheds expired queued work first, under
+//!   [`OverloadPolicy::ShedExpired`]).  A rejected submit consumes no
+//!   sequence number.
 //! * **Ordering.**  Each stream assigns sequence numbers at submit time;
 //!   workers tag responses with them; [`StreamHandle::recv`] reassembles
 //!   input order from whatever order the shards answer in.
+//! * **Supervision.**  Each worker runs under a `catch_unwind` supervisor:
+//!   a panic while serving (chaos-injected or a genuine bug) answers the
+//!   in-flight request with [`ServeError::WorkerRestarted`], discards the
+//!   possibly-inconsistent engine, and respawns the shard's serving state
+//!   with a fresh [`QueryEngine`] over the *current* epoch — the shared
+//!   shard queue survives the restart, so queued requests are never lost
+//!   and streams never hang or desynchronise.  Restarts are counted in
+//!   [`StreamServer::health`].
 //! * **Epochs.**  Workers serve from a [`SnapshotOracle`] view opened over
 //!   the current [`EpochSnapshot`]; after receiving each request they
 //!   re-check the epoch generation and reopen when it moved (see
 //!   [`crate::epoch`] for the exact guarantee).  Publishing never drops or
 //!   reorders requests.
 //! * **Shutdown.**  [`StreamServer::shutdown`] marks the server closed
-//!   (further submits fail with [`ServeError::Shutdown`]) and joins the
+//!   (further submits fail with [`SubmitError::Shutdown`]) and joins the
 //!   workers; already-submitted requests are drained and answered, never
-//!   dropped.  Workers exit when the last stream is gone, so shutdown
-//!   completes once every [`StreamHandle`] is dropped.
+//!   dropped.  Workers exit when the last queue producer detaches, so
+//!   shutdown completes once every [`StreamHandle`] is dropped.
 //!
-//! Workers are plain `std::thread`s over `std::sync::mpsc` channels — the
+//! Workers are plain `std::thread`s over shared bounded queues — the
 //! async story of the ROADMAP stays open, but the request/response
 //! contract (and everything behind the router) is runtime-agnostic.
 
+use crate::chaos::FaultInjector;
+#[cfg(feature = "chaos")]
+pub use crate::chaos::{ChaosConfig, ChaosStats};
 use crate::epoch::{EpochCell, EpochPublisher, EpochSnapshot};
-use crate::error::ServeError;
+use crate::error::{ServeError, SubmitError};
+use crate::health::{HealthCounters, ServeHealth};
+use crate::queue::{OverloadPolicy, PushOutcome, ShardQueue};
 use crate::request::{ServeOutput, ServeRequest, ServeResponse, ServeTarget};
-use ftbfs_oracle::{DistanceOracle, QueryEngine};
+use ftbfs_oracle::{Answer, DistanceOracle, QueryEngine};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`StreamServer`].
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     workers: usize,
+    queue_capacity: Option<usize>,
+    overload_policy: OverloadPolicy,
+    #[cfg(feature = "chaos")]
+    chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { workers: 2 }
+        ServeConfig {
+            workers: 2,
+            queue_capacity: None,
+            overload_policy: OverloadPolicy::default(),
+            #[cfg(feature = "chaos")]
+            chaos: None,
+        }
     }
 }
 
 impl ServeConfig {
-    /// The default configuration (2 workers).
+    /// The default configuration (2 workers, unbounded queues,
+    /// [`OverloadPolicy::RejectNew`]).
     pub fn new() -> Self {
         ServeConfig::default()
     }
@@ -77,14 +109,68 @@ impl ServeConfig {
     pub fn worker_count(&self) -> usize {
         self.workers
     }
+
+    /// Bounds each shard's queue to `capacity` items (clamped to ≥ 1);
+    /// submits beyond it are governed by the [`OverloadPolicy`].  The
+    /// default is unbounded (the pre-backpressure behaviour).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// The configured per-shard queue bound, if any.
+    pub fn queue_capacity_limit(&self) -> Option<usize> {
+        self.queue_capacity
+    }
+
+    /// Sets what [`StreamHandle::submit`] does when a shard queue is at
+    /// capacity.
+    pub fn overload_policy(mut self, policy: OverloadPolicy) -> Self {
+        self.overload_policy = policy;
+        self
+    }
+
+    /// The configured overload policy.
+    pub fn overload_policy_choice(&self) -> OverloadPolicy {
+        self.overload_policy
+    }
+
+    /// Arms the server with a chaos schedule (fault injection at the
+    /// points documented in [`crate::chaos`]).  Only available with the
+    /// `chaos` cargo feature; production builds carry no injection code.
+    #[cfg(feature = "chaos")]
+    pub fn chaos(mut self, schedule: ChaosConfig) -> Self {
+        self.chaos = Some(schedule);
+        self
+    }
+
+    fn injector(&self) -> FaultInjector {
+        #[cfg(feature = "chaos")]
+        {
+            FaultInjector::new(self.chaos.clone())
+        }
+        #[cfg(not(feature = "chaos"))]
+        {
+            FaultInjector::inert()
+        }
+    }
 }
 
 /// One routed unit of work: the request, its stream-local sequence number,
 /// and the channel its response goes back on.
+#[derive(Debug)]
 pub(crate) struct WorkItem {
     pub(crate) seq: u64,
     pub(crate) request: ServeRequest,
     pub(crate) reply: Sender<ServeResponse>,
+}
+
+/// Everything one supervised worker shares with the router.
+struct WorkerContext {
+    cell: Arc<EpochCell>,
+    queue: Arc<ShardQueue>,
+    health: Arc<HealthCounters>,
+    injector: Arc<FaultInjector>,
 }
 
 /// The long-running sharded serving front-end over epoch-swapped
@@ -112,6 +198,7 @@ pub(crate) struct WorkItem {
 /// assert_eq!(resp.seq, 0);
 /// assert_eq!(resp.distance(), Some(Some(4)));
 /// assert_eq!(resp.epoch, frozen.fingerprint());
+/// assert_eq!(server.health().worker_restarts, 0);
 ///
 /// drop(stream);
 /// server.shutdown();
@@ -119,43 +206,69 @@ pub(crate) struct WorkItem {
 pub struct StreamServer {
     cell: Arc<EpochCell>,
     closed: Arc<AtomicBool>,
-    senders: Vec<Sender<WorkItem>>,
+    queues: Vec<Arc<ShardQueue>>,
     workers: Vec<JoinHandle<()>>,
+    health: Arc<HealthCounters>,
+    injector: Arc<FaultInjector>,
+    queue_capacity: Option<usize>,
+    overload_policy: OverloadPolicy,
 }
 
 impl StreamServer {
-    /// Spawns the worker threads serving `initial` and returns the
-    /// controller handle.
+    /// Spawns the supervised worker threads serving `initial` and returns
+    /// the controller handle.
     pub fn launch(initial: EpochSnapshot, config: ServeConfig) -> Self {
         let cell = Arc::new(EpochCell::new(Arc::new(initial)));
         let closed = Arc::new(AtomicBool::new(false));
-        let mut senders = Vec::with_capacity(config.workers);
+        let health = Arc::new(HealthCounters::default());
+        let injector = Arc::new(config.injector());
+        let mut queues = Vec::with_capacity(config.workers);
         let mut workers = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
-            let (tx, rx) = mpsc::channel::<WorkItem>();
-            let cell = Arc::clone(&cell);
+            let queue = Arc::new(ShardQueue::new());
+            // The server itself is a producer on every queue until
+            // shutdown, so workers outlive idle spells with no streams.
+            queue.attach();
+            let ctx = WorkerContext {
+                cell: Arc::clone(&cell),
+                queue: Arc::clone(&queue),
+                health: Arc::clone(&health),
+                injector: Arc::clone(&injector),
+            };
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("ftbfs-serve-{i}"))
-                    .spawn(move || worker_loop(&cell, &rx))
+                    .spawn(move || supervised_worker(&ctx))
                     .expect("spawn serve worker"),
             );
-            senders.push(tx);
+            queues.push(queue);
         }
         StreamServer {
             cell,
             closed,
-            senders,
+            queues,
             workers,
+            health,
+            injector,
+            queue_capacity: config.queue_capacity,
+            overload_policy: config.overload_policy,
         }
     }
 
     /// Opens a new request stream onto the server.
     pub fn open_stream(&self) -> StreamHandle {
         let (reply_tx, reply_rx) = mpsc::channel();
+        for queue in &self.queues {
+            queue.attach();
+        }
         StreamHandle {
-            shards: self.senders.clone(),
+            queues: self.queues.clone(),
             closed: Arc::clone(&self.closed),
+            cell: Arc::clone(&self.cell),
+            health: Arc::clone(&self.health),
+            injector: Arc::clone(&self.injector),
+            queue_capacity: self.queue_capacity,
+            overload_policy: self.overload_policy,
             reply_tx,
             reply_rx,
             next_seq: 0,
@@ -169,6 +282,8 @@ impl StreamServer {
     pub fn publisher(&self) -> EpochPublisher {
         EpochPublisher {
             cell: Arc::clone(&self.cell),
+            health: Arc::clone(&self.health),
+            injector: Arc::clone(&self.injector),
         }
     }
 
@@ -188,24 +303,57 @@ impl StreamServer {
         self.workers.len()
     }
 
+    /// A snapshot of the self-healing counters: worker restarts, shed and
+    /// rejected requests, publishes.  See [`ServeHealth`].
+    pub fn health(&self) -> ServeHealth {
+        self.health.snapshot()
+    }
+
+    /// Total depth of all shard queues right now (admitted requests not
+    /// yet picked up by a worker).
+    pub fn queued(&self) -> usize {
+        self.queues.iter().map(|q| q.depth()).sum()
+    }
+
+    /// What the server's chaos schedule has injected so far.
+    #[cfg(feature = "chaos")]
+    pub fn chaos_stats(&self) -> ChaosStats {
+        self.injector.stats()
+    }
+
+    /// Turns the server's chaos schedule off (clean-probe phase of a
+    /// chaos run); serving continues normally.
+    #[cfg(feature = "chaos")]
+    pub fn quiesce_chaos(&self) {
+        self.injector.quiesce();
+    }
+
     /// Stops intake and waits for the workers to drain and exit.
     ///
     /// Submissions begun after this call fail with
-    /// [`ServeError::Shutdown`]; every request submitted before it is
-    /// still answered.  Workers exit when the last shard sender is gone,
-    /// so shutdown completes once every [`StreamHandle`] has been dropped
-    /// (streams hold shard senders for lock-free submission).
+    /// [`SubmitError::Shutdown`]; every request submitted before it is
+    /// still answered.  Workers exit when their queue's last producer
+    /// detaches, so shutdown completes once every [`StreamHandle`] has
+    /// been dropped (streams hold producer slots for submission).
+    ///
+    /// A worker that somehow died outside its supervisor does not panic
+    /// the controller: the join failure is absorbed (supervision already
+    /// counted the restart storm in [`StreamServer::health`]).
     pub fn shutdown(self) {
         let StreamServer {
             closed,
-            senders,
+            queues,
             workers,
             ..
         } = self;
         closed.store(true, Ordering::Release);
-        drop(senders);
+        for queue in &queues {
+            queue.detach();
+        }
         for worker in workers {
-            worker.join().expect("serve worker panicked");
+            // A panic that escaped the supervisor (it cannot, short of an
+            // abort) must not take the controller down with it.
+            let _ = worker.join();
         }
     }
 }
@@ -219,8 +367,13 @@ impl StreamServer {
 /// order the shards finish in.  The handle is `Send` but not `Sync`: one
 /// client drives one stream (open several streams for several clients).
 pub struct StreamHandle {
-    shards: Vec<Sender<WorkItem>>,
+    queues: Vec<Arc<ShardQueue>>,
     closed: Arc<AtomicBool>,
+    cell: Arc<EpochCell>,
+    health: Arc<HealthCounters>,
+    injector: Arc<FaultInjector>,
+    queue_capacity: Option<usize>,
+    overload_policy: OverloadPolicy,
     reply_tx: Sender<ServeResponse>,
     reply_rx: Receiver<ServeResponse>,
     next_seq: u64,
@@ -230,29 +383,86 @@ pub struct StreamHandle {
 
 impl StreamHandle {
     /// Submits a request, returning the sequence number its response will
-    /// carry.  Fails with [`ServeError::Shutdown`] once the server's
-    /// shutdown has begun.
-    pub fn submit(&mut self, request: ServeRequest) -> Result<u64, ServeError> {
+    /// carry.
+    ///
+    /// This is the admission-control point: a request whose deadline has
+    /// already passed is admitted but answered
+    /// [`ServeError::DeadlineExceeded`] immediately, without consuming
+    /// queue space or worker time; a shard queue at capacity turns the
+    /// call into a typed [`SubmitError`] under the configured
+    /// [`OverloadPolicy`].  On `Err` **no sequence number is consumed**
+    /// and no response will arrive — every `SubmitError` is safe to
+    /// retry.
+    pub fn submit(&mut self, request: ServeRequest) -> Result<u64, SubmitError> {
         if self.closed.load(Ordering::Acquire) {
-            return Err(ServeError::Shutdown);
+            return Err(SubmitError::Shutdown);
         }
         let seq = self.next_seq;
+        // Deadline admission control: expired work is answered here, not
+        // routed — the response takes its slot in the stream as usual.
+        if request.deadline.is_some_and(|d| Instant::now() > d) {
+            HealthCounters::bump(&self.health.expired_at_submit);
+            let epoch = self.cell.load().1.fingerprint();
+            self.reorder.insert(
+                seq,
+                ServeResponse {
+                    seq,
+                    epoch,
+                    work_ns: 0,
+                    outcome: Err(ServeError::DeadlineExceeded),
+                },
+            );
+            self.next_seq += 1;
+            return Ok(seq);
+        }
         let shard = match request.source {
             // Explicit sources pin their shard (engine-cache affinity);
             // primary-source requests round-robin for spread.
-            Some(s) => s.index() % self.shards.len(),
-            None => (seq as usize) % self.shards.len(),
+            Some(s) => s.index() % self.queues.len(),
+            None => (seq as usize) % self.queues.len(),
         };
+        if self.injector.drop_send() {
+            HealthCounters::bump(&self.health.rejected_unavailable);
+            return Err(SubmitError::ShardUnavailable { shard });
+        }
         let item = WorkItem {
             seq,
             request,
             reply: self.reply_tx.clone(),
         };
-        self.shards[shard]
-            .send(item)
-            .map_err(|_| ServeError::Shutdown)?;
-        self.next_seq += 1;
-        Ok(seq)
+        match self.queues[shard].push(
+            item,
+            self.queue_capacity,
+            self.overload_policy,
+            Instant::now(),
+        ) {
+            PushOutcome::Admitted { shed } => {
+                if !shed.is_empty() {
+                    let epoch = self.cell.load().1.fingerprint();
+                    for victim in shed {
+                        HealthCounters::bump(&self.health.shed_expired);
+                        // Shed items may belong to other streams; each
+                        // still receives exactly one response, in its own
+                        // stream's slot.
+                        let _ = victim.reply.send(ServeResponse {
+                            seq: victim.seq,
+                            epoch,
+                            work_ns: 0,
+                            outcome: Err(ServeError::DeadlineExceeded),
+                        });
+                    }
+                }
+                self.next_seq += 1;
+                Ok(seq)
+            }
+            PushOutcome::Rejected { item, depth } => {
+                // The handed-back item dies here: no seq consumed, no
+                // response owed — Overloaded is safe to retry.
+                drop(item);
+                HealthCounters::bump(&self.health.rejected_overloaded);
+                Err(SubmitError::Overloaded { shard, depth })
+            }
+        }
     }
 
     /// Number of submitted requests whose responses have not yet been
@@ -279,6 +489,35 @@ impl StreamHandle {
         }
     }
 
+    /// Like [`StreamHandle::recv`], but gives up after `timeout` with
+    /// [`ServeError::Timeout`] — the never-hang guard for callers that
+    /// must not block forever on a wedged peer.  The request stays in
+    /// flight; a later receive can still deliver it.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<ServeResponse, ServeError> {
+        if self.in_flight() == 0 {
+            return Err(ServeError::Idle);
+        }
+        let give_up = Instant::now() + timeout;
+        loop {
+            if let Some(resp) = self.reorder.remove(&self.next_deliver) {
+                self.next_deliver += 1;
+                return Ok(resp);
+            }
+            let now = Instant::now();
+            let remaining = give_up.saturating_duration_since(now);
+            if remaining.is_zero() {
+                return Err(ServeError::Timeout(timeout));
+            }
+            match self.reply_rx.recv_timeout(remaining) {
+                Ok(resp) => {
+                    self.reorder.insert(resp.seq, resp);
+                }
+                Err(RecvTimeoutError::Timeout) => return Err(ServeError::Timeout(timeout)),
+                Err(RecvTimeoutError::Disconnected) => return Err(ServeError::Shutdown),
+            }
+        }
+    }
+
     /// Receives all outstanding responses, in submission order.
     pub fn drain(&mut self) -> Result<Vec<ServeResponse>, ServeError> {
         let mut out = Vec::with_capacity(self.in_flight() as usize);
@@ -289,35 +528,89 @@ impl StreamHandle {
     }
 }
 
-/// One worker: open a view over the current epoch, answer requests until
-/// the epoch moves (then reopen) or every sender is gone (then exit).
+impl Drop for StreamHandle {
+    fn drop(&mut self) {
+        for queue in &self.queues {
+            queue.detach();
+        }
+    }
+}
+
+/// One shard's supervisor: runs the serving loop under `catch_unwind`;
+/// on a panic, answers the in-flight request with
+/// [`ServeError::WorkerRestarted`], counts the restart, and re-enters the
+/// loop with fresh serving state over the *current* epoch.  The shared
+/// [`ShardQueue`] survives the restart, so queued requests are never
+/// lost.
+fn supervised_worker(ctx: &WorkerContext) {
+    let mut restart_generation: u64 = 0;
+    let mut in_flight: Option<WorkItem> = None;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| serve_shard(ctx, &mut in_flight)));
+        match outcome {
+            // Queue drained and the last producer detached: clean exit.
+            Ok(()) => return,
+            Err(_) => {
+                restart_generation += 1;
+                HealthCounters::bump(&ctx.health.worker_restarts);
+                if let Some(item) = in_flight.take() {
+                    // The panic interrupted this request: answer it with
+                    // the typed restart error so its stream stays in sync
+                    // (exactly one response per admitted request).
+                    let epoch = ctx.cell.load().1.fingerprint();
+                    let _ = item.reply.send(ServeResponse {
+                        seq: item.seq,
+                        epoch,
+                        work_ns: 0,
+                        outcome: Err(ServeError::WorkerRestarted {
+                            generation: restart_generation,
+                        }),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// One shard's serving loop: open a view over the current epoch, answer
+/// requests until the epoch moves (then reopen) or the queue signals
+/// drain-and-exit.
 ///
 /// The generation is re-checked after *receiving* each request, so a
 /// request submitted after a publish returned is never answered by the
 /// old epoch; a request already received when the publish lands is
 /// answered by the epoch the worker has open.  Either way it is answered
 /// exactly once.
-fn worker_loop(cell: &EpochCell, rx: &Receiver<WorkItem>) {
+///
+/// `in_flight` is the supervisor's window into this loop: the item
+/// currently being served always sits in it, so a panic anywhere in here
+/// leaves the supervisor holding exactly the request that must be
+/// answered with [`ServeError::WorkerRestarted`].
+fn serve_shard(ctx: &WorkerContext, in_flight: &mut Option<WorkItem>) {
     let mut engine = QueryEngine::new();
-    let mut pending: Option<WorkItem> = None;
     'epochs: loop {
-        let (generation, snapshot) = cell.load();
+        let (generation, snapshot) = ctx.cell.load();
         let view = snapshot.open();
         let fingerprint = snapshot.fingerprint();
         loop {
-            let item = match pending.take() {
-                Some(item) => item,
-                None => match rx.recv() {
-                    Ok(item) => item,
-                    // All senders dropped: drained, done.
-                    Err(_) => return,
-                },
-            };
-            if cell.generation() != generation {
-                pending = Some(item);
+            if in_flight.is_none() {
+                *in_flight = ctx.queue.pop();
+                if in_flight.is_none() {
+                    // Drained, no producers left: done.
+                    return;
+                }
+                // Chaos: an injected worker panic lands here, at pickup,
+                // while the item sits in the supervisor-visible slot.
+                ctx.injector.panic_point();
+            }
+            if ctx.cell.generation() != generation {
+                // Epoch moved: reopen, carrying the in-flight item across.
                 continue 'epochs;
             }
+            ctx.injector.stall_point();
+            let item = in_flight.as_ref().expect("in-flight item present");
             let response = answer(&mut engine, &view, fingerprint, item.seq, &item.request);
+            let item = in_flight.take().expect("in-flight item present");
             // A closed reply channel means the stream's client is gone and
             // the response is unwanted; requests from live streams are
             // unaffected.
@@ -336,32 +629,58 @@ pub(crate) fn answer<O: DistanceOracle>(
     request: &ServeRequest,
 ) -> ServeResponse {
     let start = Instant::now();
-    let outcome = if request
-        .deadline
-        .is_some_and(|deadline| Instant::now() > deadline)
-    {
-        Err(ServeError::DeadlineExceeded)
-    } else {
-        let source = match request.source {
-            Some(s) => s,
-            None => oracle.primary_source(),
-        };
-        match &request.target {
-            ServeTarget::One(target) => engine
-                .try_distance_from(oracle, source, *target, &request.faults)
-                .map(|a| a.map(ServeOutput::Distance))
-                .map_err(ServeError::from),
-            ServeTarget::All => engine
-                .try_all_distances_from(oracle, source, &request.faults)
-                .map(|a| a.map(ServeOutput::Distances))
-                .map_err(ServeError::from),
-        }
-    };
+    let outcome = serve_outcome(engine, oracle, request);
     ServeResponse {
         seq,
         epoch: fingerprint,
         work_ns: start.elapsed().as_nanos() as u64,
         outcome,
+    }
+}
+
+/// The query dispatch behind [`answer`], with deadline enforcement both
+/// at pickup and — for the all-distances form — *between per-target
+/// reads*, so one huge request cannot silently blow its budget: overruns
+/// return [`ServeError::DeadlineExceeded`] with the partial work
+/// discarded.
+fn serve_outcome<O: DistanceOracle>(
+    engine: &mut QueryEngine,
+    oracle: &O,
+    request: &ServeRequest,
+) -> Result<Answer<ServeOutput>, ServeError> {
+    if request
+        .deadline
+        .is_some_and(|deadline| Instant::now() > deadline)
+    {
+        return Err(ServeError::DeadlineExceeded);
+    }
+    let source = match request.source {
+        Some(s) => s,
+        None => oracle.primary_source(),
+    };
+    match &request.target {
+        ServeTarget::One(target) => engine
+            .try_distance_from(oracle, source, *target, &request.faults)
+            .map(|a| a.map(ServeOutput::Distance))
+            .map_err(ServeError::from),
+        ServeTarget::All => match request.deadline {
+            None => engine
+                .try_all_distances_from(oracle, source, &request.faults)
+                .map(|a| a.map(ServeOutput::Distances))
+                .map_err(ServeError::from),
+            Some(deadline) => {
+                match engine.try_all_distances_from_budgeted(
+                    oracle,
+                    source,
+                    &request.faults,
+                    || Instant::now() <= deadline,
+                ) {
+                    Ok(Some(a)) => Ok(a.map(ServeOutput::Distances)),
+                    Ok(None) => Err(ServeError::DeadlineExceeded),
+                    Err(e) => Err(ServeError::from(e)),
+                }
+            }
+        },
     }
 }
 
@@ -403,6 +722,11 @@ mod tests {
         }
         assert_eq!(stream.in_flight(), 0);
         assert!(matches!(stream.recv(), Err(ServeError::Idle)));
+        assert_eq!(
+            server.health(),
+            ServeHealth::default(),
+            "no faults absorbed"
+        );
         drop(stream);
         server.shutdown();
     }
@@ -461,6 +785,112 @@ mod tests {
         assert_eq!(missed.outcome, Err(ServeError::DeadlineExceeded));
         let made = stream.recv().unwrap();
         assert_eq!(made.distance(), Some(Some(2)));
+        // Deadline admission control answered at submit, without routing.
+        assert_eq!(server.health().expired_at_submit, 1);
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
+    fn all_distances_with_generous_deadline_completes() {
+        let g = generators::grid(4, 4);
+        let (snap, frozen) = snapshot_of(&g);
+        let server = StreamServer::launch(snap, ServeConfig::new().workers(1));
+        let mut stream = server.open_stream();
+        let deadline = Instant::now() + std::time::Duration::from_secs(600);
+        stream
+            .submit(ServeRequest::all_distances(FaultSpec::None).with_deadline(deadline))
+            .unwrap();
+        let resp = stream.recv().unwrap();
+        let mut engine = QueryEngine::new();
+        let expected = engine
+            .try_all_distances(&frozen, &FaultSpec::None)
+            .unwrap()
+            .into_value();
+        match resp.outcome.unwrap().value() {
+            ServeOutput::Distances(d) => assert_eq!(d, &expected),
+            other => panic!("expected Distances, got {other:?}"),
+        }
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
+    fn reject_new_overload_is_a_typed_submit_error() {
+        let g = generators::cycle(6);
+        let (snap, _) = snapshot_of(&g);
+        // One worker, queue capacity 2: stall the worker with a deadline
+        // far in the future so the queue actually fills.
+        let server = StreamServer::launch(snap, ServeConfig::new().workers(1).queue_capacity(2));
+        // Stall the single worker by keeping the queue always non-empty
+        // is racy; instead just submit faster than the worker can dequeue
+        // until Overloaded appears, then drain and verify every admitted
+        // request was answered exactly once.
+        let mut stream = server.open_stream();
+        let mut admitted = 0u64;
+        let mut rejections = 0u64;
+        for _ in 0..50_000 {
+            match stream.submit(ServeRequest::distance(VertexId(3), FaultSpec::None)) {
+                Ok(_) => admitted += 1,
+                Err(SubmitError::Overloaded { depth, .. }) => {
+                    rejections += 1;
+                    assert!(depth >= 2, "rejection only at capacity");
+                    break;
+                }
+                Err(e) => panic!("unexpected submit error {e}"),
+            }
+        }
+        let responses = stream.drain().unwrap();
+        assert_eq!(responses.len() as u64, admitted, "admitted ⇒ answered");
+        if rejections > 0 {
+            assert!(server.health().rejected_overloaded >= rejections);
+        }
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shed_expired_policy_answers_victims_and_admits_fresh_work() {
+        let g = generators::cycle(6);
+        let (snap, _) = snapshot_of(&g);
+        let server = StreamServer::launch(
+            snap,
+            ServeConfig::new()
+                .workers(1)
+                .queue_capacity(4)
+                .overload_policy(OverloadPolicy::ShedExpired),
+        );
+        let mut stream = server.open_stream();
+        // Submit a burst with near-past deadlines racing the worker; then
+        // keep submitting live work.  Whatever interleaving happens, the
+        // invariant is: every admitted request gets exactly one response.
+        let soon = Instant::now() + std::time::Duration::from_micros(50);
+        let mut admitted = 0u64;
+        for _ in 0..200 {
+            if stream
+                .submit(ServeRequest::distance(VertexId(2), FaultSpec::None).with_deadline(soon))
+                .is_ok()
+            {
+                admitted += 1;
+            }
+        }
+        for _ in 0..200 {
+            if stream
+                .submit(ServeRequest::distance(VertexId(2), FaultSpec::None))
+                .is_ok()
+            {
+                admitted += 1;
+            }
+        }
+        let responses = stream.drain().unwrap();
+        assert_eq!(responses.len() as u64, admitted);
+        for resp in &responses {
+            match &resp.outcome {
+                Ok(a) => assert_eq!(a.value().distance(), Some(Some(2))),
+                Err(ServeError::DeadlineExceeded) => {}
+                Err(e) => panic!("unexpected outcome {e}"),
+            }
+        }
         drop(stream);
         server.shutdown();
     }
@@ -481,7 +911,7 @@ mod tests {
             scope.spawn(move || server.shutdown());
             loop {
                 match stream.submit(ServeRequest::distance(VertexId(1), FaultSpec::None)) {
-                    Err(ServeError::Shutdown) => break,
+                    Err(SubmitError::Shutdown) => break,
                     Err(e) => panic!("unexpected error {e}"),
                     Ok(_) => {
                         // Raced ahead of the close flag: the request is
@@ -515,6 +945,7 @@ mod tests {
 
         server.publish(snap_b).unwrap();
         assert_eq!(server.fingerprint(), frozen_b.fingerprint());
+        assert_eq!(server.health().publishes, 1);
         // Submitted after publish returned: must be served by epoch B.
         stream
             .submit(ServeRequest::distance(VertexId(6), FaultSpec::None))
@@ -522,6 +953,164 @@ mod tests {
         let after = stream.recv().unwrap();
         assert_eq!(after.epoch, frozen_b.fingerprint());
         assert_eq!(after.distance(), Some(Some(6)));
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn injected_panics_are_absorbed_with_exactly_one_response_each() {
+        let g = generators::grid(5, 5);
+        let (snap, frozen) = snapshot_of(&g);
+        // A panic on ~5% of pickups, capped: the run must see restarts and
+        // still answer every request exactly once, in order.
+        let server = StreamServer::launch(
+            snap,
+            ServeConfig::new()
+                .workers(2)
+                .chaos(ChaosConfig::new(0xDEAD_BEEF).with_worker_panics(50_000, 16)),
+        );
+        let mut stream = server.open_stream();
+        let n = g.vertex_count() as u32;
+        let total = 2_000u32;
+        for i in 0..total {
+            stream
+                .submit(ServeRequest::distance(VertexId(i % n), FaultSpec::None))
+                .unwrap();
+        }
+        let responses = stream.drain().unwrap();
+        assert_eq!(responses.len(), total as usize, "exactly-once violated");
+        let mut engine = QueryEngine::new();
+        let mut restarted = 0u64;
+        for (i, resp) in responses.iter().enumerate() {
+            assert_eq!(resp.seq, i as u64, "order violated under chaos");
+            match &resp.outcome {
+                Ok(_) => {
+                    let expected = engine
+                        .try_distance(&frozen, VertexId(i as u32 % n), &FaultSpec::None)
+                        .unwrap()
+                        .into_value();
+                    assert_eq!(resp.distance(), Some(expected));
+                }
+                Err(ServeError::WorkerRestarted { generation }) => {
+                    assert!(*generation >= 1);
+                    restarted += 1;
+                }
+                Err(e) => panic!("unexpected outcome {e}"),
+            }
+        }
+        let stats = server.chaos_stats();
+        assert!(stats.panics >= 1, "schedule never fired");
+        assert_eq!(
+            restarted, stats.panics,
+            "each injected panic answers exactly its in-flight request"
+        );
+        assert_eq!(server.health().worker_restarts, stats.panics);
+        // Quiesced, the server is healthy: a clean probe round-trips.
+        server.quiesce_chaos();
+        stream
+            .submit(ServeRequest::distance(VertexId(7), FaultSpec::None))
+            .unwrap();
+        assert!(stream.recv().unwrap().outcome.is_ok());
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn dropped_sends_reject_the_submit_without_consuming_a_seq() {
+        let g = generators::cycle(8);
+        let (snap, _) = snapshot_of(&g);
+        let server = StreamServer::launch(
+            snap,
+            ServeConfig::new()
+                .workers(1)
+                .chaos(ChaosConfig::new(42).with_dropped_sends(200_000)),
+        );
+        let mut stream = server.open_stream();
+        let mut admitted = 0u64;
+        let mut dropped = 0u64;
+        for _ in 0..500 {
+            match stream.submit(ServeRequest::distance(VertexId(3), FaultSpec::None)) {
+                Ok(seq) => {
+                    assert_eq!(seq, admitted, "rejected submits must not consume seqs");
+                    admitted += 1;
+                }
+                Err(SubmitError::ShardUnavailable { shard }) => {
+                    assert_eq!(shard, 0);
+                    dropped += 1;
+                }
+                Err(e) => panic!("unexpected submit error {e}"),
+            }
+        }
+        assert!(dropped >= 1, "drop schedule never fired");
+        assert_eq!(server.chaos_stats().dropped_sends, dropped);
+        assert_eq!(server.health().rejected_unavailable, dropped);
+        let responses = stream.drain().unwrap();
+        assert_eq!(responses.len() as u64, admitted);
+        assert!(responses.iter().all(|r| r.distance() == Some(Some(3))));
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn corrupted_publishes_are_rejected_and_the_old_epoch_keeps_serving() {
+        let g = generators::cycle(10);
+        let (snap_a, frozen_a) = snapshot_of(&g);
+        let tree_edges: Vec<_> = g.edges().take(g.vertex_count() - 1).collect();
+        let frozen_b = FrozenStructure::from_edges(&g, &[VertexId(0)], 2, tree_edges);
+        let snap_b = EpochSnapshot::from_bytes(frozen_b.save_with(SnapshotVersion::V2)).unwrap();
+
+        // Every publish is corrupted: each must be rejected, the epoch
+        // must never move.
+        let server = StreamServer::launch(
+            snap_a,
+            ServeConfig::new()
+                .workers(1)
+                .chaos(ChaosConfig::new(5).with_corrupt_publishes(1_000_000)),
+        );
+        for _ in 0..3 {
+            match server.publish(snap_b.clone()) {
+                Err(ServeError::SnapshotRejected(_)) => {}
+                other => panic!("corrupted publish accepted: {other:?}"),
+            }
+        }
+        assert_eq!(server.fingerprint(), frozen_a.fingerprint());
+        assert_eq!(server.health().rejected_publishes, 3);
+        assert_eq!(server.health().publishes, 0);
+        assert_eq!(server.chaos_stats().corrupted_publishes, 3);
+        // Quiesce: the same snapshot now publishes cleanly.
+        server.quiesce_chaos();
+        server.publish(snap_b.clone()).unwrap();
+        assert_eq!(server.fingerprint(), frozen_b.fingerprint());
+        assert_eq!(server.health().publishes, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn recv_timeout_reports_timeout_without_losing_the_request() {
+        let g = generators::cycle(6);
+        let (snap, _) = snapshot_of(&g);
+        let server = StreamServer::launch(snap, ServeConfig::new().workers(1));
+        let mut stream = server.open_stream();
+        assert!(matches!(
+            stream.recv_timeout(Duration::from_millis(1)),
+            Err(ServeError::Idle)
+        ));
+        stream
+            .submit(ServeRequest::distance(VertexId(2), FaultSpec::None))
+            .unwrap();
+        // The response may or may not arrive within the tiny window; both
+        // outcomes are legal, and in either case the stream stays usable.
+        match stream.recv_timeout(Duration::from_millis(100)) {
+            Ok(resp) => assert_eq!(resp.distance(), Some(Some(2))),
+            Err(ServeError::Timeout(_)) => {
+                let resp = stream.recv().unwrap();
+                assert_eq!(resp.distance(), Some(Some(2)));
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
         drop(stream);
         server.shutdown();
     }
