@@ -38,14 +38,15 @@
 //! wrong answers, and storm-phase throughput ≥
 //! [`SMOKE_CHAOS_QPS_FLOOR`].  Any violation exits non-zero.
 
-use ftbfs_bench::Table;
+use ftbfs_bench::{json, Table};
 use ftbfs_core::dual::DualFtBfsBuilder;
 use ftbfs_graph::{generators, EdgeId, FaultSpec, Graph, TieBreak, VertexId};
 use ftbfs_oracle::{Freeze, FrozenStructure, QueryEngine, SnapshotVersion};
 use ftbfs_serve::{
     ChaosConfig, EpochSnapshot, ServeConfig, ServeError, ServeRequest, StreamServer, SubmitError,
-    CHAOS_PANIC_MARKER,
+    TimedEvent, TraceEvent, CHAOS_PANIC_MARKER,
 };
+use ftbfs_telemetry::names;
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
@@ -218,25 +219,25 @@ fn drive_client(
     obs
 }
 
-/// Splices `section` into the shared JSON file as its `chaos_serve` key,
-/// replacing any previous `chaos_serve` section, preserving the rest.
-fn splice_chaos_serve(existing: Option<String>, section: &str) -> String {
-    match existing {
-        Some(text) => {
-            let trimmed = text.trim_end();
-            let body = trimmed.strip_suffix('}').unwrap_or(trimmed).trim_end();
-            // A previous chaos_serve section is always the trailing key
-            // (this function put it there, after E11's serve_load).
-            let base = match body.find("\"chaos_serve\":") {
-                Some(pos) => body[..pos].trim_end().trim_end_matches(',').trim_end(),
-                None => body,
-            };
-            format!("{base},\n  \"chaos_serve\": {section}\n}}\n")
-        }
-        None => {
-            format!("{{\n  \"experiment\": \"chaos_serve\",\n  \"chaos_serve\": {section}\n}}\n")
+/// Counts the drained trace events by kind: (chaos injections, epoch
+/// publishes, publish rejections, worker restarts).
+fn event_counts(events: &[TimedEvent]) -> (u64, u64, u64, u64) {
+    let (mut chaos, mut published, mut rejected, mut restarts) = (0u64, 0u64, 0u64, 0u64);
+    for e in events {
+        match e.event {
+            TraceEvent::ChaosPanic { .. }
+            | TraceEvent::ChaosStall { .. }
+            | TraceEvent::ChaosDroppedSend { .. }
+            | TraceEvent::ChaosCorruptPublish { .. } => chaos += 1,
+            TraceEvent::EpochPublished { .. } => published += 1,
+            TraceEvent::PublishRejected { .. } => rejected += 1,
+            TraceEvent::WorkerRestarted { .. } => restarts += 1,
+            // `TraceEvent` is non-exhaustive: future event kinds simply
+            // don't land in any of these four buckets.
+            _ => {}
         }
     }
+    (chaos, published, rejected, restarts)
 }
 
 /// Silences the panic-hook noise of *injected* panics (they are caught by
@@ -309,7 +310,8 @@ fn main() {
     // minimum (capped so respawn churn cannot dominate), occasional
     // 200 µs stalls, a light dropped-send rate, and a publish corruption
     // rate that makes both publish outcomes near-certain over the run.
-    let schedule = ChaosConfig::new(0xE12_C4A0)
+    const SCHEDULE_SEED: u64 = 0xE12_C4A0;
+    let schedule = ChaosConfig::new(SCHEDULE_SEED)
         .with_worker_panics(400, 24)
         .with_stalls(500, Duration::from_micros(200))
         .with_dropped_sends(1_000)
@@ -364,6 +366,33 @@ fn main() {
     let wrong: u64 = observations.iter().map(|o| o.wrong).sum();
     let submit_retries: u64 = observations.iter().map(|o| o.submit_retries).sum();
 
+    // Scrape before the probe so the stage histograms are storm-only, and
+    // drain the trace-event ring — the replay log.  Every chaos event
+    // names the schedule seed and its injection index (`visit`), so a
+    // failing storm is reproducible from this log alone.
+    let storm_scrape = server.scrape();
+    let events = server.drain_events();
+    let events_dropped = server.telemetry().dropped_events();
+    let (chaos_events, published_events, rejected_events, restart_events) = event_counts(&events);
+    for e in &events {
+        if let TraceEvent::ChaosPanic { seed, .. }
+        | TraceEvent::ChaosStall { seed, .. }
+        | TraceEvent::ChaosDroppedSend { seed, .. }
+        | TraceEvent::ChaosCorruptPublish { seed, .. } = e.event
+        {
+            assert_eq!(
+                seed, SCHEDULE_SEED,
+                "chaos events must carry the schedule seed"
+            );
+        }
+    }
+    if events_dropped == 0 {
+        assert_eq!(
+            restart_events, stats.panics,
+            "one WorkerRestarted event per injected panic"
+        );
+    }
+
     // -- healthy-probe phase ----------------------------------------------
     server.quiesce_chaos();
     let probe_requests = &requests[..requests.len().min(20_000)];
@@ -409,6 +438,19 @@ fn main() {
         "0".into(),
     ]);
     print!("{}", table.render());
+    println!(
+        "-- drained trace events: {} total ({chaos_events} chaos injections, \
+         {published_events} publishes, {rejected_events} rejected publishes, \
+         {restart_events} restarts; {events_dropped} dropped from the ring) --",
+        events.len()
+    );
+    for e in events.iter().take(10) {
+        println!("  [{:>4}] {:?}", e.index, e.event);
+    }
+    if events.len() > 10 {
+        println!("  ... {} more", events.len() - 10);
+    }
+    println!();
 
     let section = format!(
         "{{\n    \"storm\": {{\"requests\": {storm_total}, \"qps\": {storm_qps:.1}, \
@@ -416,6 +458,11 @@ fn main() {
          \"publishes_ok\": {}, \"publishes_rejected\": {}, \"degraded_responses\": {degraded}, \
          \"wrong_answers\": {wrong}, \"submit_retries\": {submit_retries}}},\n    \
          \"probe\": {{\"requests\": {}, \"qps\": {probe_qps:.1}}},\n    \
+         \"stages\": {},\n    \
+         \"events\": {{\"total\": {}, \"chaos_injections\": {chaos_events}, \
+         \"publishes\": {published_events}, \"rejected_publishes\": {rejected_events}, \
+         \"worker_restarts\": {restart_events}, \"dropped\": {events_dropped}, \
+         \"schedule_seed\": {SCHEDULE_SEED}}},\n    \
          \"floors\": {{\"qps_floor\": {SMOKE_CHAOS_QPS_FLOOR:.1}, \
          \"min_panics\": {SMOKE_MIN_PANICS}, \"min_publishes\": {SMOKE_MIN_PUBLISHES}, \
          \"min_rejected_publishes\": {SMOKE_MIN_REJECTED_PUBLISHES}}}\n  }}",
@@ -426,9 +473,24 @@ fn main() {
         health.publishes,
         health.rejected_publishes,
         probe_requests.len(),
+        json::histogram_quantiles(
+            &storm_scrape,
+            &[
+                names::STAGE_SUBMIT_NS,
+                names::STAGE_QUEUE_WAIT_NS,
+                names::STAGE_EXECUTE_NS,
+                names::STAGE_REASSEMBLY_NS,
+            ],
+        ),
+        events.len(),
     );
-    let json = splice_chaos_serve(std::fs::read_to_string(&out_path).ok(), &section);
-    std::fs::write(&out_path, &json).expect("write chaos_serve JSON");
+    let spliced = json::splice_section(
+        std::fs::read_to_string(&out_path).ok(),
+        "chaos_serve",
+        "chaos_serve",
+        &section,
+    );
+    std::fs::write(&out_path, &spliced).expect("write chaos_serve JSON");
     println!("wrote chaos_serve section to {out_path}");
 
     // -- gates -------------------------------------------------------------

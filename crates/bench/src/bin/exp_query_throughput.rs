@@ -33,7 +33,7 @@
 //! from the structure itself so most faulted queries do real work, and with
 //! repeats so the engines' fault LRU sees realistic locality.
 
-use ftbfs_bench::Table;
+use ftbfs_bench::{json, Table};
 use ftbfs_core::dual::DualFtBfsBuilder;
 use ftbfs_core::multi_failure_ftmbfs_parts;
 use ftbfs_graph::{generators, EdgeId, FaultSpec, Graph, TieBreak, VertexId};
@@ -41,7 +41,7 @@ use ftbfs_oracle::{
     DistanceOracle, Freeze, FrozenMultiStructure, FrozenMultiView, FrozenStructure, FrozenView,
     Query, QueryEngine, SnapshotVersion,
 };
-use ftbfs_serve::ThroughputHarness;
+use ftbfs_serve::{MetricsRegistry, ThroughputHarness};
 use std::time::Instant;
 
 /// The `--smoke` throughput floor in queries per second, single-threaded.
@@ -58,6 +58,17 @@ const SMOKE_QPS_FLOOR: f64 = 1_000_000.0;
 /// acceptance bar of the mmap-snapshot format (v2 validates but never
 /// rebuilds, so if this ratio collapses the zero-rebuild path regressed).
 const SMOKE_SNAPSHOT_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// The `--smoke` ceiling on telemetry overhead, as a fraction of baseline
+/// throughput: the fully instrumented hot path (engine counters + batch
+/// histogram) must stay within 3% of the uninstrumented baseline.  Both
+/// sides are best-of-[`OVERHEAD_ROUNDS`] over interleaved runs so
+/// scheduler drift cancels instead of landing on one side.
+const SMOKE_TELEMETRY_OVERHEAD_MAX: f64 = 0.03;
+
+/// Interleaved baseline/instrumented measurement rounds for the overhead
+/// gate (best-of, after one warm-up pair).
+const OVERHEAD_ROUNDS: usize = 5;
 
 /// One measured configuration.
 struct Row {
@@ -135,8 +146,27 @@ fn build_queries(
     queries
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+/// The telemetry overhead measurement: baseline (`NoopRecorder`, the
+/// monomorphised no-op path) vs fully instrumented
+/// ([`ThroughputHarness::run_instrumented`]: engine counter recorder +
+/// batch histogram) on identical single-threaded work, interleaved
+/// best-of-[`OVERHEAD_ROUNDS`].  Returns `(baseline_qps,
+/// instrumented_qps)`.
+fn telemetry_overhead(frozen: &FrozenStructure, queries: &[Query]) -> (f64, f64) {
+    let harness = ThroughputHarness::new(1);
+    let registry = MetricsRegistry::new();
+    let _ = harness.run(frozen, queries);
+    let _ = harness.run_instrumented(frozen, queries, &registry);
+    let (mut baseline, mut instrumented) = (0.0_f64, 0.0_f64);
+    for _ in 0..OVERHEAD_ROUNDS {
+        baseline = baseline.max(harness.run(frozen, queries).queries_per_sec());
+        instrumented = instrumented.max(
+            harness
+                .run_instrumented(frozen, queries, &registry)
+                .queries_per_sec(),
+        );
+    }
+    (baseline, instrumented)
 }
 
 /// Measures one oracle across thread counts, appending table + JSON rows.
@@ -372,6 +402,7 @@ fn main() {
     let mut sweep_rows: Vec<SweepRow> = Vec::new();
     let mut smoke_qps: Option<f64> = None;
     let mut first_frozen: Option<FrozenStructure> = None;
+    let mut first_queries: Option<Vec<Query>> = None;
     for (name, g) in &workloads {
         let w = TieBreak::new(g, 1);
         let h = DualFtBfsBuilder::new(g, &w, VertexId(0)).build().structure;
@@ -398,6 +429,7 @@ fn main() {
         }
         if first_frozen.is_none() {
             first_frozen = Some(frozen);
+            first_queries = Some(queries);
         }
     }
 
@@ -473,6 +505,21 @@ fn main() {
         Vec::new()
     };
 
+    // The telemetry-overhead experiment: the cost of compiling the
+    // observability plane *in* (engine counters + harness histogram) on
+    // the single-threaded serving hot path.
+    let (overhead_base, overhead_inst) = telemetry_overhead(
+        first_frozen.as_ref().expect("first workload was measured"),
+        first_queries
+            .as_ref()
+            .expect("first workload built queries"),
+    );
+    let overhead_pct = (overhead_base / overhead_inst - 1.0) * 100.0;
+    println!(
+        "telemetry overhead: baseline {overhead_base:.0} qps, instrumented {overhead_inst:.0} \
+         qps ({overhead_pct:+.2}%)\n"
+    );
+
     if !sweep_rows.is_empty() {
         let mut sweep_table = Table::new(
             "E10a — fault-LRU capacity sweep (1 thread, single backend)",
@@ -495,7 +542,7 @@ fn main() {
             "    {{\"graph\": \"{}\", \"backend\": \"{}\", \"n\": {}, \"m\": {}, \
              \"structure_edges\": {}, \"threads\": {}, \"queries\": {}, \"qps\": {:.1}, \
              \"p50_us\": {:.3}, \"p99_us\": {:.3}}}{}\n",
-            json_escape(&r.generator),
+            json::escape(&r.generator),
             r.backend,
             r.n,
             r.m,
@@ -544,6 +591,12 @@ fn main() {
         }
         json.push_str("  ]");
     }
+    json.push_str(&format!(
+        ",\n  \"telemetry_overhead\": {{\"baseline_qps\": {overhead_base:.1}, \
+         \"instrumented_qps\": {overhead_inst:.1}, \"overhead_pct\": {overhead_pct:.3}, \
+         \"max_overhead_pct\": {:.1}}}",
+        SMOKE_TELEMETRY_OVERHEAD_MAX * 100.0
+    ));
     json.push_str("\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_query.json");
     println!("wrote {out_path}");
@@ -572,6 +625,18 @@ fn main() {
         println!(
             "smoke snapshot floor ok: v2 open beats v1 load {:.1}x >= {SMOKE_SNAPSHOT_SPEEDUP_FLOOR}x",
             single.speedup
+        );
+        if overhead_inst < overhead_base / (1.0 + SMOKE_TELEMETRY_OVERHEAD_MAX) {
+            eprintln!(
+                "SMOKE TELEMETRY OVERHEAD VIOLATION: instrumented {overhead_inst:.0} qps is \
+                 more than {:.0}% below baseline {overhead_base:.0} qps",
+                SMOKE_TELEMETRY_OVERHEAD_MAX * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "smoke telemetry overhead ok: {overhead_pct:+.2}% <= {:.0}%",
+            SMOKE_TELEMETRY_OVERHEAD_MAX * 100.0
         );
     }
 }

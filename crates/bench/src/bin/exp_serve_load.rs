@@ -13,12 +13,6 @@
 //! (E10 owns the rest of the file and rewrites it wholesale, so CI runs
 //! E10 before E11).
 //!
-//! Usage:
-//!
-//! ```text
-//! exp_serve_load [--smoke] [--out PATH]
-//! ```
-//!
 //! `--smoke` shrinks the run to seconds-scale for CI **and enforces the
 //! checked-in floors**: sustained throughput ≥ [`SMOKE_SERVE_QPS_FLOOR`]
 //! and client-observed p99 ≤ [`SMOKE_SERVE_P99_CEILING_US`] on the 2-worker
@@ -26,12 +20,26 @@
 //! regression (slow routing, a stall during epoch swaps, reassembly
 //! overhead) fails the build instead of silently landing.
 //! `--out` overrides the JSON path (default `BENCH_query.json`).
+//! `--scrape-out PATH` additionally dumps the first configuration's raw
+//! telemetry scrape as JSON (the input format of `ftbfs-snapshot scrape`).
+//!
+//! Usage:
+//!
+//! ```text
+//! exp_serve_load [--smoke] [--out PATH] [--scrape-out PATH]
+//! ```
+//!
+//! The first configuration's server is scraped after its run, and the
+//! request-lifecycle stage histograms (submit, queue wait, execute,
+//! reassembly — see `ftbfs_telemetry::names`) land in the `serve_load`
+//! section as per-series p50/p99 summaries.
 
-use ftbfs_bench::Table;
+use ftbfs_bench::{json, Table};
 use ftbfs_core::dual::DualFtBfsBuilder;
 use ftbfs_graph::{generators, EdgeId, FaultSpec, Graph, TieBreak, VertexId};
 use ftbfs_oracle::{Freeze, SnapshotVersion};
-use ftbfs_serve::{EpochSnapshot, ServeConfig, ServeRequest, StreamServer};
+use ftbfs_serve::{EpochSnapshot, ServeConfig, ServeRequest, StreamServer, TelemetrySnapshot};
+use ftbfs_telemetry::names;
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
@@ -199,7 +207,7 @@ fn measure(
     clients: usize,
     window: usize,
     publishes: usize,
-) -> Row {
+) -> (Row, TelemetrySnapshot) {
     let epochs = (snapshots.0.fingerprint(), snapshots.1.fingerprint());
     let server = StreamServer::launch(snapshots.0.clone(), ServeConfig::new().workers(workers));
     let publisher = server.publisher();
@@ -228,6 +236,7 @@ fn measure(
         obs
     });
     let wall = start.elapsed();
+    let scrape = server.scrape();
     server.shutdown();
 
     let total = clients * requests.len();
@@ -237,7 +246,7 @@ fn measure(
         .collect();
     all_latencies.sort_unstable();
     assert_eq!(all_latencies.len(), total, "every request answered once");
-    Row {
+    let row = Row {
         workers,
         clients,
         window,
@@ -248,28 +257,45 @@ fn measure(
         p99_us: percentile_us(&all_latencies, 99.0),
         first_epoch_answers: observations.iter().map(|o| o.epoch_counts.0).sum(),
         second_epoch_answers: observations.iter().map(|o| o.epoch_counts.1).sum(),
-    }
+    };
+    (row, scrape)
 }
 
-/// Splices `section` into the E10-owned JSON file as its `serve_load`
-/// key, replacing any previous `serve_load` section, preserving the rest.
-fn splice_serve_load(existing: Option<String>, section: &str) -> String {
-    match existing {
-        Some(text) => {
-            let trimmed = text.trim_end();
-            let body = trimmed.strip_suffix('}').unwrap_or(trimmed).trim_end();
-            // A previous serve_load section is always the trailing key
-            // (this function put it there); drop it and its comma.
-            let base = match body.find("\"serve_load\":") {
-                Some(pos) => body[..pos].trim_end().trim_end_matches(',').trim_end(),
-                None => body,
-            };
-            format!("{base},\n  \"serve_load\": {section}\n}}\n")
+/// The request-lifecycle stage histograms the `stages` summary reports.
+const STAGE_NAMES: [&str; 4] = [
+    names::STAGE_SUBMIT_NS,
+    names::STAGE_QUEUE_WAIT_NS,
+    names::STAGE_EXECUTE_NS,
+    names::STAGE_REASSEMBLY_NS,
+];
+
+/// Prints the per-stage latency table of a scrape (one row per labelled
+/// series of the four lifecycle stages).
+fn print_stage_table(scrape: &TelemetrySnapshot) {
+    let mut table = Table::new(
+        "E11t — request-lifecycle stage latency (first config, server-side)",
+        &["stage", "labels", "count", "p50_us", "p99_us"],
+    );
+    for h in &scrape.histograms {
+        if !STAGE_NAMES.contains(&h.name.as_str()) || h.count == 0 {
+            continue;
         }
-        None => {
-            format!("{{\n  \"experiment\": \"serve_load\",\n  \"serve_load\": {section}\n}}\n")
-        }
+        let data = h.to_data();
+        let labels = h
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        table.row(vec![
+            h.name.clone(),
+            labels,
+            h.count.to_string(),
+            format!("{:.2}", data.quantile(0.5).unwrap_or(0) as f64 / 1e3),
+            format!("{:.2}", data.quantile(0.99).unwrap_or(0) as f64 / 1e3),
+        ]);
     }
+    table.print();
 }
 
 fn main() {
@@ -281,6 +307,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_query.json".to_string());
+    let scrape_out = args
+        .iter()
+        .position(|a| a == "--scrape-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     // Same graph family as E10.  The second epoch is a genuinely different
     // structure over the same graph (different tie-break seed ⇒ different
@@ -329,8 +360,9 @@ fn main() {
         ],
     );
     let mut rows = Vec::new();
+    let mut first_scrape: Option<TelemetrySnapshot> = None;
     for &(workers, clients, window) in configs {
-        let row = measure(
+        let (row, scrape) = measure(
             (&snap_a, &snap_b),
             &requests,
             workers,
@@ -338,6 +370,9 @@ fn main() {
             window,
             publishes,
         );
+        if first_scrape.is_none() {
+            first_scrape = Some(scrape);
+        }
         assert_eq!(
             row.first_epoch_answers + row.second_epoch_answers,
             row.requests,
@@ -358,6 +393,12 @@ fn main() {
         rows.push(row);
     }
     print!("{}", table.render());
+    let first_scrape = first_scrape.expect("at least one configuration was measured");
+    print_stage_table(&first_scrape);
+    if let Some(path) = &scrape_out {
+        std::fs::write(path, first_scrape.to_json()).expect("write telemetry scrape JSON");
+        println!("wrote telemetry scrape to {path}");
+    }
 
     let mut section = String::from("{\n    \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -379,11 +420,17 @@ fn main() {
         ));
     }
     section.push_str(&format!(
-        "    ],\n    \"floors\": {{\"qps_floor\": {SMOKE_SERVE_QPS_FLOOR:.1}, \
-         \"p99_ceiling_us\": {SMOKE_SERVE_P99_CEILING_US:.1}}}\n  }}"
+        "    ],\n    \"stages\": {},\n    \"floors\": {{\"qps_floor\": \
+         {SMOKE_SERVE_QPS_FLOOR:.1}, \"p99_ceiling_us\": {SMOKE_SERVE_P99_CEILING_US:.1}}}\n  }}",
+        json::histogram_quantiles(&first_scrape, &STAGE_NAMES)
     ));
-    let json = splice_serve_load(std::fs::read_to_string(&out_path).ok(), &section);
-    std::fs::write(&out_path, &json).expect("write serve_load JSON");
+    let spliced = json::splice_section(
+        std::fs::read_to_string(&out_path).ok(),
+        "serve_load",
+        "serve_load",
+        &section,
+    );
+    std::fs::write(&out_path, &spliced).expect("write serve_load JSON");
     println!("wrote serve_load section to {out_path}");
 
     if smoke {

@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use ftbfs_graph::Graph;
 
 /// A simple aligned text table for experiment output.

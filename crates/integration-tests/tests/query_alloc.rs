@@ -152,6 +152,80 @@ fn mmap_style_view_queries_allocate_nothing_after_warmup() {
 }
 
 #[test]
+fn instrumented_hot_path_allocates_nothing_after_warmup() {
+    // The telemetry-plane guarantee: the fully instrumented serving hot
+    // path — engine hooks recording into registry counters plus explicit
+    // histogram samples, exactly what a `StreamServer` worker does per
+    // request — allocates nothing after warm-up.  Relaxed atomic adds
+    // into pre-registered cells only.
+    use ftbfs_oracle::Freeze;
+    use ftbfs_telemetry::{CounterRecorder, MetricsRegistry};
+
+    let g = generators::connected_gnp(120, 0.08, 42);
+    let w = TieBreak::new(&g, 42);
+    let h = DualFtBfsBuilder::new(&g, &w, VertexId(0)).build().structure;
+    let frozen = h.freeze(&g);
+    let structure_edges: Vec<EdgeId> = h.edges().collect();
+
+    let registry = MetricsRegistry::new();
+    let recorder = CounterRecorder::register(&registry, &[]);
+    let stage_hist = registry.histogram("test_stage_ns", "stage latency", 2);
+
+    let fault_pairs: Vec<FaultSpec> = (0..24)
+        .map(|i| {
+            FaultSpec::from((
+                structure_edges[i * 5 % structure_edges.len()],
+                structure_edges[(i * 9 + 2) % structure_edges.len()],
+            ))
+        })
+        .collect();
+    let queries: Vec<Query> = (0..512)
+        .map(|i| {
+            Query::new(
+                VertexId((i * 7 % g.vertex_count()) as u32),
+                fault_pairs[i % fault_pairs.len()].clone(),
+            )
+        })
+        .collect();
+    let mut out = vec![None; queries.len()];
+
+    let mut engine = ftbfs_oracle::QueryEngine::with_recorder(recorder);
+    for _ in 0..2 {
+        engine.batch_distances_into(&frozen, &queries, &mut out);
+    }
+
+    let before = allocation_count();
+    engine.batch_distances_into(&frozen, &queries, &mut out);
+    for (i, (q, spec)) in queries.iter().zip(fault_pairs.iter().cycle()).enumerate() {
+        let answer = engine.try_distance(&frozen, q.target, spec).unwrap();
+        assert!(answer.is_exact());
+        stage_hist.for_shard(i % 2).record(1_000 + i as u64);
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "warmed-up instrumented queries + histogram records must not allocate"
+    );
+
+    // The hooks really fired: every query the engine ever ran (two
+    // warm-up batches, the measured batch, the point-query loop) landed
+    // in exactly one of the three routing counters.
+    let scrape = registry.scrape();
+    let routed: u64 = scrape
+        .counters
+        .iter()
+        .filter(|c| {
+            c.name == ftbfs_telemetry::names::ENGINE_TREE_HITS
+                || c.name == ftbfs_telemetry::names::ENGINE_CACHE_HITS
+                || c.name == ftbfs_telemetry::names::ENGINE_SEARCHES
+        })
+        .map(|c| c.value)
+        .sum();
+    assert_eq!(routed as usize, 4 * queries.len());
+}
+
+#[test]
 fn fault_free_queries_allocate_nothing_at_all_after_freeze() {
     let g = generators::connected_gnp(120, 0.08, 43);
     let w = TieBreak::new(&g, 43);

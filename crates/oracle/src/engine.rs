@@ -43,6 +43,7 @@ use crate::api::{Answer, DistanceMatrix, DistanceOracle, Guarantee, OracleSlab, 
 use crate::frozen::{NO_PARENT, UNREACHED};
 use ftbfs_graph::bytes::{WordRead, WordSlice};
 use ftbfs_graph::{FaultSpec, Path, VertexId};
+use ftbfs_telemetry::{NoopRecorder, QueryRecorder};
 use std::collections::VecDeque;
 
 /// Sentinel frozen-edge index meaning "no fault in this slot".
@@ -136,6 +137,15 @@ enum Slot {
 /// thread while structures come and go (rebinding to an oracle with a
 /// different [`DistanceOracle::fingerprint`] clears the cache).
 ///
+/// The engine is generic over a [`QueryRecorder`] — telemetry hooks fired
+/// on the tree fast path, cache hits, BFS searches, workspace epoch
+/// bumps, and best-effort answers.  The default [`NoopRecorder`] has
+/// empty `#[inline(always)]` bodies, so `QueryEngine::new()` monomorphises
+/// every hook away and the uninstrumented hot path is byte-for-byte the
+/// pre-telemetry one; [`QueryEngine::with_recorder`] plugs in a live
+/// recorder (e.g. [`ftbfs_telemetry::CounterRecorder`]) at one relaxed
+/// atomic bump per hook.
+///
 /// # Examples
 ///
 /// ```
@@ -155,7 +165,7 @@ enum Slot {
 /// assert_eq!(p.into_value().map(|p| p.len() as u32), d.into_value());
 /// ```
 #[derive(Clone, Debug)]
-pub struct QueryEngine {
+pub struct QueryEngine<R: QueryRecorder = NoopRecorder> {
     /// Fingerprint of the oracle the scratch state is sized for.
     bound: Option<u64>,
     n: usize,
@@ -174,6 +184,8 @@ pub struct QueryEngine {
     cache_capacity: usize,
     clock: u64,
     stats: QueryStats,
+    /// Telemetry hooks; [`NoopRecorder`] in the default build.
+    recorder: R,
 }
 
 /// The default per-partition fault-LRU capacity.
@@ -195,8 +207,25 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 16;
 /// within microseconds.
 pub const BUDGET_CHECK_STRIDE: usize = 256;
 
-impl Default for QueryEngine {
+impl<R: QueryRecorder + Default> Default for QueryEngine<R> {
     fn default() -> Self {
+        QueryEngine::with_recorder(R::default())
+    }
+}
+
+impl QueryEngine {
+    /// Creates an uninstrumented engine with the default per-partition
+    /// cache capacity ([`DEFAULT_CACHE_CAPACITY`]).
+    pub fn new() -> Self {
+        QueryEngine::default()
+    }
+}
+
+impl<R: QueryRecorder> QueryEngine<R> {
+    /// Creates an engine firing telemetry hooks into `recorder` (see
+    /// [`QueryRecorder`]); `QueryEngine::new()` is the
+    /// [`NoopRecorder`]-monomorphised shorthand.
+    pub fn with_recorder(recorder: R) -> Self {
         QueryEngine {
             bound: None,
             n: 0,
@@ -210,15 +239,8 @@ impl Default for QueryEngine {
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             clock: 0,
             stats: QueryStats::default(),
+            recorder,
         }
-    }
-}
-
-impl QueryEngine {
-    /// Creates an engine with the default per-partition cache capacity
-    /// ([`DEFAULT_CACHE_CAPACITY`]).
-    pub fn new() -> Self {
-        QueryEngine::default()
     }
 
     /// Sets the per-partition fault-LRU capacity (0 disables caching
@@ -525,6 +547,7 @@ impl QueryEngine {
         let g = oracle.guarantee(spec);
         if g == Guarantee::BestEffort {
             self.stats.best_effort += 1;
+            self.recorder.best_effort();
         }
         g
     }
@@ -633,6 +656,7 @@ impl QueryEngine {
         self.map_faults(slab, spec);
         if self.eff.is_empty() && slab.has_tree() {
             self.stats.tree_hits += 1;
+            self.recorder.tree_hit();
             return Slot::Tree;
         }
         let key = if self.cache_capacity > 0 && self.eff.len() <= 2 {
@@ -647,11 +671,13 @@ impl QueryEngine {
         if let Some(k) = key {
             if let Some(i) = self.cache_lookup(partition, k) {
                 self.stats.cache_hits += 1;
+                self.recorder.cache_hit();
                 return Slot::Cache(partition, i);
             }
         }
         self.run_bfs(slab, source);
         self.stats.searches += 1;
+        self.recorder.search();
         match key {
             Some(k) => Slot::Cache(partition, self.cache_store(partition, k)),
             None => Slot::Fresh,
@@ -685,6 +711,7 @@ impl QueryEngine {
     /// effective fault edges, into the epoch-stamped workspace arrays.
     fn run_bfs(&mut self, slab: &OracleSlab<'_>, source: VertexId) {
         self.epoch += 1;
+        self.recorder.epoch_bump();
         let QueryEngine {
             epoch,
             stamp,

@@ -77,6 +77,7 @@ pub use api::{
 };
 pub use engine::{Query, QueryEngine, QueryStats, BUDGET_CHECK_STRIDE, DEFAULT_CACHE_CAPACITY};
 pub use frozen::{FrozenStructure, SourceTree};
+pub use ftbfs_telemetry::{NoopRecorder, QueryRecorder};
 pub use multi::FrozenMultiStructure;
 pub use report::BatchReport;
 pub use snapshot::{

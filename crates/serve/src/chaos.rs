@@ -25,8 +25,14 @@
 //! exact same faults; multi-threaded runs reproduce the same fault
 //! *counts* for the same number of visits.
 
+use ftbfs_telemetry::EventRing;
+#[cfg(feature = "chaos")]
+use ftbfs_telemetry::TraceEvent;
 #[cfg(feature = "chaos")]
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+#[cfg(feature = "chaos")]
+use std::sync::OnceLock;
 #[cfg(feature = "chaos")]
 use std::time::Duration;
 
@@ -149,6 +155,10 @@ pub struct ChaosStats {
 pub struct FaultInjector {
     config: Option<ChaosConfig>,
     quiesced: AtomicBool,
+    /// Trace-event sink: every firing is recorded with the schedule seed
+    /// and the visit index that fired, so a drained event log alone
+    /// replays the exact injection decisions.
+    events: OnceLock<Arc<EventRing>>,
     panic_visits: AtomicU64,
     stall_visits: AtomicU64,
     drop_visits: AtomicU64,
@@ -171,6 +181,7 @@ impl FaultInjector {
         FaultInjector {
             config,
             quiesced: AtomicBool::new(false),
+            events: OnceLock::new(),
             panic_visits: AtomicU64::new(0),
             stall_visits: AtomicU64::new(0),
             drop_visits: AtomicU64::new(0),
@@ -197,6 +208,19 @@ impl FaultInjector {
         self.quiesced.store(true, Ordering::SeqCst);
     }
 
+    /// Attaches the trace-event ring firings are recorded into (first
+    /// call wins; the server wires its telemetry ring here at launch).
+    pub(crate) fn set_event_sink(&self, ring: Arc<EventRing>) {
+        let _ = self.events.set(ring);
+    }
+
+    /// Pushes `event` to the attached sink, if any.
+    fn trace(&self, event: TraceEvent) {
+        if let Some(ring) = self.events.get() {
+            ring.push(event);
+        }
+    }
+
     /// What this injector has injected so far.
     pub fn stats(&self) -> ChaosStats {
         ChaosStats {
@@ -216,6 +240,10 @@ impl FaultInjector {
             && self.panics.load(Ordering::SeqCst) < config.max_panics
         {
             self.panics.fetch_add(1, Ordering::SeqCst);
+            self.trace(TraceEvent::ChaosPanic {
+                seed: config.seed,
+                visit,
+            });
             panic!("{CHAOS_PANIC_MARKER} (visit {visit})");
         }
     }
@@ -226,6 +254,10 @@ impl FaultInjector {
         let visit = self.stall_visits.fetch_add(1, Ordering::Relaxed);
         if self.fires(0x2222, visit, config.stall_per_million) {
             self.stalls.fetch_add(1, Ordering::SeqCst);
+            self.trace(TraceEvent::ChaosStall {
+                seed: config.seed,
+                visit,
+            });
             std::thread::sleep(config.stall);
         }
     }
@@ -240,6 +272,10 @@ impl FaultInjector {
         let fire = self.fires(0x3333, visit, config.drop_send_per_million);
         if fire {
             self.dropped_sends.fetch_add(1, Ordering::SeqCst);
+            self.trace(TraceEvent::ChaosDroppedSend {
+                seed: config.seed,
+                visit,
+            });
         }
         fire
     }
@@ -254,6 +290,10 @@ impl FaultInjector {
             return None;
         }
         self.corrupted_publishes.fetch_add(1, Ordering::SeqCst);
+        self.trace(TraceEvent::ChaosCorruptPublish {
+            seed: config.seed,
+            visit,
+        });
         let mut corrupted = bytes.to_vec();
         // Flip a deterministically chosen byte past the magic so the
         // corruption is caught by checksums, not by magic sniffing.
@@ -278,6 +318,9 @@ impl FaultInjector {
     pub(crate) fn inert() -> Self {
         FaultInjector
     }
+
+    #[inline(always)]
+    pub(crate) fn set_event_sink(&self, _ring: Arc<EventRing>) {}
 
     #[inline(always)]
     pub(crate) fn panic_point(&self) {}

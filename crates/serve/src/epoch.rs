@@ -38,6 +38,7 @@ use ftbfs_oracle::{
     DistanceOracle, FrozenMultiView, FrozenView, OracleSlab, SnapshotError, SnapshotSource,
     SNAPSHOT_MAGIC, SNAPSHOT_MULTI_MAGIC,
 };
+use ftbfs_telemetry::{EventRing, TraceEvent};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -308,6 +309,7 @@ pub struct EpochPublisher {
     pub(crate) cell: Arc<EpochCell>,
     pub(crate) health: Arc<HealthCounters>,
     pub(crate) injector: Arc<FaultInjector>,
+    pub(crate) events: Arc<EventRing>,
 }
 
 impl EpochPublisher {
@@ -324,12 +326,19 @@ impl EpochPublisher {
             // Chaos corrupted the bytes between validation and install;
             // the re-validation a real loader would run must catch it.
             if let Err(e) = EpochSnapshot::from_bytes(corrupted) {
-                HealthCounters::bump(&self.health.rejected_publishes);
+                self.health.rejected_publishes.inc();
+                self.events.push(TraceEvent::PublishRejected {
+                    epoch: self.cell.generation(),
+                });
                 return Err(ServeError::SnapshotRejected(e));
             }
         }
-        HealthCounters::bump(&self.health.publishes);
-        Ok(self.cell.publish(Arc::new(snapshot)))
+        self.health.publishes.inc();
+        let fingerprint = snapshot.fingerprint();
+        let epoch = self.cell.publish(Arc::new(snapshot));
+        self.events
+            .push(TraceEvent::EpochPublished { epoch, fingerprint });
+        Ok(epoch)
     }
 
     /// The generation currently being served.

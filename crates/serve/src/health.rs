@@ -9,36 +9,86 @@
 //! consistent-enough snapshot (relaxed atomics; exact once the server is
 //! quiescent), which is what a chaos run's "server ends healthy" assertion
 //! and an operator's dashboard both read.
+//!
+//! Since the telemetry plane landed, these counters are thin views over
+//! [`ftbfs_telemetry::Counter`] handles registered on the server's
+//! [`crate::ServeTelemetry`] registry — the same numbers surface under
+//! their stable metric names (`ftbfs_serve_*_total`) in every scrape, and
+//! the backpressure that used to be invisible until a request bounced is
+//! now observable *before* rejection via the per-shard
+//! `ftbfs_serve_queue_depth` / `ftbfs_serve_in_flight` gauges.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use ftbfs_telemetry::{names, Counter, MetricsRegistry};
 
-/// Internal atomic counters shared across workers, streams and
-/// publishers.
-#[derive(Debug, Default)]
+/// Internal counter handles shared across workers, streams and
+/// publishers; registered on the server's telemetry registry (or
+/// detached, in tests).
+#[derive(Clone, Debug)]
 pub(crate) struct HealthCounters {
-    pub(crate) worker_restarts: AtomicU64,
-    pub(crate) shed_expired: AtomicU64,
-    pub(crate) rejected_overloaded: AtomicU64,
-    pub(crate) rejected_unavailable: AtomicU64,
-    pub(crate) expired_at_submit: AtomicU64,
-    pub(crate) publishes: AtomicU64,
-    pub(crate) rejected_publishes: AtomicU64,
+    pub(crate) worker_restarts: Counter,
+    pub(crate) shed_expired: Counter,
+    pub(crate) rejected_overloaded: Counter,
+    pub(crate) rejected_unavailable: Counter,
+    pub(crate) expired_at_submit: Counter,
+    pub(crate) publishes: Counter,
+    pub(crate) rejected_publishes: Counter,
+}
+
+impl Default for HealthCounters {
+    /// Detached counters, visible to no registry — the test seam.
+    fn default() -> Self {
+        HealthCounters {
+            worker_restarts: Counter::detached(),
+            shed_expired: Counter::detached(),
+            rejected_overloaded: Counter::detached(),
+            rejected_unavailable: Counter::detached(),
+            expired_at_submit: Counter::detached(),
+            publishes: Counter::detached(),
+            rejected_publishes: Counter::detached(),
+        }
+    }
 }
 
 impl HealthCounters {
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Registers (or retrieves) the health counters on `registry` under
+    /// their stable `ftbfs_serve_*` metric names.
+    pub(crate) fn registered(registry: &MetricsRegistry) -> Self {
+        HealthCounters {
+            worker_restarts: registry.counter(
+                names::SERVE_WORKER_RESTARTS,
+                names::SERVE_WORKER_RESTARTS_HELP,
+            ),
+            shed_expired: registry
+                .counter(names::SERVE_SHED_EXPIRED, names::SERVE_SHED_EXPIRED_HELP),
+            rejected_overloaded: registry.counter(
+                names::SERVE_REJECTED_OVERLOADED,
+                names::SERVE_REJECTED_OVERLOADED_HELP,
+            ),
+            rejected_unavailable: registry.counter(
+                names::SERVE_REJECTED_UNAVAILABLE,
+                names::SERVE_REJECTED_UNAVAILABLE_HELP,
+            ),
+            expired_at_submit: registry.counter(
+                names::SERVE_EXPIRED_AT_SUBMIT,
+                names::SERVE_EXPIRED_AT_SUBMIT_HELP,
+            ),
+            publishes: registry.counter(names::SERVE_PUBLISHES, names::SERVE_PUBLISHES_HELP),
+            rejected_publishes: registry.counter(
+                names::SERVE_REJECTED_PUBLISHES,
+                names::SERVE_REJECTED_PUBLISHES_HELP,
+            ),
+        }
     }
 
     pub(crate) fn snapshot(&self) -> ServeHealth {
         ServeHealth {
-            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
-            shed_expired: self.shed_expired.load(Ordering::Relaxed),
-            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
-            rejected_unavailable: self.rejected_unavailable.load(Ordering::Relaxed),
-            expired_at_submit: self.expired_at_submit.load(Ordering::Relaxed),
-            publishes: self.publishes.load(Ordering::Relaxed),
-            rejected_publishes: self.rejected_publishes.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.get(),
+            shed_expired: self.shed_expired.get(),
+            rejected_overloaded: self.rejected_overloaded.get(),
+            rejected_unavailable: self.rejected_unavailable.get(),
+            expired_at_submit: self.expired_at_submit.get(),
+            publishes: self.publishes.get(),
+            rejected_publishes: self.rejected_publishes.get(),
         }
     }
 }
@@ -89,13 +139,37 @@ mod tests {
     fn snapshot_reflects_bumps() {
         let counters = HealthCounters::default();
         assert_eq!(counters.snapshot(), ServeHealth::default());
-        HealthCounters::bump(&counters.worker_restarts);
-        HealthCounters::bump(&counters.rejected_overloaded);
-        HealthCounters::bump(&counters.rejected_unavailable);
-        HealthCounters::bump(&counters.rejected_unavailable);
+        counters.worker_restarts.inc();
+        counters.rejected_overloaded.inc();
+        counters.rejected_unavailable.inc();
+        counters.rejected_unavailable.inc();
         let snap = counters.snapshot();
         assert_eq!(snap.worker_restarts, 1);
         assert_eq!(snap.rejected_submits(), 3);
         assert_eq!(snap.publishes, 0);
+    }
+
+    #[test]
+    fn registered_counters_surface_in_the_scrape() {
+        let registry = MetricsRegistry::new();
+        let counters = HealthCounters::registered(&registry);
+        counters.publishes.inc();
+        counters.shed_expired.inc();
+        counters.shed_expired.inc();
+        let scrape = registry.scrape();
+        let value = |name: &str| {
+            scrape
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .expect("health counter registered")
+                .value
+        };
+        assert_eq!(value(names::SERVE_PUBLISHES), 1);
+        assert_eq!(value(names::SERVE_SHED_EXPIRED), 2);
+        assert_eq!(value(names::SERVE_WORKER_RESTARTS), 0);
+        // Re-registering shares the same cells (idempotent registry).
+        let again = HealthCounters::registered(&registry);
+        assert_eq!(again.snapshot(), counters.snapshot());
     }
 }

@@ -29,6 +29,10 @@
 //!   new epoch.
 //! * [`ThroughputHarness`] (module [`harness`]) — batch driving as a
 //!   thin adapter over the stream core (one batch = one bounded stream).
+//! * [`ServeTelemetry`] (module [`telemetry`]) — the observability plane:
+//!   request-lifecycle stage histograms, per-shard backpressure gauges,
+//!   engine counters and a structured trace-event ring, all scraped into
+//!   one [`TelemetrySnapshot`] ([`StreamServer::telemetry`]).
 //!
 //! # Failure model
 //!
@@ -82,6 +86,7 @@ pub mod health;
 pub mod queue;
 pub mod request;
 pub mod server;
+pub mod telemetry;
 
 #[cfg(feature = "chaos")]
 pub use chaos::{ChaosConfig, ChaosStats, CHAOS_PANIC_MARKER};
@@ -92,6 +97,12 @@ pub use health::ServeHealth;
 pub use queue::OverloadPolicy;
 pub use request::{ServeOutput, ServeRequest, ServeResponse, ServeTarget};
 pub use server::{ServeConfig, StreamHandle, StreamServer};
+pub use telemetry::ServeTelemetry;
+
+// The telemetry vocabulary a scrape consumer needs, re-exported so
+// downstream users can speak it without a direct `ftbfs-telemetry`
+// dependency.
+pub use ftbfs_telemetry::{MetricsRegistry, TelemetrySnapshot, TimedEvent, TraceEvent};
 
 // The serving front-end is generic over the oracle seam; re-export the
 // trait so downstream users of this crate can name it without a direct

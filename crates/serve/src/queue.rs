@@ -31,6 +31,7 @@
 //! the last producer detached — the workers' drain-then-exit signal.
 
 use crate::server::WorkItem;
+use ftbfs_telemetry::Gauge;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Instant;
@@ -74,6 +75,10 @@ pub(crate) enum PushOutcome {
 pub(crate) struct ShardQueue {
     state: Mutex<QueueState>,
     available: Condvar,
+    /// Telemetry mirror of the queue depth (`ftbfs_serve_queue_depth`):
+    /// kept in lock-step with `items.len()` so backpressure is visible on
+    /// a scrape *before* submits start bouncing.
+    depth_gauge: Gauge,
 }
 
 #[derive(Debug)]
@@ -83,13 +88,23 @@ struct QueueState {
 }
 
 impl ShardQueue {
+    /// A queue with a detached depth gauge — the test seam (the server
+    /// always registers its gauges).
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
+        ShardQueue::with_gauge(Gauge::detached())
+    }
+
+    /// A queue mirroring its depth into `gauge` (a registered
+    /// `ftbfs_serve_queue_depth` shard gauge in the server).
+    pub(crate) fn with_gauge(gauge: Gauge) -> Self {
         ShardQueue {
             state: Mutex::new(QueueState {
                 items: VecDeque::new(),
                 producers: 0,
             }),
             available: Condvar::new(),
+            depth_gauge: gauge,
         }
     }
 
@@ -146,6 +161,9 @@ impl ShardQueue {
                     }
                 }
                 state.items = kept;
+                for _ in &shed {
+                    self.depth_gauge.dec();
+                }
             }
             if state.items.len() >= cap {
                 let depth = state.items.len();
@@ -157,6 +175,7 @@ impl ShardQueue {
         }
         state.items.push_back(item);
         drop(state);
+        self.depth_gauge.inc();
         self.available.notify_one();
         PushOutcome::Admitted { shed }
     }
@@ -168,6 +187,7 @@ impl ShardQueue {
         let mut state = self.lock();
         loop {
             if let Some(item) = state.items.pop_front() {
+                self.depth_gauge.dec();
                 return Some(item);
             }
             if state.producers == 0 {
@@ -196,6 +216,7 @@ mod tests {
             seq,
             request,
             reply: reply.clone(),
+            submitted_at: Instant::now(),
         }
     }
 
@@ -325,6 +346,40 @@ mod tests {
             ),
             PushOutcome::Rejected { depth: 2, .. }
         ));
+        q.detach();
+    }
+
+    #[test]
+    fn depth_gauge_mirrors_queue_depth_through_push_pop_and_shed() {
+        let gauge = Gauge::detached();
+        let q = ShardQueue::with_gauge(gauge.clone());
+        q.attach();
+        let (tx, _rx) = mpsc::channel();
+        let now = Instant::now();
+        let past = now - Duration::from_secs(1);
+        for seq in 0..3 {
+            q.push(
+                item(seq, &tx, Some(past)),
+                Some(3),
+                OverloadPolicy::ShedExpired,
+                now,
+            );
+        }
+        assert_eq!(gauge.get(), 3);
+        assert_eq!(gauge.get() as usize, q.depth());
+        // Shedding all three expired items admits the new one: 3 - 3 + 1.
+        match q.push(
+            item(3, &tx, None),
+            Some(3),
+            OverloadPolicy::ShedExpired,
+            now,
+        ) {
+            PushOutcome::Admitted { shed } => assert_eq!(shed.len(), 3),
+            PushOutcome::Rejected { .. } => panic!("shedding should have made room"),
+        }
+        assert_eq!(gauge.get(), 1);
+        q.pop().unwrap();
+        assert_eq!(gauge.get(), 0);
         q.detach();
     }
 

@@ -61,7 +61,9 @@ use crate::error::{ServeError, SubmitError};
 use crate::health::{HealthCounters, ServeHealth};
 use crate::queue::{OverloadPolicy, PushOutcome, ShardQueue};
 use crate::request::{ServeOutput, ServeRequest, ServeResponse, ServeTarget};
-use ftbfs_oracle::{Answer, DistanceOracle, QueryEngine};
+use crate::telemetry::ServeTelemetry;
+use ftbfs_oracle::{Answer, DistanceOracle, QueryEngine, QueryRecorder};
+use ftbfs_telemetry::{Gauge, TelemetrySnapshot, TimedEvent, TraceEvent};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -163,14 +165,20 @@ pub(crate) struct WorkItem {
     pub(crate) seq: u64,
     pub(crate) request: ServeRequest,
     pub(crate) reply: Sender<ServeResponse>,
+    /// When the item was admitted; the worker turns it into the
+    /// queue-wait stage sample at pickup.
+    pub(crate) submitted_at: Instant,
 }
 
 /// Everything one supervised worker shares with the router.
 struct WorkerContext {
+    shard: usize,
     cell: Arc<EpochCell>,
     queue: Arc<ShardQueue>,
     health: Arc<HealthCounters>,
     injector: Arc<FaultInjector>,
+    telemetry: Arc<ServeTelemetry>,
+    in_flight: Gauge,
 }
 
 /// The long-running sharded serving front-end over epoch-swapped
@@ -210,6 +218,7 @@ pub struct StreamServer {
     workers: Vec<JoinHandle<()>>,
     health: Arc<HealthCounters>,
     injector: Arc<FaultInjector>,
+    telemetry: Arc<ServeTelemetry>,
     queue_capacity: Option<usize>,
     overload_policy: OverloadPolicy,
 }
@@ -220,20 +229,25 @@ impl StreamServer {
     pub fn launch(initial: EpochSnapshot, config: ServeConfig) -> Self {
         let cell = Arc::new(EpochCell::new(Arc::new(initial)));
         let closed = Arc::new(AtomicBool::new(false));
-        let health = Arc::new(HealthCounters::default());
+        let telemetry = Arc::new(ServeTelemetry::new(config.workers));
+        let health = Arc::new(HealthCounters::registered(telemetry.registry()));
         let injector = Arc::new(config.injector());
+        injector.set_event_sink(Arc::clone(telemetry.events()));
         let mut queues = Vec::with_capacity(config.workers);
         let mut workers = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
-            let queue = Arc::new(ShardQueue::new());
+            let queue = Arc::new(ShardQueue::with_gauge(telemetry.queue_depth_gauge(i)));
             // The server itself is a producer on every queue until
             // shutdown, so workers outlive idle spells with no streams.
             queue.attach();
             let ctx = WorkerContext {
+                shard: i,
                 cell: Arc::clone(&cell),
                 queue: Arc::clone(&queue),
                 health: Arc::clone(&health),
                 injector: Arc::clone(&injector),
+                telemetry: Arc::clone(&telemetry),
+                in_flight: telemetry.in_flight_gauge(i),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -250,6 +264,7 @@ impl StreamServer {
             workers,
             health,
             injector,
+            telemetry,
             queue_capacity: config.queue_capacity,
             overload_policy: config.overload_policy,
         }
@@ -267,6 +282,7 @@ impl StreamServer {
             cell: Arc::clone(&self.cell),
             health: Arc::clone(&self.health),
             injector: Arc::clone(&self.injector),
+            telemetry: Arc::clone(&self.telemetry),
             queue_capacity: self.queue_capacity,
             overload_policy: self.overload_policy,
             reply_tx,
@@ -284,6 +300,7 @@ impl StreamServer {
             cell: Arc::clone(&self.cell),
             health: Arc::clone(&self.health),
             injector: Arc::clone(&self.injector),
+            events: Arc::clone(self.telemetry.events()),
         }
     }
 
@@ -313,6 +330,25 @@ impl StreamServer {
     /// yet picked up by a worker).
     pub fn queued(&self) -> usize {
         self.queues.iter().map(|q| q.depth()).sum()
+    }
+
+    /// The server's telemetry plane: registry, stage histograms,
+    /// per-shard gauges and the trace-event ring.
+    pub fn telemetry(&self) -> &ServeTelemetry {
+        &self.telemetry
+    }
+
+    /// Scrapes every registered metric into one [`TelemetrySnapshot`]
+    /// (the input of the Prometheus and JSON exporters).  Shorthand for
+    /// `server.telemetry().scrape()`.
+    pub fn scrape(&self) -> TelemetrySnapshot {
+        self.telemetry.scrape()
+    }
+
+    /// Removes and returns all buffered trace events (epoch publishes and
+    /// rejections, worker restarts, chaos injections), oldest first.
+    pub fn drain_events(&self) -> Vec<TimedEvent> {
+        self.telemetry.drain_events()
     }
 
     /// What the server's chaos schedule has injected so far.
@@ -372,13 +408,16 @@ pub struct StreamHandle {
     cell: Arc<EpochCell>,
     health: Arc<HealthCounters>,
     injector: Arc<FaultInjector>,
+    telemetry: Arc<ServeTelemetry>,
     queue_capacity: Option<usize>,
     overload_policy: OverloadPolicy,
     reply_tx: Sender<ServeResponse>,
     reply_rx: Receiver<ServeResponse>,
     next_seq: u64,
     next_deliver: u64,
-    reorder: HashMap<u64, ServeResponse>,
+    /// Out-of-order responses parked until their turn, stamped with their
+    /// arrival time (the reassembly-stage sample).
+    reorder: HashMap<u64, (ServeResponse, Instant)>,
 }
 
 impl StreamHandle {
@@ -394,6 +433,7 @@ impl StreamHandle {
     /// and no response will arrive — every `SubmitError` is safe to
     /// retry.
     pub fn submit(&mut self, request: ServeRequest) -> Result<u64, SubmitError> {
+        let submitted_at = Instant::now();
         if self.closed.load(Ordering::Acquire) {
             return Err(SubmitError::Shutdown);
         }
@@ -401,18 +441,23 @@ impl StreamHandle {
         // Deadline admission control: expired work is answered here, not
         // routed — the response takes its slot in the stream as usual.
         if request.deadline.is_some_and(|d| Instant::now() > d) {
-            HealthCounters::bump(&self.health.expired_at_submit);
+            self.health.expired_at_submit.inc();
             let epoch = self.cell.load().1.fingerprint();
             self.reorder.insert(
                 seq,
-                ServeResponse {
-                    seq,
-                    epoch,
-                    work_ns: 0,
-                    outcome: Err(ServeError::DeadlineExceeded),
-                },
+                (
+                    ServeResponse {
+                        seq,
+                        epoch,
+                        work_ns: 0,
+                        outcome: Err(ServeError::DeadlineExceeded),
+                    },
+                    Instant::now(),
+                ),
             );
             self.next_seq += 1;
+            self.telemetry
+                .record_submit(&request.target, submitted_at.elapsed().as_nanos() as u64);
             return Ok(seq);
         }
         let shard = match request.source {
@@ -422,13 +467,15 @@ impl StreamHandle {
             None => (seq as usize) % self.queues.len(),
         };
         if self.injector.drop_send() {
-            HealthCounters::bump(&self.health.rejected_unavailable);
+            self.health.rejected_unavailable.inc();
             return Err(SubmitError::ShardUnavailable { shard });
         }
+        let target = request.target.clone();
         let item = WorkItem {
             seq,
             request,
             reply: self.reply_tx.clone(),
+            submitted_at,
         };
         match self.queues[shard].push(
             item,
@@ -440,7 +487,7 @@ impl StreamHandle {
                 if !shed.is_empty() {
                     let epoch = self.cell.load().1.fingerprint();
                     for victim in shed {
-                        HealthCounters::bump(&self.health.shed_expired);
+                        self.health.shed_expired.inc();
                         // Shed items may belong to other streams; each
                         // still receives exactly one response, in its own
                         // stream's slot.
@@ -453,13 +500,15 @@ impl StreamHandle {
                     }
                 }
                 self.next_seq += 1;
+                self.telemetry
+                    .record_submit(&target, submitted_at.elapsed().as_nanos() as u64);
                 Ok(seq)
             }
             PushOutcome::Rejected { item, depth } => {
                 // The handed-back item dies here: no seq consumed, no
                 // response owed — Overloaded is safe to retry.
                 drop(item);
-                HealthCounters::bump(&self.health.rejected_overloaded);
+                self.health.rejected_overloaded.inc();
                 Err(SubmitError::Overloaded { shard, depth })
             }
         }
@@ -480,12 +529,14 @@ impl StreamHandle {
             return Err(ServeError::Idle);
         }
         loop {
-            if let Some(resp) = self.reorder.remove(&self.next_deliver) {
+            if let Some((resp, parked_at)) = self.reorder.remove(&self.next_deliver) {
                 self.next_deliver += 1;
+                self.telemetry
+                    .record_reassembly(parked_at.elapsed().as_nanos() as u64);
                 return Ok(resp);
             }
             let resp = self.reply_rx.recv().map_err(|_| ServeError::Shutdown)?;
-            self.reorder.insert(resp.seq, resp);
+            self.reorder.insert(resp.seq, (resp, Instant::now()));
         }
     }
 
@@ -499,8 +550,10 @@ impl StreamHandle {
         }
         let give_up = Instant::now() + timeout;
         loop {
-            if let Some(resp) = self.reorder.remove(&self.next_deliver) {
+            if let Some((resp, parked_at)) = self.reorder.remove(&self.next_deliver) {
                 self.next_deliver += 1;
+                self.telemetry
+                    .record_reassembly(parked_at.elapsed().as_nanos() as u64);
                 return Ok(resp);
             }
             let now = Instant::now();
@@ -510,7 +563,7 @@ impl StreamHandle {
             }
             match self.reply_rx.recv_timeout(remaining) {
                 Ok(resp) => {
-                    self.reorder.insert(resp.seq, resp);
+                    self.reorder.insert(resp.seq, (resp, Instant::now()));
                 }
                 Err(RecvTimeoutError::Timeout) => return Err(ServeError::Timeout(timeout)),
                 Err(RecvTimeoutError::Disconnected) => return Err(ServeError::Shutdown),
@@ -552,7 +605,11 @@ fn supervised_worker(ctx: &WorkerContext) {
             Ok(()) => return,
             Err(_) => {
                 restart_generation += 1;
-                HealthCounters::bump(&ctx.health.worker_restarts);
+                ctx.health.worker_restarts.inc();
+                ctx.telemetry.events().push(TraceEvent::WorkerRestarted {
+                    shard: ctx.shard as u32,
+                    generation: restart_generation,
+                });
                 if let Some(item) = in_flight.take() {
                     // The panic interrupted this request: answer it with
                     // the typed restart error so its stream stays in sync
@@ -566,6 +623,9 @@ fn supervised_worker(ctx: &WorkerContext) {
                             generation: restart_generation,
                         }),
                     });
+                    // The pickup incremented the in-flight gauge; the
+                    // restart answer is this request's completion.
+                    ctx.in_flight.dec();
                 }
             }
         }
@@ -587,7 +647,10 @@ fn supervised_worker(ctx: &WorkerContext) {
 /// leaves the supervisor holding exactly the request that must be
 /// answered with [`ServeError::WorkerRestarted`].
 fn serve_shard(ctx: &WorkerContext, in_flight: &mut Option<WorkItem>) {
-    let mut engine = QueryEngine::new();
+    // Workers run instrumented engines: each engine-level edge (tree hit,
+    // cache hit, overlay BFS, …) is one relaxed fetch_add on counters
+    // shared through the server's registry.
+    let mut engine = QueryEngine::with_recorder(ctx.telemetry.engine_recorder());
     'epochs: loop {
         let (generation, snapshot) = ctx.cell.load();
         let view = snapshot.open();
@@ -595,10 +658,16 @@ fn serve_shard(ctx: &WorkerContext, in_flight: &mut Option<WorkItem>) {
         loop {
             if in_flight.is_none() {
                 *in_flight = ctx.queue.pop();
-                if in_flight.is_none() {
+                let Some(item) = in_flight.as_ref() else {
                     // Drained, no producers left: done.
                     return;
-                }
+                };
+                ctx.telemetry.record_queue_wait(
+                    ctx.shard,
+                    &item.request.target,
+                    item.submitted_at.elapsed().as_nanos() as u64,
+                );
+                ctx.in_flight.inc();
                 // Chaos: an injected worker panic lands here, at pickup,
                 // while the item sits in the supervisor-visible slot.
                 ctx.injector.panic_point();
@@ -610,19 +679,26 @@ fn serve_shard(ctx: &WorkerContext, in_flight: &mut Option<WorkItem>) {
             ctx.injector.stall_point();
             let item = in_flight.as_ref().expect("in-flight item present");
             let response = answer(&mut engine, &view, fingerprint, item.seq, &item.request);
+            ctx.telemetry.record_execute(
+                ctx.shard,
+                &item.request.target,
+                &response.outcome,
+                response.work_ns,
+            );
             let item = in_flight.take().expect("in-flight item present");
             // A closed reply channel means the stream's client is gone and
             // the response is unwanted; requests from live streams are
             // unaffected.
             let _ = item.reply.send(response);
+            ctx.in_flight.dec();
         }
     }
 }
 
 /// Answers one request against an open view — the shared serving core of
 /// the epoch workers and the scoped batch workers in [`crate::harness`].
-pub(crate) fn answer<O: DistanceOracle>(
-    engine: &mut QueryEngine,
+pub(crate) fn answer<O: DistanceOracle, R: QueryRecorder>(
+    engine: &mut QueryEngine<R>,
     oracle: &O,
     fingerprint: u64,
     seq: u64,
@@ -643,8 +719,8 @@ pub(crate) fn answer<O: DistanceOracle>(
 /// reads*, so one huge request cannot silently blow its budget: overruns
 /// return [`ServeError::DeadlineExceeded`] with the partial work
 /// discarded.
-fn serve_outcome<O: DistanceOracle>(
-    engine: &mut QueryEngine,
+fn serve_outcome<O: DistanceOracle, R: QueryRecorder>(
+    engine: &mut QueryEngine<R>,
     oracle: &O,
     request: &ServeRequest,
 ) -> Result<Answer<ServeOutput>, ServeError> {
@@ -957,6 +1033,106 @@ mod tests {
         server.shutdown();
     }
 
+    #[test]
+    fn telemetry_scrape_sees_stages_health_and_events() {
+        let g = generators::grid(5, 5);
+        let (snap, frozen) = snapshot_of(&g);
+        let server = StreamServer::launch(snap, ServeConfig::new().workers(2));
+        let mut stream = server.open_stream();
+        let n = g.vertex_count() as u32;
+        for i in 0..60u32 {
+            stream
+                .submit(ServeRequest::distance(VertexId(i % n), FaultSpec::None))
+                .unwrap();
+        }
+        let responses = stream.drain().unwrap();
+        assert_eq!(responses.len(), 60);
+
+        let scrape = server.scrape();
+        let hist_count = |name: &str, label: (&str, &str)| -> u64 {
+            scrape
+                .histograms
+                .iter()
+                .filter(|h| {
+                    h.name == name
+                        && h.labels
+                            .contains(&(label.0.to_string(), label.1.to_string()))
+                })
+                .map(|h| h.count)
+                .sum()
+        };
+        assert_eq!(
+            hist_count(ftbfs_telemetry::names::STAGE_SUBMIT_NS, ("target", "one")),
+            60
+        );
+        assert_eq!(
+            hist_count(
+                ftbfs_telemetry::names::STAGE_QUEUE_WAIT_NS,
+                ("target", "one")
+            ),
+            60
+        );
+        assert_eq!(
+            hist_count(
+                ftbfs_telemetry::names::STAGE_EXECUTE_NS,
+                ("guarantee", "exact")
+            ),
+            60,
+            "fault-free single-distance answers are all exact"
+        );
+        let reassembly: u64 = scrape
+            .histograms
+            .iter()
+            .filter(|h| h.name == ftbfs_telemetry::names::STAGE_REASSEMBLY_NS)
+            .map(|h| h.count)
+            .sum();
+        assert_eq!(reassembly, 60, "one reorder-buffer sample per delivery");
+        // Engine counters tally one edge per request.
+        let engine_edges: u64 = scrape
+            .counters
+            .iter()
+            .filter(|c| {
+                c.name == ftbfs_telemetry::names::ENGINE_TREE_HITS
+                    || c.name == ftbfs_telemetry::names::ENGINE_CACHE_HITS
+                    || c.name == ftbfs_telemetry::names::ENGINE_SEARCHES
+            })
+            .map(|c| c.value)
+            .sum();
+        assert_eq!(engine_edges, 60);
+        // Health counters surface under their stable names.
+        assert!(scrape
+            .counters
+            .iter()
+            .any(|c| c.name == ftbfs_telemetry::names::SERVE_WORKER_RESTARTS && c.value == 0));
+        // Quiescent queues: depth and in-flight gauges all read zero.
+        assert!(scrape.gauges.iter().all(|g| g.value == 0));
+
+        // A publish lands in the trace-event ring with its fingerprint.
+        let tree_edges: Vec<_> = g.edges().take(g.vertex_count() - 1).collect();
+        let frozen_b = FrozenStructure::from_edges(&g, &[VertexId(0)], 2, tree_edges);
+        let snap_b = EpochSnapshot::from_bytes(frozen_b.save_with(SnapshotVersion::V2)).unwrap();
+        server.publish(snap_b).unwrap();
+        let events = server.drain_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].event,
+            TraceEvent::EpochPublished {
+                epoch: 1,
+                fingerprint: frozen_b.fingerprint()
+            }
+        );
+        assert_ne!(frozen.fingerprint(), frozen_b.fingerprint());
+        assert!(server.drain_events().is_empty(), "drain empties the ring");
+
+        // The scrape round-trips through the JSON exporter losslessly.
+        let json = server.scrape().to_json();
+        let parsed = ftbfs_telemetry::TelemetrySnapshot::from_json(&json).unwrap();
+        assert_eq!(parsed.to_json(), json);
+
+        drop(stream);
+        server.shutdown();
+    }
+
     #[cfg(feature = "chaos")]
     #[test]
     fn injected_panics_are_absorbed_with_exactly_one_response_each() {
@@ -1006,6 +1182,24 @@ mod tests {
             "each injected panic answers exactly its in-flight request"
         );
         assert_eq!(server.health().worker_restarts, stats.panics);
+        // The trace-event log alone is enough to replay the failure: every
+        // injected panic carries the schedule seed and its pickup index,
+        // and every supervised restart names the shard and generation.
+        let events = server.drain_events();
+        let panics: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::ChaosPanic { seed, visit } => Some((seed, visit)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(panics.len() as u64, stats.panics);
+        assert!(panics.iter().all(|&(seed, _)| seed == 0xDEAD_BEEF));
+        let restarts = events
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::WorkerRestarted { .. }))
+            .count();
+        assert_eq!(restarts as u64, stats.panics);
         // Quiesced, the server is healthy: a clean probe round-trips.
         server.quiesce_chaos();
         stream

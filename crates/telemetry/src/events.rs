@@ -1,0 +1,232 @@
+//! Structured trace events in a bounded ring buffer.
+//!
+//! Counters answer *how many*; the event ring answers *what happened, in
+//! what order*.  Rare control-plane transitions — epoch publishes and
+//! rejections, worker restarts, chaos injections — are pushed as typed
+//! [`TraceEvent`]s into a fixed-capacity ring ([`EventRing`]) and pulled
+//! by operators or benches with [`EventRing::drain_events`].  When the
+//! ring is full the *oldest* event is dropped and counted
+//! ([`EventRing::dropped`]), so a storm can never balloon memory and the
+//! drained log always says whether it is complete.
+//!
+//! Events carry a monotone sequence index (assigned at push) instead of a
+//! wall-clock timestamp: the serving stack is deterministic under a seeded
+//! chaos schedule, and a deterministic log is a *replayable* log — a chaos
+//! event's `seed` + `visit` pair alone pinpoints the exact injection
+//! decision (see [`TraceEvent::ChaosPanic`]).
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard};
+
+/// Default event-ring capacity used by the serving stack.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// One structured trace event; see the [module docs](self).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// A snapshot publish was accepted; `epoch` is the generation it
+    /// became current under, `fingerprint` identifies the structure.
+    EpochPublished {
+        /// Epoch generation after the publish.
+        epoch: u64,
+        /// Structural fingerprint of the published snapshot.
+        fingerprint: u64,
+    },
+    /// A snapshot publish was rejected at validation (e.g. corrupt bytes);
+    /// the previous epoch keeps serving.
+    PublishRejected {
+        /// Epoch generation that stayed current.
+        epoch: u64,
+    },
+    /// A supervised worker panicked and was respawned.
+    WorkerRestarted {
+        /// Shard index of the restarted worker.
+        shard: u32,
+        /// Restart generation (1 for the first respawn of a shard).
+        generation: u64,
+    },
+    /// A chaos panic injection fired (`chaos` feature).  `seed` is the
+    /// schedule seed and `visit` the panic-point visit index that fired —
+    /// together they replay the exact decision via the injector's
+    /// deterministic hash.
+    ChaosPanic {
+        /// Chaos schedule seed.
+        seed: u64,
+        /// Panic-point visit index (schedule index) that fired.
+        visit: u64,
+    },
+    /// A chaos stall injection fired (`chaos` feature).
+    ChaosStall {
+        /// Chaos schedule seed.
+        seed: u64,
+        /// Stall-point visit index that fired.
+        visit: u64,
+    },
+    /// A chaos dropped-send injection fired (`chaos` feature).
+    ChaosDroppedSend {
+        /// Chaos schedule seed.
+        seed: u64,
+        /// Drop-point visit index that fired.
+        visit: u64,
+    },
+    /// A chaos publish corruption fired (`chaos` feature).
+    ChaosCorruptPublish {
+        /// Chaos schedule seed.
+        seed: u64,
+        /// Corrupt-point visit index that fired.
+        visit: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Short stable kind tag (used by exports and event-log summaries).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::EpochPublished { .. } => "epoch_published",
+            TraceEvent::PublishRejected { .. } => "publish_rejected",
+            TraceEvent::WorkerRestarted { .. } => "worker_restarted",
+            TraceEvent::ChaosPanic { .. } => "chaos_panic",
+            TraceEvent::ChaosStall { .. } => "chaos_stall",
+            TraceEvent::ChaosDroppedSend { .. } => "chaos_dropped_send",
+            TraceEvent::ChaosCorruptPublish { .. } => "chaos_corrupt_publish",
+        }
+    }
+}
+
+/// A [`TraceEvent`] plus the monotone sequence index assigned at push.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Position in the push order (starts at 0, never reused).
+    pub index: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+#[derive(Debug)]
+struct RingState {
+    events: VecDeque<TimedEvent>,
+    capacity: usize,
+    next_index: u64,
+    dropped: u64,
+}
+
+/// Bounded ring buffer of trace events; see the [module docs](self).
+#[derive(Debug)]
+pub struct EventRing {
+    state: Mutex<RingState>,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events (clamped to at
+    /// least one).  The backing storage is allocated up front, so pushes
+    /// never allocate.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            state: Mutex::new(RingState {
+                events: VecDeque::with_capacity(capacity),
+                capacity,
+                next_index: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Locks the ring, recovering from poison (the state is consistent
+    /// between any two operations).
+    fn lock(&self) -> MutexGuard<'_, RingState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pushes an event, dropping (and counting) the oldest if full.
+    pub fn push(&self, event: TraceEvent) {
+        let mut state = self.lock();
+        if state.events.len() == state.capacity {
+            state.events.pop_front();
+            state.dropped += 1;
+        }
+        let index = state.next_index;
+        state.next_index += 1;
+        state.events.push_back(TimedEvent { index, event });
+    }
+
+    /// Removes and returns all buffered events, oldest first.
+    #[must_use]
+    pub fn drain_events(&self) -> Vec<TimedEvent> {
+        self.lock().events.drain(..).collect()
+    }
+
+    /// Number of events dropped because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Number of events currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// Whether the ring is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_returns_events_in_push_order_with_indices() {
+        let ring = EventRing::new(8);
+        ring.push(TraceEvent::EpochPublished {
+            epoch: 1,
+            fingerprint: 0xFEED,
+        });
+        ring.push(TraceEvent::WorkerRestarted {
+            shard: 2,
+            generation: 1,
+        });
+        let drained = ring.drain_events();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].index, 0);
+        assert_eq!(drained[1].index, 1);
+        assert_eq!(drained[0].event.kind(), "epoch_published");
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_oldest_and_counts() {
+        let ring = EventRing::new(2);
+        for epoch in 0..5 {
+            ring.push(TraceEvent::PublishRejected { epoch });
+        }
+        assert_eq!(ring.dropped(), 3);
+        let drained = ring.drain_events();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].index, 3, "oldest surviving event");
+        assert_eq!(drained[1].index, 4);
+        assert_eq!(
+            drained[1].event,
+            TraceEvent::PublishRejected { epoch: 4 },
+            "newest events survive"
+        );
+    }
+
+    #[test]
+    fn indices_keep_growing_across_drains() {
+        let ring = EventRing::new(4);
+        ring.push(TraceEvent::ChaosPanic { seed: 7, visit: 0 });
+        let _ = ring.drain_events();
+        ring.push(TraceEvent::ChaosPanic { seed: 7, visit: 1 });
+        let drained = ring.drain_events();
+        assert_eq!(drained[0].index, 1, "indices are never reused");
+    }
+}

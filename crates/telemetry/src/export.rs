@@ -1,0 +1,721 @@
+//! The two export surfaces — Prometheus text exposition and JSON — both
+//! rendered from one [`TelemetrySnapshot`].
+//!
+//! A snapshot is a plain-data scrape of a
+//! [`MetricsRegistry`](crate::MetricsRegistry): counters, gauges, and
+//! histogram bucket arrays with their names, help strings, and labels.
+//! [`TelemetrySnapshot::to_prometheus`] renders the standard text
+//! exposition format (`# HELP` / `# TYPE` headers, cumulative
+//! `_bucket{le=...}` lines, `_sum` / `_count`);
+//! [`TelemetrySnapshot::to_json`] renders the same data as a single JSON
+//! document, and [`TelemetrySnapshot::from_json`] parses that document
+//! back — so a scrape shipped through a file or pipe round-trips losslessly
+//! into the Prometheus renderer (this is what `ftbfs-snapshot scrape`
+//! does).  No serde: both emitters are hand-built strings, and the parser
+//! is a small recursive-descent JSON reader for exactly this document
+//! shape, matching the workspace's no-external-deps discipline.
+
+use crate::hist::{HistogramData, BUCKET_COUNT};
+use std::fmt::Write as _;
+
+/// One scraped counter value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Metric name (see [`crate::names`] for the stable contract).
+    pub name: String,
+    /// Help text rendered into `# HELP`.
+    pub help: String,
+    /// Label pairs, in render order.
+    pub labels: Vec<(String, String)>,
+    /// Counter value at scrape time.
+    pub value: u64,
+}
+
+/// One scraped gauge value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Help text rendered into `# HELP`.
+    pub help: String,
+    /// Label pairs, in render order.
+    pub labels: Vec<(String, String)>,
+    /// Gauge value at scrape time.
+    pub value: u64,
+}
+
+/// One non-empty histogram bucket: `count` values were recorded with
+/// `value <= le` and above the previous bucket's bound (counts are
+/// per-bucket here; the Prometheus renderer accumulates).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramBucket {
+    /// Inclusive upper bound of the bucket.
+    pub le: u64,
+    /// Number of values recorded in this bucket (non-cumulative).
+    pub count: u64,
+}
+
+impl HistogramBucket {
+    /// Extracts the non-empty buckets of a merged histogram.
+    #[must_use]
+    pub fn from_data(data: &HistogramData) -> Vec<HistogramBucket> {
+        data.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(index, &count)| HistogramBucket {
+                le: crate::hist::bucket_upper_bound(index),
+                count,
+            })
+            .collect()
+    }
+}
+
+/// One scraped histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Help text rendered into `# HELP`.
+    pub help: String,
+    /// Label pairs, in render order.
+    pub labels: Vec<(String, String)>,
+    /// Non-empty buckets, ascending by `le`.
+    pub buckets: Vec<HistogramBucket>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping).
+    pub sum: u64,
+    /// Smallest recorded value, if any.
+    pub min: Option<u64>,
+    /// Largest recorded value, if any.
+    pub max: Option<u64>,
+}
+
+impl HistogramSample {
+    /// Reconstructs a [`HistogramData`] from the sample's sparse buckets
+    /// (inverse of [`HistogramBucket::from_data`]), for quantile queries
+    /// on scraped data.
+    #[must_use]
+    pub fn to_data(&self) -> HistogramData {
+        let mut counts = vec![0u64; BUCKET_COUNT];
+        for bucket in &self.buckets {
+            counts[crate::hist::bucket_index(bucket.le)] += bucket.count;
+        }
+        HistogramData {
+            counts,
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+/// A full scrape of a registry; the input to both exporters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// All counter samples, sorted by `(name, labels)`.
+    pub counters: Vec<CounterSample>,
+    /// All gauge samples, sorted by `(name, labels)`.
+    pub gauges: Vec<GaugeSample>,
+    /// All histogram samples, sorted by `(name, labels)`.
+    pub histograms: Vec<HistogramSample>,
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn prom_escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn prom_escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders `{k="v",...}` including the extra `le` pair when given.
+fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", prom_escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let mut out = String::from("[");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[\"{}\",\"{}\"]", json_escape(k), json_escape(v));
+    }
+    out.push(']');
+    out
+}
+
+impl TelemetrySnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format.
+    ///
+    /// `# HELP` / `# TYPE` headers are emitted once per metric name;
+    /// histograms render cumulative `_bucket{le="..."}` series capped by
+    /// `le="+Inf"`, plus `_sum` and `_count`.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for c in &self.counters {
+            if last_name != Some(c.name.as_str()) {
+                let _ = writeln!(out, "# HELP {} {}", c.name, prom_escape_help(&c.help));
+                let _ = writeln!(out, "# TYPE {} counter", c.name);
+                last_name = Some(c.name.as_str());
+            }
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                c.name,
+                prom_labels(&c.labels, None),
+                c.value
+            );
+        }
+        last_name = None;
+        for g in &self.gauges {
+            if last_name != Some(g.name.as_str()) {
+                let _ = writeln!(out, "# HELP {} {}", g.name, prom_escape_help(&g.help));
+                let _ = writeln!(out, "# TYPE {} gauge", g.name);
+                last_name = Some(g.name.as_str());
+            }
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                g.name,
+                prom_labels(&g.labels, None),
+                g.value
+            );
+        }
+        last_name = None;
+        for h in &self.histograms {
+            if last_name != Some(h.name.as_str()) {
+                let _ = writeln!(out, "# HELP {} {}", h.name, prom_escape_help(&h.help));
+                let _ = writeln!(out, "# TYPE {} histogram", h.name);
+                last_name = Some(h.name.as_str());
+            }
+            let mut cumulative = 0u64;
+            for bucket in &h.buckets {
+                cumulative += bucket.count;
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    h.name,
+                    prom_labels(&h.labels, Some(&bucket.le.to_string())),
+                    cumulative
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                h.name,
+                prom_labels(&h.labels, Some("+Inf")),
+                h.count
+            );
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                h.name,
+                prom_labels(&h.labels, None),
+                h.sum
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                h.name,
+                prom_labels(&h.labels, None),
+                h.count
+            );
+        }
+        out
+    }
+
+    /// Renders the snapshot as one JSON document.  The exact inverse of
+    /// [`TelemetrySnapshot::from_json`]: `from_json(to_json(s)) == s`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"help\": \"{}\", \"labels\": {}, \"value\": {}}}",
+                json_escape(&c.name),
+                json_escape(&c.help),
+                json_labels(&c.labels),
+                c.value
+            );
+        }
+        out.push_str("\n  ],\n  \"gauges\": [");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"help\": \"{}\", \"labels\": {}, \"value\": {}}}",
+                json_escape(&g.name),
+                json_escape(&g.help),
+                json_labels(&g.labels),
+                g.value
+            );
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"help\": \"{}\", \"labels\": {}, \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+                json_escape(&h.name),
+                json_escape(&h.help),
+                json_labels(&h.labels),
+                h.count,
+                h.sum,
+                h.min.map_or("null".to_string(), |v| v.to_string()),
+                h.max.map_or("null".to_string(), |v| v.to_string()),
+            );
+            for (j, bucket) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"le\": {}, \"count\": {}}}",
+                    bucket.le, bucket.count
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a document produced by [`TelemetrySnapshot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message if the input is not valid JSON or
+    /// does not have the snapshot shape.
+    pub fn from_json(input: &str) -> Result<TelemetrySnapshot, String> {
+        let value = parse::parse(input)?;
+        let root = value.as_object("snapshot")?;
+        let mut snapshot = TelemetrySnapshot::default();
+        for item in parse::get(root, "counters")?.as_array("counters")? {
+            let obj = item.as_object("counter")?;
+            snapshot.counters.push(CounterSample {
+                name: parse::get(obj, "name")?.as_string("name")?,
+                help: parse::get(obj, "help")?.as_string("help")?,
+                labels: parse::labels(parse::get(obj, "labels")?)?,
+                value: parse::get(obj, "value")?.as_u64("value")?,
+            });
+        }
+        for item in parse::get(root, "gauges")?.as_array("gauges")? {
+            let obj = item.as_object("gauge")?;
+            snapshot.gauges.push(GaugeSample {
+                name: parse::get(obj, "name")?.as_string("name")?,
+                help: parse::get(obj, "help")?.as_string("help")?,
+                labels: parse::labels(parse::get(obj, "labels")?)?,
+                value: parse::get(obj, "value")?.as_u64("value")?,
+            });
+        }
+        for item in parse::get(root, "histograms")?.as_array("histograms")? {
+            let obj = item.as_object("histogram")?;
+            let mut buckets = Vec::new();
+            for bucket in parse::get(obj, "buckets")?.as_array("buckets")? {
+                let b = bucket.as_object("bucket")?;
+                buckets.push(HistogramBucket {
+                    le: parse::get(b, "le")?.as_u64("le")?,
+                    count: parse::get(b, "count")?.as_u64("count")?,
+                });
+            }
+            snapshot.histograms.push(HistogramSample {
+                name: parse::get(obj, "name")?.as_string("name")?,
+                help: parse::get(obj, "help")?.as_string("help")?,
+                labels: parse::labels(parse::get(obj, "labels")?)?,
+                buckets,
+                count: parse::get(obj, "count")?.as_u64("count")?,
+                sum: parse::get(obj, "sum")?.as_u64("sum")?,
+                min: parse::get(obj, "min")?.as_opt_u64("min")?,
+                max: parse::get(obj, "max")?.as_opt_u64("max")?,
+            });
+        }
+        Ok(snapshot)
+    }
+}
+
+/// A minimal recursive-descent JSON reader for the snapshot document.
+/// Not a general-purpose parser: it accepts the JSON subset the emitter
+/// produces (objects, arrays, strings, unsigned integers, `null`) and
+/// rejects everything else with a positioned error.
+mod parse {
+    pub(super) enum Value {
+        Null,
+        U64(u64),
+        Str(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub(super) fn as_object(&self, what: &str) -> Result<&Vec<(String, Value)>, String> {
+            match self {
+                Value::Object(fields) => Ok(fields),
+                _ => Err(format!("{what}: expected object")),
+            }
+        }
+
+        pub(super) fn as_array(&self, what: &str) -> Result<&Vec<Value>, String> {
+            match self {
+                Value::Array(items) => Ok(items),
+                _ => Err(format!("{what}: expected array")),
+            }
+        }
+
+        pub(super) fn as_string(&self, what: &str) -> Result<String, String> {
+            match self {
+                Value::Str(s) => Ok(s.clone()),
+                _ => Err(format!("{what}: expected string")),
+            }
+        }
+
+        pub(super) fn as_u64(&self, what: &str) -> Result<u64, String> {
+            match self {
+                Value::U64(v) => Ok(*v),
+                _ => Err(format!("{what}: expected unsigned integer")),
+            }
+        }
+
+        pub(super) fn as_opt_u64(&self, what: &str) -> Result<Option<u64>, String> {
+            match self {
+                Value::Null => Ok(None),
+                Value::U64(v) => Ok(Some(*v)),
+                _ => Err(format!("{what}: expected unsigned integer or null")),
+            }
+        }
+    }
+
+    pub(super) fn get<'v>(fields: &'v [(String, Value)], key: &str) -> Result<&'v Value, String> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field \"{key}\""))
+    }
+
+    pub(super) fn labels(value: &Value) -> Result<Vec<(String, String)>, String> {
+        let mut out = Vec::new();
+        for pair in value.as_array("labels")? {
+            let pair = pair.as_array("label pair")?;
+            if pair.len() != 2 {
+                return Err("label pair: expected [key, value]".to_string());
+            }
+            out.push((
+                pair[0].as_string("label key")?,
+                pair[1].as_string("label value")?,
+            ));
+        }
+        Ok(out)
+    }
+
+    struct Reader<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    pub(super) fn parse(input: &str) -> Result<Value, String> {
+        let mut reader = Reader {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        reader.skip_ws();
+        let value = reader.value()?;
+        reader.skip_ws();
+        if reader.pos != reader.bytes.len() {
+            return Err(format!("trailing data at byte {}", reader.pos));
+        }
+        Ok(value)
+    }
+
+    impl Reader<'_> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b'n') => {
+                    if self.bytes[self.pos..].starts_with(b"null") {
+                        self.pos += 4;
+                        Ok(Value::Null)
+                    } else {
+                        Err(format!("bad literal at byte {}", self.pos))
+                    }
+                }
+                Some(b) if b.is_ascii_digit() => self.number(),
+                _ => Err(format!("unexpected input at byte {}", self.pos)),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let hex = std::str::from_utf8(hex)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                out.push(
+                                    char::from_u32(code).ok_or("bad \\u code point".to_string())?,
+                                );
+                                self.pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (the input is a &str, so
+                        // slicing at char boundaries is safe to find).
+                        let rest = &self.bytes[self.pos..];
+                        let s = std::str::from_utf8(rest)
+                            .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                        let c = s.chars().next().expect("non-empty checked above");
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| "bad number".to_string())?;
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| format!("number out of range at byte {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("ftbfs_test_requests_total", "Requests with \"quotes\"")
+            .add(42);
+        registry
+            .counter_with(
+                "ftbfs_test_shard_total",
+                "per-shard",
+                vec![("shard", "0".into())],
+            )
+            .add(7);
+        registry.gauge("ftbfs_test_depth", "queue depth").set(3);
+        let h = registry.histogram("ftbfs_test_latency_ns", "latency", 2);
+        for v in [1u64, 5, 5, 100, 10_000, 1_000_000] {
+            h.record(v);
+        }
+        registry.scrape()
+    }
+
+    #[test]
+    fn json_round_trips_losslessly() {
+        let snapshot = sample_snapshot();
+        let json = snapshot.to_json();
+        let parsed = TelemetrySnapshot::from_json(&json).expect("valid JSON");
+        assert_eq!(parsed, snapshot);
+        assert_eq!(parsed.to_prometheus(), snapshot.to_prometheus());
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snapshot = TelemetrySnapshot::default();
+        let parsed = TelemetrySnapshot::from_json(&snapshot.to_json()).expect("valid JSON");
+        assert_eq!(parsed, snapshot);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_headers_buckets_and_inf() {
+        let text = sample_snapshot().to_prometheus();
+        assert!(text.contains("# HELP ftbfs_test_requests_total"));
+        assert!(text.contains("# TYPE ftbfs_test_requests_total counter"));
+        assert!(text.contains("ftbfs_test_requests_total 42"));
+        assert!(text.contains("ftbfs_test_shard_total{shard=\"0\"} 7"));
+        assert!(text.contains("# TYPE ftbfs_test_depth gauge"));
+        assert!(text.contains("# TYPE ftbfs_test_latency_ns histogram"));
+        assert!(text.contains("ftbfs_test_latency_ns_bucket{le=\"+Inf\"} 6"));
+        assert!(text.contains("ftbfs_test_latency_ns_count 6"));
+        // Bucket lines are cumulative and end at the total count.
+        let last_bucket = text
+            .lines()
+            .rfind(|l| l.starts_with("ftbfs_test_latency_ns_bucket"))
+            .unwrap();
+        assert!(last_bucket.ends_with(" 6"));
+    }
+
+    #[test]
+    fn histogram_sample_reconstructs_quantile_data() {
+        let snapshot = sample_snapshot();
+        let h = &snapshot.histograms[0];
+        let data = h.to_data();
+        assert_eq!(data.count, 6);
+        let (lower, upper) = data.quantile_bounds(0.5).unwrap();
+        assert!(lower <= 5 && 5 <= upper, "median 5 in [{lower}, {upper}]");
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(TelemetrySnapshot::from_json("").is_err());
+        assert!(TelemetrySnapshot::from_json("{}").is_err());
+        assert!(TelemetrySnapshot::from_json("{\"counters\": 3}").is_err());
+        assert!(TelemetrySnapshot::from_json("not json").is_err());
+        let valid = sample_snapshot().to_json();
+        assert!(TelemetrySnapshot::from_json(&valid[..valid.len() - 3]).is_err());
+    }
+}

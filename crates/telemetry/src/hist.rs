@@ -1,0 +1,388 @@
+//! Log-linear latency histograms with fixed bucket arrays and per-worker
+//! shards.
+//!
+//! The bucketing scheme is the classic HdrHistogram-style log-linear grid:
+//! every power-of-two octave `[2^k, 2^(k+1))` is split into
+//! [`SUB_BUCKETS`] linear sub-buckets, so the worst-case relative width of
+//! a bucket is `1 / SUB_BUCKETS` (25%) and the whole `u64` range is covered
+//! by [`BUCKET_COUNT`] buckets — small enough to sit in a fixed array of
+//! relaxed atomics, wide enough that a recorded quantile brackets the true
+//! quantile to within one sub-bucket.
+//!
+//! Recording is a handful of `Relaxed` `fetch_add`/`fetch_min`/`fetch_max`
+//! operations on pre-allocated atomics: no locks, no allocation, no
+//! branches beyond the bucket-index computation.  Writers on different
+//! worker threads can be pointed at different *shards*
+//! ([`Histogram::for_shard`]) so they never contend on the same cache
+//! lines; [`Histogram::merged`] sums the shards into one immutable
+//! [`HistogramData`] at scrape time.  Like the serve crate's health
+//! counters, merged snapshots are consistent when the recorders are
+//! quiescent and monotonically close otherwise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Linear sub-buckets per power-of-two octave.  4 sub-buckets bound the
+/// relative quantile error at 25%.
+pub const SUB_BUCKETS: usize = 4;
+
+/// `log2(SUB_BUCKETS)` — the number of significant bits kept per value.
+const SUB_BITS: u32 = 2;
+
+/// Total number of buckets covering the full `u64` value range: the
+/// values `0..SUB_BUCKETS` get one bucket each, then every octave
+/// `[2^k, 2^(k+1))` for `k` in `SUB_BITS..=63` contributes [`SUB_BUCKETS`]
+/// sub-buckets.
+pub const BUCKET_COUNT: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// Maps a recorded value to its bucket index.  Total and monotone over
+/// `u64`; exact for values below [`SUB_BUCKETS`].
+#[inline]
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let sub = ((value >> (msb - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    SUB_BUCKETS + ((msb - SUB_BITS) as usize) * SUB_BUCKETS + sub
+}
+
+/// The smallest value mapping to bucket `index` (inverse of
+/// [`bucket_index`] on bucket boundaries).
+#[must_use]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let octave = ((index - SUB_BUCKETS) / SUB_BUCKETS) as u32;
+    let sub = ((index - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+    let msb = octave + SUB_BITS;
+    (1u64 << msb) + sub * (1u64 << (msb - SUB_BITS))
+}
+
+/// The largest value mapping to bucket `index` (inclusive upper bound,
+/// Prometheus `le` semantics).
+#[must_use]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index + 1 >= BUCKET_COUNT {
+        u64::MAX
+    } else {
+        bucket_lower_bound(index + 1) - 1
+    }
+}
+
+/// One writer shard: a fixed bucket array plus count/sum/min/max, all
+/// relaxed atomics.
+#[derive(Debug)]
+struct Shard {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    shards: Vec<Shard>,
+}
+
+/// A sharded log-linear histogram handle; see the [module docs](self).
+///
+/// Cloning a `Histogram` clones the *handle* (the shards are shared);
+/// [`Histogram::for_shard`] re-targets a clone at a specific writer shard
+/// so per-worker recorders never contend.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+    shard: usize,
+}
+
+impl Histogram {
+    /// Creates a histogram with `shards` independent writer shards
+    /// (clamped to at least one).  The returned handle records into shard
+    /// 0.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                shards: (0..shards).map(|_| Shard::new()).collect(),
+            }),
+            shard: 0,
+        }
+    }
+
+    /// Returns a handle recording into shard `shard % self.shards()` —
+    /// hand one to each worker thread.
+    #[must_use]
+    pub fn for_shard(&self, shard: usize) -> Histogram {
+        Histogram {
+            inner: Arc::clone(&self.inner),
+            shard: shard % self.inner.shards.len(),
+        }
+    }
+
+    /// Number of writer shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Records one value.  Lock-free, allocation-free: five relaxed atomic
+    /// read-modify-writes on pre-allocated cells.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.inner.shards[self.shard].record(value);
+    }
+
+    /// Merges all shards into one immutable snapshot.
+    #[must_use]
+    pub fn merged(&self) -> HistogramData {
+        let mut counts = vec![0u64; BUCKET_COUNT];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for shard in &self.inner.shards {
+            for (into, bucket) in counts.iter_mut().zip(&shard.buckets) {
+                *into += bucket.load(Ordering::Relaxed);
+            }
+            count += shard.count.load(Ordering::Relaxed);
+            sum = sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
+            min = min.min(shard.min.load(Ordering::Relaxed));
+            max = max.max(shard.max.load(Ordering::Relaxed));
+        }
+        HistogramData {
+            counts,
+            count,
+            sum,
+            min: if count == 0 { None } else { Some(min) },
+            max: if count == 0 { None } else { Some(max) },
+        }
+    }
+}
+
+/// An immutable merged histogram snapshot (one `u64` count per bucket of
+/// the log-linear grid, plus count/sum/min/max).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramData {
+    /// Per-bucket counts, indexed by [`bucket_index`]; length
+    /// [`BUCKET_COUNT`].
+    pub counts: Vec<u64>,
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping).
+    pub sum: u64,
+    /// Smallest recorded value, if any.
+    pub min: Option<u64>,
+    /// Largest recorded value, if any.
+    pub max: Option<u64>,
+}
+
+impl HistogramData {
+    /// An empty snapshot (useful as a merge identity).
+    #[must_use]
+    pub fn empty() -> Self {
+        HistogramData {
+            counts: vec![0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Adds another snapshot into `self` (used to merge label variants of
+    /// the same stage at report time).
+    pub fn merge_from(&mut self, other: &HistogramData) {
+        for (into, from) in self.counts.iter_mut().zip(&other.counts) {
+            *into += from;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// The `(lower, upper)` value bounds of the bucket containing the
+    /// `q`-quantile (`0.0 ..= 1.0`) of the recorded distribution, or
+    /// `None` if nothing was recorded.  The true quantile of the recorded
+    /// values is guaranteed to lie within the returned bounds.
+    #[must_use]
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the quantile order statistic, 1-based, nearest-rank.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some((bucket_lower_bound(index), bucket_upper_bound(index)));
+            }
+        }
+        // Unreachable when counts sum to count; defensively report the top.
+        Some((bucket_lower_bound(BUCKET_COUNT - 1), u64::MAX))
+    }
+
+    /// Conservative `q`-quantile estimate: the inclusive upper bound of
+    /// the bucket containing the quantile (so the estimate never
+    /// under-reports a latency), clamped to the recorded maximum.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let (_, upper) = self.quantile_bounds(q)?;
+        Some(upper.min(self.max.unwrap_or(upper)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_exact_below_sub_buckets() {
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent_and_monotone() {
+        let mut prev_upper = None;
+        for index in 0..BUCKET_COUNT {
+            let lower = bucket_lower_bound(index);
+            let upper = bucket_upper_bound(index);
+            assert!(lower <= upper, "bucket {index}: {lower} > {upper}");
+            assert_eq!(
+                bucket_index(lower),
+                index,
+                "lower bound of {index} maps back"
+            );
+            assert_eq!(
+                bucket_index(upper),
+                index,
+                "upper bound of {index} maps back"
+            );
+            if let Some(prev) = prev_upper {
+                assert_eq!(lower, prev + 1u64, "bucket {index} adjoins its predecessor");
+            }
+            prev_upper = Some(upper);
+        }
+        assert_eq!(bucket_upper_bound(BUCKET_COUNT - 1), u64::MAX);
+    }
+
+    #[test]
+    fn boundary_values_land_in_the_right_buckets() {
+        // Octave boundaries and the values on either side.
+        for k in SUB_BITS..63 {
+            let v = 1u64 << k;
+            let at = bucket_index(v);
+            assert_eq!(bucket_lower_bound(at), v, "2^{k} starts its bucket");
+            assert_eq!(bucket_index(v - 1), at - 1, "2^{k}-1 is one bucket below");
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        for index in SUB_BUCKETS..BUCKET_COUNT - 1 {
+            let lower = bucket_lower_bound(index) as f64;
+            let upper = bucket_upper_bound(index) as f64;
+            assert!(
+                (upper - lower) / lower <= 0.25 + 1e-12,
+                "bucket {index} wider than a sub-bucket"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_true_quantiles_on_a_known_distribution() {
+        let h = Histogram::new(1);
+        let values: Vec<u64> = (1..=1000).map(|i| i * 17).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let data = h.merged();
+        assert_eq!(data.count, 1000);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * 1000.0_f64).ceil() as usize).clamp(1, 1000);
+            let truth = values[rank - 1];
+            let (lower, upper) = data.quantile_bounds(q).unwrap();
+            assert!(
+                lower <= truth && truth <= upper,
+                "q={q}: true {truth} outside [{lower}, {upper}]"
+            );
+        }
+    }
+
+    #[test]
+    fn shards_merge_to_the_union() {
+        let h = Histogram::new(4);
+        for worker in 0..4usize {
+            let handle = h.for_shard(worker);
+            for i in 0..100u64 {
+                handle.record(worker as u64 * 1000 + i);
+            }
+        }
+        let data = h.merged();
+        assert_eq!(data.count, 400);
+        assert_eq!(data.min, Some(0));
+        assert_eq!(data.max, Some(3099));
+        assert_eq!(data.counts.iter().sum::<u64>(), 400);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new(2);
+        let data = h.merged();
+        assert_eq!(data.count, 0);
+        assert_eq!(data.min, None);
+        assert_eq!(data.max, None);
+        assert_eq!(data.quantile_bounds(0.5), None);
+    }
+
+    #[test]
+    fn merge_from_combines_snapshots() {
+        let a = Histogram::new(1);
+        let b = Histogram::new(1);
+        a.record(10);
+        b.record(20);
+        let mut merged = a.merged();
+        merged.merge_from(&b.merged());
+        assert_eq!(merged.count, 2);
+        assert_eq!(merged.sum, 30);
+        assert_eq!(merged.min, Some(10));
+        assert_eq!(merged.max, Some(20));
+    }
+}

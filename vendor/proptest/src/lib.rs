@@ -7,6 +7,8 @@
 //!   `#![proptest_config(...)]` header and `arg in strategy` parameters;
 //! * range strategies over integers and floats (`8usize..18`,
 //!   `0.15f64..0.4`, …);
+//! * [`collection::vec`] for `Vec`-valued arguments (also reachable as
+//!   `prop::collection::vec`, as with the real crate's prelude);
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`].
 //!
 //! Each generated test runs `config.cases` deterministic cases seeded from
@@ -112,12 +114,53 @@ pub mod strategy {
             rng.gen_range(self.clone())
         }
     }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // The rand stand-in has no inclusive float sampling; map a
+            // half-open uniform affinely onto the inclusive range (the
+            // endpoint is reachable through rounding in the map).
+            let u = rng.gen_range(0.0f64..1.0);
+            self.start() + u * (self.end() - self.start())
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use crate::strategy::Strategy;
+    use rand::{Rng, RngCore};
+
+    /// Strategy producing `Vec`s of `element`-sampled values with a
+    /// length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy constructor, mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
 }
 
 pub mod prelude {
     //! Everything a property-test file needs, mirroring
     //! `proptest::prelude::*`.
 
+    pub use crate as prop;
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
