@@ -1,0 +1,134 @@
+//! Regenerates (or checks) the golden corpus fixtures under
+//! `crates/corpus/testdata/` — the byte-exact ingestion corpus behind
+//! the CI `corpus` job.
+//!
+//! Four fixtures pin both on-disk formats and the CSR they must ingest
+//! into:
+//!
+//! * `golden_dimacs.gr` — a hand-authored DIMACS-dialect text file
+//!   (comments, `p sp` header, `a`/`e` edge lines, ignored weights, one
+//!   duplicate, one self-loop) checked in verbatim;
+//! * `golden_remap.gr` — a headerless sparse-id file for the
+//!   vertex-compaction path, checked in verbatim;
+//! * `golden_lattice.gr` / `golden_lattice.ftbg` — the same seeded
+//!   road-like lattice serialized by both writers; text and binary must
+//!   ingest to the identical CSR fingerprint.
+//!
+//! The companion test `crates/corpus/tests/corpus_goldens.rs` pins the
+//! recorded fingerprints; this bin is the regeneration tool and the CI
+//! drift gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! gen_corpus_goldens            # rewrite the fixtures in place
+//! gen_corpus_goldens --check    # regenerate in memory, diff against
+//!                               # the checked-in files, exit 1 on drift
+//! ```
+//!
+//! When a deliberate format or generator change lands, rerun without
+//! `--check`, update the fingerprint constants in `corpus_goldens.rs`
+//! from the printed table, and commit the new fixtures.
+
+use ftbfs_corpus::{csr_fingerprint, ingest_text, road_like, write_binary};
+use ftbfs_graph::io::{to_edge_list, IngestOptions};
+use std::path::PathBuf;
+
+/// The hand-authored DIMACS-dialect fixture: a 6-cycle declared as
+/// `p sp 6 8`, with a duplicate edge and a self-loop that the strict
+/// ingestion policy must silently drop (6 edges survive).
+const GOLDEN_DIMACS: &str = "\
+c ftbfs-corpus golden fixture: DIMACS dialect
+c 6-cycle with one duplicate edge and one self-loop; weights ignored
+p sp 6 8
+a 1 2 10
+a 2 3 5
+e 3 4
+e 4 5
+a 5 6 1
+e 6 1
+e 1 2
+a 3 3 7
+";
+
+/// The hand-authored sparse-id fixture: headerless, ids {2, 40, 41, 900}
+/// compact to a dense 4-vertex path under remapping ingestion.
+const GOLDEN_REMAP: &str = "\
+# ftbfs-corpus golden fixture: sparse ids, remapping ingestion
+2 40
+40 41
+41 900
+";
+
+fn testdata_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("corpus")
+        .join("testdata")
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let lattice = road_like(6, 8, 5, 77);
+    let fp = |text: &str, options: IngestOptions| {
+        let (g, _) = ingest_text(text.as_bytes(), options).expect("golden fixture parses");
+        csr_fingerprint(&g)
+    };
+    let goldens: Vec<(&str, u64, Vec<u8>)> = vec![
+        (
+            "golden_dimacs.gr",
+            fp(GOLDEN_DIMACS, IngestOptions::strict()),
+            GOLDEN_DIMACS.into(),
+        ),
+        (
+            "golden_remap.gr",
+            fp(GOLDEN_REMAP, IngestOptions::remapping()),
+            GOLDEN_REMAP.into(),
+        ),
+        (
+            "golden_lattice.gr",
+            csr_fingerprint(&lattice.graph),
+            to_edge_list(&lattice.graph).into(),
+        ),
+        (
+            "golden_lattice.ftbg",
+            csr_fingerprint(&lattice.graph),
+            write_binary(&lattice.graph),
+        ),
+    ];
+
+    let dir = testdata_dir();
+    println!("{:<22} {:>8} {:>20}", "fixture", "bytes", "fingerprint");
+    let mut drifted = Vec::new();
+    for (name, fingerprint, bytes) in &goldens {
+        println!("{name:<22} {:>8} {fingerprint:#018x}", bytes.len());
+        let path = dir.join(name);
+        if check {
+            match std::fs::read(&path) {
+                Ok(on_disk) if &on_disk == bytes => {}
+                Ok(_) => drifted.push(format!("{name}: bytes differ from the checked-in golden")),
+                Err(e) => drifted.push(format!("{name}: unreadable ({e})")),
+            }
+        } else {
+            std::fs::create_dir_all(&dir).expect("create testdata dir");
+            std::fs::write(&path, bytes).expect("write golden fixture");
+        }
+    }
+    if check {
+        if drifted.is_empty() {
+            println!("corpus goldens ok: all fixtures are byte-identical");
+        } else {
+            for d in &drifted {
+                eprintln!("CORPUS FORMAT DRIFT: {d}");
+            }
+            eprintln!(
+                "an ingestion format or generator changed without regenerating the \
+                 corpus goldens; if the change is deliberate, rerun gen_corpus_goldens \
+                 and update the fingerprints in corpus_goldens.rs"
+            );
+            std::process::exit(1);
+        }
+    } else {
+        println!("wrote {} fixtures to {}", goldens.len(), dir.display());
+    }
+}

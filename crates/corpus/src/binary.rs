@@ -1,0 +1,360 @@
+//! The `FTBG` checksummed binary edge-list format.
+//!
+//! Text edge lists are for eyeballing; multi-megabyte corpus graphs ship
+//! as compact binary files.  The layout reuses the little-endian
+//! conventions of [`ftbfs_graph::bytes`] (every integer is LE; decoding
+//! goes through `from_le_bytes`, never native reinterpretation):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"FTBG"
+//!      4     2  format version (u16, currently 1)
+//!      6     2  flags (u16, currently 0; nonzero rejects)
+//!      8     4  vertex count n (u32)
+//!     12     4  edge-record count m (u32)
+//!     16   8·m  m edge records: (u32 u, u32 v) vertex-id pairs
+//! 16+8m      8  FNV-1a-64 checksum of every preceding byte (u64)
+//! ```
+//!
+//! The reader is **streaming**: records are pulled from any
+//! [`std::io::Read`] in fixed-size chunks and pushed straight into a
+//! [`GraphAccumulator`] while an incremental [`Fnv1a`] digests the bytes —
+//! no intermediate `Vec<(u, v)>` is ever materialised, and the peak extra
+//! memory beyond the graph itself is one 8-byte record buffer.  Policy
+//! violations (self-loops, duplicates, out-of-range endpoints) are
+//! handled by the same [`IngestOptions`] as text parsing; under the
+//! default `Drop` policies they are counted, under `Error` they surface
+//! as [`CorpusError::Record`].  Because the reader is single-pass, a
+//! policy error on a record can fire before the trailing checksum has
+//! been verified.
+
+use crate::error::CorpusError;
+use ftbfs_graph::bytes::Fnv1a;
+use ftbfs_graph::io::{GraphAccumulator, IngestOptions, IngestStats};
+use ftbfs_graph::Graph;
+use std::io::Read;
+
+/// The four magic bytes every FTBG file starts with.
+pub const FTBG_MAGIC: [u8; 4] = *b"FTBG";
+/// The format version this build reads and writes.
+pub const FTBG_VERSION: u16 = 1;
+/// Size of the fixed header (magic + version + flags + n + m).
+pub const FTBG_HEADER_LEN: usize = 16;
+
+/// Serialises `graph` into an FTBG byte buffer (header, one record per
+/// edge in edge-id order with endpoints `(min, max)`, trailing checksum).
+pub fn write_binary(graph: &Graph) -> Vec<u8> {
+    let m = graph.edge_count();
+    let mut buf = Vec::with_capacity(FTBG_HEADER_LEN + 8 * m + 8);
+    buf.extend_from_slice(&FTBG_MAGIC);
+    buf.extend_from_slice(&FTBG_VERSION.to_le_bytes());
+    buf.extend_from_slice(&0u16.to_le_bytes());
+    buf.extend_from_slice(&(graph.vertex_count() as u32).to_le_bytes());
+    buf.extend_from_slice(&(m as u32).to_le_bytes());
+    for e in graph.edges() {
+        let ep = graph.endpoints(e);
+        buf.extend_from_slice(&ep.u.0.to_le_bytes());
+        buf.extend_from_slice(&ep.v.0.to_le_bytes());
+    }
+    let digest = Fnv1a::new().update(&buf).finish();
+    buf.extend_from_slice(&digest.to_le_bytes());
+    buf
+}
+
+/// A byte-counting, checksumming wrapper over a raw reader.
+struct CheckedReader<R> {
+    inner: R,
+    consumed: usize,
+    digest: Fnv1a,
+}
+
+impl<R: Read> CheckedReader<R> {
+    fn new(inner: R) -> Self {
+        CheckedReader {
+            inner,
+            consumed: 0,
+            digest: Fnv1a::new(),
+        }
+    }
+
+    /// Fills `buf` exactly, folding the bytes into the running digest.
+    /// Running out of input maps to [`CorpusError::Truncated`] at the
+    /// offset where the read started.
+    fn fill(&mut self, buf: &mut [u8]) -> Result<(), CorpusError> {
+        match self.inner.read_exact(buf) {
+            Ok(()) => {
+                self.digest = self.digest.update(buf);
+                self.consumed += buf.len();
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                Err(CorpusError::Truncated { at: self.consumed })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Reads the trailer **without** digesting it (the checksum is not
+    /// part of its own coverage).
+    fn trailer_u64(&mut self) -> Result<u64, CorpusError> {
+        let mut buf = [0u8; 8];
+        match self.inner.read_exact(&mut buf) {
+            Ok(()) => {
+                self.consumed += 8;
+                Ok(u64::from_le_bytes(buf))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                Err(CorpusError::Truncated { at: self.consumed })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+/// Streams an FTBG byte source into a graph under the given ingestion
+/// options.
+///
+/// Works over any [`Read`] — a byte slice, a [`std::io::BufReader`] over
+/// a file, a network stream.  See the module docs for the error
+/// contract; on success returns the graph plus the same [`IngestStats`]
+/// text parsing reports.
+pub fn read_binary<R: Read>(
+    reader: R,
+    options: IngestOptions,
+) -> Result<(Graph, IngestStats), CorpusError> {
+    let remap = options.remap;
+    let mut src = CheckedReader::new(reader);
+
+    let mut header = [0u8; FTBG_HEADER_LEN];
+    src.fill(&mut header)?;
+    if header[0..4] != FTBG_MAGIC {
+        return Err(CorpusError::BadMagic);
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != FTBG_VERSION {
+        return Err(CorpusError::UnsupportedVersion(version));
+    }
+    let flags = u16::from_le_bytes([header[6], header[7]]);
+    if flags != 0 {
+        return Err(CorpusError::UnsupportedFlags(flags));
+    }
+    let n = u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
+    let m = u32::from_le_bytes([header[12], header[13], header[14], header[15]]) as usize;
+
+    let mut acc = GraphAccumulator::new(options);
+    if !remap {
+        // Binary files always declare their vertex count; ids at or
+        // beyond it are out of range (under remap the declaration is a
+        // floor on the output size instead).
+        acc.declare_vertices(n);
+    }
+    let mut record = [0u8; 8];
+    for index in 0..m {
+        src.fill(&mut record)?;
+        let u = u32::from_le_bytes([record[0], record[1], record[2], record[3]]);
+        let v = u32::from_le_bytes([record[4], record[5], record[6], record[7]]);
+        acc.push_edge(u as u64, v as u64)
+            .map_err(|rejection| CorpusError::Record { index, rejection })?;
+    }
+
+    let actual = src.digest.finish();
+    let expected = src.trailer_u64()?;
+    if expected != actual {
+        return Err(CorpusError::ChecksumMismatch { expected, actual });
+    }
+    let mut probe = [0u8; 1];
+    match src.inner.read(&mut probe) {
+        Ok(0) => {}
+        Ok(_) => return Err(CorpusError::TrailingBytes { count: 1 }),
+        Err(e) => return Err(e.into()),
+    }
+
+    Ok(acc.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbfs_graph::generators;
+    use ftbfs_graph::io::{EdgeRejection, LinePolicy};
+
+    fn roundtrip(graph: &Graph) -> Graph {
+        let bytes = write_binary(graph);
+        let (g, stats) = read_binary(&bytes[..], IngestOptions::strict()).expect("roundtrip");
+        assert_eq!(stats.edges_added, graph.edge_count());
+        assert_eq!(stats.rejected(), 0);
+        g
+    }
+
+    #[test]
+    fn roundtrips_preserve_structure() {
+        for g in [
+            generators::grid(7, 9),
+            generators::cycle(50),
+            generators::gnp(40, 0.2, 7),
+            generators::star(12),
+        ] {
+            let back = roundtrip(&g);
+            assert_eq!(back.vertex_count(), g.vertex_count());
+            assert_eq!(back.edge_count(), g.edge_count());
+            for e in g.edges() {
+                let ep = g.endpoints(e);
+                assert!(back.has_edge(ep.u, ep.v));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs_roundtrip() {
+        let empty = ftbfs_graph::GraphBuilder::new(0).build();
+        assert_eq!(roundtrip(&empty).vertex_count(), 0);
+        let isolated = ftbfs_graph::GraphBuilder::new(5).build();
+        let back = roundtrip(&isolated);
+        assert_eq!(back.vertex_count(), 5);
+        assert_eq!(back.edge_count(), 0);
+    }
+
+    #[test]
+    fn bad_magic_version_flags_are_rejected() {
+        let g = generators::cycle(4);
+        let good = write_binary(&g);
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            read_binary(&bad[..], IngestOptions::strict()).unwrap_err(),
+            CorpusError::BadMagic
+        );
+
+        let mut bad = good.clone();
+        bad[4] = 9;
+        assert_eq!(
+            read_binary(&bad[..], IngestOptions::strict()).unwrap_err(),
+            CorpusError::UnsupportedVersion(9)
+        );
+
+        let mut bad = good.clone();
+        bad[6] = 1;
+        assert_eq!(
+            read_binary(&bad[..], IngestOptions::strict()).unwrap_err(),
+            CorpusError::UnsupportedFlags(1)
+        );
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_typed_error() {
+        let g = generators::grid(3, 3);
+        let bytes = write_binary(&g);
+        for len in 0..bytes.len() {
+            let err = read_binary(&bytes[..len], IngestOptions::strict())
+                .expect_err("truncated input must error");
+            assert!(
+                matches!(err, CorpusError::Truncated { .. }),
+                "prefix of {len} bytes gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let g = generators::grid(4, 4);
+        let bytes = write_binary(&g);
+        // Flip a bit inside a record that stays in range and is neither a
+        // self-loop nor a duplicate: the checksum is the last line of
+        // defence.  Record 0 of the grid is (0, 1); turning it into (0, 9)
+        // keeps it structurally valid.
+        let mut bad = bytes.clone();
+        let at = FTBG_HEADER_LEN + 4; // second endpoint of record 0
+        bad[at] = 9;
+        match read_binary(&bad[..], IngestOptions::strict()) {
+            Err(CorpusError::ChecksumMismatch { expected, actual }) => {
+                assert_ne!(expected, actual)
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let g = generators::cycle(5);
+        let mut bytes = write_binary(&g);
+        bytes.push(0);
+        assert_eq!(
+            read_binary(&bytes[..], IngestOptions::strict()).unwrap_err(),
+            CorpusError::TrailingBytes { count: 1 }
+        );
+    }
+
+    #[test]
+    fn record_policies_apply_to_binary_records() {
+        // Hand-build a file with a self-loop and a duplicate.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FTBG_MAGIC);
+        buf.extend_from_slice(&FTBG_VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        for (u, v) in [(0u32, 1u32), (1, 1), (1, 0), (1, 2)] {
+            buf.extend_from_slice(&u.to_le_bytes());
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let digest = Fnv1a::new().update(&buf).finish();
+        buf.extend_from_slice(&digest.to_le_bytes());
+
+        // Default policies: drop and count.
+        let (g, stats) = read_binary(&buf[..], IngestOptions::default()).expect("lenient read");
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(stats.self_loops_dropped, 1);
+        assert_eq!(stats.duplicates_dropped, 1);
+
+        // Error policies: the first offending record errors with its index.
+        let no_loops = IngestOptions {
+            self_loops: LinePolicy::Error,
+            ..IngestOptions::default()
+        };
+        assert_eq!(
+            read_binary(&buf[..], no_loops).unwrap_err(),
+            CorpusError::Record {
+                index: 1,
+                rejection: EdgeRejection::SelfLoop
+            }
+        );
+        let no_dup = IngestOptions {
+            duplicates: LinePolicy::Error,
+            ..IngestOptions::default()
+        };
+        assert_eq!(
+            read_binary(&buf[..], no_dup).unwrap_err(),
+            CorpusError::Record {
+                index: 2,
+                rejection: EdgeRejection::Duplicate
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_records_are_typed_errors() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FTBG_MAGIC);
+        buf.extend_from_slice(&FTBG_VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&5u32.to_le_bytes()); // id 5 ≥ n = 2
+        let digest = Fnv1a::new().update(&buf).finish();
+        buf.extend_from_slice(&digest.to_le_bytes());
+        assert_eq!(
+            read_binary(&buf[..], IngestOptions::default()).unwrap_err(),
+            CorpusError::Record {
+                index: 0,
+                rejection: EdgeRejection::OutOfRange
+            }
+        );
+        // Remap mode compacts instead: ids 0 and 5 become 0 and 1.
+        let (g, stats) = read_binary(&buf[..], IngestOptions::remapping()).expect("remap");
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.vertex_count() >= 2);
+        assert_eq!(stats.remapped_ids, 1);
+    }
+}

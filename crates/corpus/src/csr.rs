@@ -1,0 +1,95 @@
+//! CSR fingerprints: cheap structural digests for golden tests and
+//! cross-format ingestion checks.
+//!
+//! [`ftbfs_graph::Graph`] already stores its adjacency in compressed
+//! sparse row form — ingestion parses *straight into* that CSR via
+//! [`ftbfs_graph::io::GraphAccumulator`].  What the corpus layer adds is
+//! a canonical 64-bit digest over the structure: the FNV-1a hash of
+//! `(n, m)` followed by every edge's `(min, max)` endpoint pair in
+//! sorted order.  The digest depends only on the vertex count and the
+//! edge *set* — not on edge insertion order — so the same graph ingested
+//! from a text file and from a binary file fingerprints identically even
+//! if the files list edges differently.
+
+use ftbfs_graph::bytes::Fnv1a;
+use ftbfs_graph::Graph;
+
+/// Summary of an ingested CSR structure, as pinned by golden tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CsrSummary {
+    /// Vertex count `n`.
+    pub vertices: usize,
+    /// Edge count `m`.
+    pub edges: usize,
+    /// Order-insensitive structural digest — see [`csr_fingerprint`].
+    pub fingerprint: u64,
+}
+
+/// The canonical structural fingerprint of `graph` (see module docs).
+pub fn csr_fingerprint(graph: &Graph) -> u64 {
+    let mut pairs: Vec<(u32, u32)> = graph
+        .edges()
+        .map(|e| {
+            let ep = graph.endpoints(e);
+            (ep.u.0, ep.v.0)
+        })
+        .collect();
+    pairs.sort_unstable();
+    let mut digest = Fnv1a::new()
+        .update(&(graph.vertex_count() as u64).to_le_bytes())
+        .update(&(graph.edge_count() as u64).to_le_bytes());
+    for (u, v) in pairs {
+        digest = digest.update(&u.to_le_bytes()).update(&v.to_le_bytes());
+    }
+    digest.finish()
+}
+
+/// Builds the [`CsrSummary`] of `graph`.
+pub fn csr_summary(graph: &Graph) -> CsrSummary {
+    CsrSummary {
+        vertices: graph.vertex_count(),
+        edges: graph.edge_count(),
+        fingerprint: csr_fingerprint(graph),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbfs_graph::{generators, GraphBuilder, VertexId};
+
+    #[test]
+    fn fingerprint_is_insensitive_to_edge_order() {
+        let mut a = GraphBuilder::new(4);
+        a.add_edge(VertexId(0), VertexId(1));
+        a.add_edge(VertexId(2), VertexId(3));
+        a.add_edge(VertexId(1), VertexId(2));
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(VertexId(1), VertexId(2));
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(3), VertexId(2));
+        assert_eq!(csr_fingerprint(&a.build()), csr_fingerprint(&b.build()));
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_structure() {
+        let grid = generators::grid(4, 4);
+        let cycle = generators::cycle(16);
+        assert_ne!(csr_fingerprint(&grid), csr_fingerprint(&cycle));
+        // Same edges, one extra isolated vertex: different digest.
+        let mut a = GraphBuilder::new(3);
+        a.add_edge(VertexId(0), VertexId(1));
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(VertexId(0), VertexId(1));
+        assert_ne!(csr_fingerprint(&a.build()), csr_fingerprint(&b.build()));
+    }
+
+    #[test]
+    fn summary_reports_sizes() {
+        let g = generators::grid(3, 5);
+        let s = csr_summary(&g);
+        assert_eq!(s.vertices, 15);
+        assert_eq!(s.edges, g.edge_count());
+        assert_eq!(s.fingerprint, csr_fingerprint(&g));
+    }
+}

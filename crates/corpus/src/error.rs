@@ -1,0 +1,168 @@
+//! The corpus error taxonomy.
+//!
+//! Ingestion never panics on bad input: every malformed byte, truncated
+//! file or policy violation surfaces as a typed [`CorpusError`].  Text
+//! parsing delegates to `ftbfs_graph::io` and wraps its
+//! [`ParseError`] unchanged, so callers see exactly one taxonomy whether
+//! they parse an in-memory string or ingest a multi-megabyte file.
+
+use ftbfs_graph::io::{EdgeRejection, ParseError};
+use std::fmt;
+
+/// An error produced while ingesting a corpus graph (text or binary).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CorpusError {
+    /// A text edge-list parse error (shared taxonomy with
+    /// [`ftbfs_graph::io::from_edge_list`]).
+    Parse(ParseError),
+    /// An I/O error while reading or writing a corpus file.  Only the
+    /// [`std::io::ErrorKind`] is kept so the error stays `Clone + Eq`.
+    Io(std::io::ErrorKind),
+    /// The binary file does not start with the `FTBG` magic.
+    BadMagic,
+    /// The binary file declares a format version this reader does not
+    /// understand.
+    UnsupportedVersion(u16),
+    /// The binary file sets header flags this reader does not understand.
+    UnsupportedFlags(u16),
+    /// The input ended before the declared records and trailing checksum
+    /// were read; `at` is the byte offset at which input ran out.
+    Truncated {
+        /// Byte offset at which the input ended.
+        at: usize,
+    },
+    /// The trailing FNV-1a checksum does not match the bytes that were
+    /// read — the file is corrupt.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        expected: u64,
+        /// Checksum recomputed over the bytes actually read.
+        actual: u64,
+    },
+    /// Bytes remain after the trailing checksum.
+    TrailingBytes {
+        /// Number of unexpected trailing bytes (lower bound when the
+        /// source is a stream).
+        count: usize,
+    },
+    /// A binary edge record was rejected under the active
+    /// [`ftbfs_graph::io::IngestOptions`] policies.
+    Record {
+        /// Zero-based index of the offending record.
+        index: usize,
+        /// Why the record was rejected.
+        rejection: EdgeRejection,
+    },
+    /// The binary header declares more vertices or edges than this build
+    /// supports (`u32` ids).
+    HeaderOverflow,
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Parse(e) => write!(f, "text parse error: {e}"),
+            CorpusError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+            CorpusError::BadMagic => write!(f, "not an FTBG binary graph (bad magic)"),
+            CorpusError::UnsupportedVersion(v) => {
+                write!(f, "unsupported FTBG format version {v}")
+            }
+            CorpusError::UnsupportedFlags(flags) => {
+                write!(f, "unsupported FTBG header flags {flags:#06x}")
+            }
+            CorpusError::Truncated { at } => {
+                write!(f, "truncated FTBG input at byte {at}")
+            }
+            CorpusError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "FTBG checksum mismatch: stored {expected:#018x}, computed {actual:#018x}"
+            ),
+            CorpusError::TrailingBytes { count } => {
+                write!(f, "{count} unexpected byte(s) after the FTBG checksum")
+            }
+            CorpusError::Record { index, rejection } => {
+                let what = match rejection {
+                    EdgeRejection::SelfLoop => "self-loop",
+                    EdgeRejection::Duplicate => "duplicate edge",
+                    EdgeRejection::OutOfRange => "endpoint out of range",
+                };
+                write!(f, "binary edge record {index}: {what}")
+            }
+            CorpusError::HeaderOverflow => {
+                write!(f, "FTBG header declares sizes beyond u32 id space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for CorpusError {
+    fn from(e: ParseError) -> Self {
+        CorpusError::Parse(e)
+    }
+}
+
+impl From<std::io::Error> for CorpusError {
+    fn from(e: std::io::Error) -> Self {
+        CorpusError::Io(e.kind())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(CorpusError, &str)> = vec![
+            (CorpusError::BadMagic, "magic"),
+            (CorpusError::UnsupportedVersion(9), "version 9"),
+            (CorpusError::UnsupportedFlags(3), "0x0003"),
+            (CorpusError::Truncated { at: 12 }, "byte 12"),
+            (
+                CorpusError::ChecksumMismatch {
+                    expected: 1,
+                    actual: 2,
+                },
+                "checksum mismatch",
+            ),
+            (CorpusError::TrailingBytes { count: 3 }, "3 unexpected"),
+            (
+                CorpusError::Record {
+                    index: 7,
+                    rejection: EdgeRejection::SelfLoop,
+                },
+                "record 7",
+            ),
+            (CorpusError::HeaderOverflow, "u32"),
+            (CorpusError::Io(std::io::ErrorKind::NotFound), "NotFound"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn conversions_preserve_cause() {
+        let parse = ParseError::MalformedLine { line: 3 };
+        let err: CorpusError = parse.clone().into();
+        assert_eq!(err, CorpusError::Parse(parse));
+        let io = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope");
+        assert_eq!(
+            CorpusError::from(io),
+            CorpusError::Io(std::io::ErrorKind::PermissionDenied)
+        );
+    }
+}

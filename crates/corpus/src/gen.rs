@@ -1,0 +1,236 @@
+//! Large-scale embedded graph generators.
+//!
+//! The repo's historical experiments run on `n ≤ 200` toy graphs; the
+//! corpus generators produce graphs an order of magnitude larger, with
+//! shapes that mimic the structure real fault models care about:
+//!
+//! * [`road_like`] — a planar lattice with a sparse set of long-range
+//!   shortcuts routed through a few "interchange" vertices (so genuine
+//!   high-degree hubs exist, as in road networks);
+//! * [`preferential_attachment`] — a Barabási–Albert-style scale-free
+//!   graph with heavy-tailed degrees;
+//! * [`layered_expander`] — a layered DAG-shaped expander where every
+//!   layer-to-layer cut is wide (the hard case for cut-targeting fault
+//!   scenarios).
+//!
+//! Every generator returns an [`EmbeddedGraph`]: the graph plus 2-D
+//! coordinates per vertex, which the quad-tree partition
+//! ([`crate::quad`]) uses to derive *spatially correlated* fault pairs.
+//! All generators are deterministic in their seed.
+
+use ftbfs_graph::{Graph, GraphBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A graph together with a planar embedding (one `[x, y]` per vertex).
+#[derive(Clone, Debug)]
+pub struct EmbeddedGraph {
+    /// The graph.
+    pub graph: Graph,
+    /// Vertex coordinates, indexed by vertex id.
+    pub coords: Vec<[f64; 2]>,
+}
+
+impl EmbeddedGraph {
+    /// Vertex count (coordinates and graph always agree).
+    pub fn vertex_count(&self) -> usize {
+        self.graph.vertex_count()
+    }
+}
+
+/// A `rows × cols` lattice with `shortcuts` extra long-range edges
+/// routed through ~`√(rows·cols)` interchange vertices.
+///
+/// The lattice part embeds at integer grid coordinates; shortcut
+/// endpoints are chosen uniformly, with one endpoint always an
+/// interchange, so a handful of vertices accumulate large degree —
+/// the targets of the hub-failure scenarios.
+///
+/// # Panics
+///
+/// Panics if `rows` or `cols` is zero.
+pub fn road_like(rows: usize, cols: usize, shortcuts: usize, seed: u64) -> EmbeddedGraph {
+    assert!(rows > 0 && cols > 0, "lattice must be non-empty");
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n);
+    let at = |r: usize, c: usize| VertexId::new(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(at(r, c), at(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(at(r, c), at(r + 1, c));
+            }
+        }
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let hubs = (n as f64).sqrt().ceil() as usize;
+    let interchanges: Vec<VertexId> = (0..hubs.max(1))
+        .map(|_| VertexId::new(rng.gen_range(0..n)))
+        .collect();
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < shortcuts && attempts < shortcuts * 20 + 100 {
+        attempts += 1;
+        let hub = interchanges[rng.gen_range(0..interchanges.len())];
+        let far = VertexId::new(rng.gen_range(0..n));
+        if hub != far && b.add_edge(hub, far) {
+            added += 1;
+        }
+    }
+    let coords = (0..n)
+        .map(|i| [(i / cols) as f64, (i % cols) as f64])
+        .collect();
+    EmbeddedGraph {
+        graph: b.build(),
+        coords,
+    }
+}
+
+/// A Barabási–Albert-style preferential-attachment graph: vertices
+/// arrive one at a time and attach `m_per` edges to endpoints sampled
+/// from the degree-weighted endpoint list.
+///
+/// The embedding places vertices uniformly at random in the unit square
+/// (scale-free graphs have no natural planar layout; the random
+/// embedding still gives the quad tree spatially meaningful regions).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `m_per == 0`.
+pub fn preferential_attachment(n: usize, m_per: usize, seed: u64) -> EmbeddedGraph {
+    assert!(n >= 2 && m_per >= 1, "need n >= 2 and m_per >= 1");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Endpoint multiset: each accepted edge pushes both ends, so sampling
+    // uniformly from it is degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m_per);
+    b.add_edge(VertexId(0), VertexId(1));
+    endpoints.extend([0, 1]);
+    for v in 2..n {
+        let vid = VertexId::new(v);
+        let wanted = m_per.min(v);
+        let mut attached = 0usize;
+        let mut attempts = 0usize;
+        while attached < wanted && attempts < 20 * wanted + 20 {
+            attempts += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if b.add_edge(vid, VertexId(t)) {
+                endpoints.extend([v as u32, t]);
+                attached += 1;
+            }
+        }
+    }
+    let coords = (0..n)
+        .map(|_| [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+        .collect();
+    EmbeddedGraph {
+        graph: b.build(),
+        coords,
+    }
+}
+
+/// A connected layered expander: `layers` layers of `width` vertices;
+/// every vertex of layer `ℓ+1` gets one guaranteed edge from a random
+/// vertex of layer `ℓ` (connectivity) plus `degree − 1` further random
+/// cross-layer edges.
+///
+/// Embeds with the layer index as `x` and the in-layer index as `y`.
+///
+/// # Panics
+///
+/// Panics if `layers < 2`, `width == 0` or `degree == 0`.
+pub fn layered_expander(layers: usize, width: usize, degree: usize, seed: u64) -> EmbeddedGraph {
+    assert!(
+        layers >= 2 && width > 0 && degree > 0,
+        "need layers >= 2, width > 0, degree > 0"
+    );
+    let n = layers * width;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let at = |layer: usize, i: usize| VertexId::new(layer * width + i);
+    // A path through layer 0 keeps the first layer internally connected.
+    for i in 0..width.saturating_sub(1) {
+        b.add_edge(at(0, i), at(0, i + 1));
+    }
+    for layer in 1..layers {
+        for i in 0..width {
+            let v = at(layer, i);
+            b.add_edge(at(layer - 1, rng.gen_range(0..width)), v);
+            let mut extra = 0usize;
+            let mut attempts = 0usize;
+            while extra + 1 < degree && attempts < 20 * degree + 20 {
+                attempts += 1;
+                if b.add_edge(at(layer - 1, rng.gen_range(0..width)), v) {
+                    extra += 1;
+                }
+            }
+        }
+    }
+    let coords = (0..n)
+        .map(|i| [(i / width) as f64, (i % width) as f64])
+        .collect();
+    EmbeddedGraph {
+        graph: b.build(),
+        coords,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbfs_graph::properties::{degree_stats, is_connected};
+
+    #[test]
+    fn road_like_is_connected_and_embedded() {
+        let g = road_like(20, 25, 40, 7);
+        assert_eq!(g.vertex_count(), 500);
+        assert_eq!(g.coords.len(), 500);
+        assert!(is_connected(&g.graph));
+        // Lattice edges plus (most of) the requested shortcuts.
+        let lattice = 20 * 24 + 19 * 25;
+        assert!(g.graph.edge_count() > lattice);
+        // Interchanges give the degree distribution a heavy head.
+        assert!(degree_stats(&g.graph).max >= 6);
+    }
+
+    #[test]
+    fn road_like_is_deterministic_in_its_seed() {
+        let a = road_like(10, 10, 15, 3);
+        let b = road_like(10, 10, 15, 3);
+        let c = road_like(10, 10, 15, 4);
+        assert_eq!(
+            crate::csr::csr_fingerprint(&a.graph),
+            crate::csr::csr_fingerprint(&b.graph)
+        );
+        assert_ne!(
+            crate::csr::csr_fingerprint(&a.graph),
+            crate::csr::csr_fingerprint(&c.graph)
+        );
+    }
+
+    #[test]
+    fn preferential_attachment_is_scale_free_ish() {
+        let g = preferential_attachment(600, 2, 11);
+        assert!(is_connected(&g.graph));
+        let stats = degree_stats(&g.graph);
+        // Heavy tail: some vertex far above the mean degree.
+        assert!(stats.max as f64 > 4.0 * stats.mean);
+        assert_eq!(g.coords.len(), 600);
+        assert!(g
+            .coords
+            .iter()
+            .all(|c| (0.0..1.0).contains(&c[0]) && (0.0..1.0).contains(&c[1])));
+    }
+
+    #[test]
+    fn layered_expander_is_connected_with_wide_cuts() {
+        let g = layered_expander(8, 40, 3, 5);
+        assert_eq!(g.vertex_count(), 320);
+        assert!(is_connected(&g.graph));
+        // Every layer boundary carries at least `width` edges, so no
+        // single or double failure can disconnect consecutive layers.
+        assert!(ftbfs_graph::properties::bridges(&g.graph).len() < 320);
+    }
+}

@@ -1,0 +1,139 @@
+//! File-level ingestion drivers: streaming text, streaming binary, and a
+//! format-sniffing entry point.
+//!
+//! Text files flow through [`ftbfs_graph::io::EdgeListParser`] one line
+//! at a time out of a **reused** line buffer — the driver never builds a
+//! per-line token `Vec` or an intermediate edge list, so ingesting a
+//! multi-megabyte `.gr` file allocates the graph and nothing else.
+//! Binary files flow through [`crate::binary::read_binary`], which is
+//! equally single-pass.  [`ingest_path`] sniffs the first four bytes and
+//! dispatches, so callers can hand either format to one function.
+
+use crate::binary::{read_binary, write_binary, FTBG_MAGIC};
+use crate::error::CorpusError;
+use ftbfs_graph::io::{to_edge_list, EdgeListParser, IngestOptions, IngestStats};
+use ftbfs_graph::Graph;
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Streams a text edge list (legacy `n <count>` or DIMACS `p <n> <m>`
+/// dialect) from any buffered reader into a graph.
+///
+/// Lines are pulled through one reused `String`; see the module docs for
+/// the allocation contract.
+pub fn ingest_text<R: BufRead>(
+    mut reader: R,
+    options: IngestOptions,
+) -> Result<(Graph, IngestStats), CorpusError> {
+    let mut parser = EdgeListParser::new(options);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let read = reader.read_line(&mut line)?;
+        if read == 0 {
+            break;
+        }
+        parser.feed_line(&line)?;
+    }
+    Ok(parser.finish()?)
+}
+
+/// Ingests a graph file, sniffing the format: files starting with the
+/// `FTBG` magic are decoded as binary, everything else parses as text.
+pub fn ingest_path(
+    path: &Path,
+    options: IngestOptions,
+) -> Result<(Graph, IngestStats), CorpusError> {
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let head = reader.fill_buf()?;
+    if head.len() >= FTBG_MAGIC.len() && head[..FTBG_MAGIC.len()] == FTBG_MAGIC {
+        read_binary(reader, options)
+    } else {
+        ingest_text(reader, options)
+    }
+}
+
+/// Writes `graph` to `path` in the legacy text edge-list format.
+pub fn write_text_path(graph: &Graph, path: &Path) -> Result<(), CorpusError> {
+    let mut file = File::create(path)?;
+    file.write_all(to_edge_list(graph).as_bytes())?;
+    Ok(())
+}
+
+/// Writes `graph` to `path` in the checksummed FTBG binary format.
+pub fn write_binary_path(graph: &Graph, path: &Path) -> Result<(), CorpusError> {
+    let mut file = File::create(path)?;
+    file.write_all(&write_binary(graph))?;
+    Ok(())
+}
+
+/// Reads a whole file into memory — a convenience for small corpus
+/// artifacts (scenario suites, goldens); graphs should go through the
+/// streaming [`ingest_path`] instead.
+pub fn read_file(path: &Path) -> Result<Vec<u8>, CorpusError> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbfs_graph::generators;
+    use ftbfs_graph::io::ParseError;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ftbfs-corpus-ingest-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn text_streaming_matches_in_memory_parse() {
+        let g = generators::grid(5, 6);
+        let text = to_edge_list(&g);
+        let (streamed, stats) =
+            ingest_text(text.as_bytes(), IngestOptions::strict()).expect("stream");
+        assert_eq!(streamed.vertex_count(), g.vertex_count());
+        assert_eq!(streamed.edge_count(), g.edge_count());
+        assert_eq!(stats.edges_added, g.edge_count());
+    }
+
+    #[test]
+    fn text_errors_surface_through_the_driver() {
+        let err = ingest_text("n 3\nx y\n".as_bytes(), IngestOptions::strict()).unwrap_err();
+        assert_eq!(
+            err,
+            CorpusError::Parse(ParseError::MalformedLine { line: 2 })
+        );
+        let err = ingest_text("x y z\n".as_bytes(), IngestOptions::strict()).unwrap_err();
+        assert_eq!(err, CorpusError::Parse(ParseError::MissingHeader));
+    }
+
+    #[test]
+    fn path_ingestion_sniffs_both_formats() {
+        let g = generators::gnp(30, 0.15, 11);
+        let text_path = tmp("sniff.gr");
+        let bin_path = tmp("sniff.ftbg");
+        write_text_path(&g, &text_path).unwrap();
+        write_binary_path(&g, &bin_path).unwrap();
+
+        let (from_text, _) = ingest_path(&text_path, IngestOptions::strict()).unwrap();
+        let (from_bin, _) = ingest_path(&bin_path, IngestOptions::strict()).unwrap();
+        assert_eq!(from_text.vertex_count(), g.vertex_count());
+        assert_eq!(from_bin.vertex_count(), g.vertex_count());
+        assert_eq!(from_text.edge_count(), from_bin.edge_count());
+
+        std::fs::remove_file(&text_path).ok();
+        std::fs::remove_file(&bin_path).ok();
+    }
+
+    #[test]
+    fn missing_files_are_io_errors() {
+        let err = ingest_path(Path::new("/nonexistent/ftbfs.gr"), IngestOptions::strict())
+            .expect_err("missing file");
+        assert!(matches!(err, CorpusError::Io(_)));
+    }
+}

@@ -1,0 +1,51 @@
+//! # ftbfs-corpus
+//!
+//! Real-graph corpus for the Dual Failure Resilient BFS reproduction:
+//! the subsystem that moves the experiments off `n ≤ 200` toy graphs.
+//!
+//! Two halves:
+//!
+//! 1. **Ingestion** — streaming readers for on-disk edge lists in two
+//!    formats: the text dialects of [`ftbfs_graph::io`] (legacy
+//!    `n <count>` and DIMACS-style `p <n> <m>`) and the checksummed
+//!    `FTBG` binary format ([`binary`]).  Both stream straight into the
+//!    graph's CSR storage through one shared
+//!    [`ftbfs_graph::io::GraphAccumulator`] — one parse path, one
+//!    [`error::CorpusError`] taxonomy, no intermediate edge `Vec`, no
+//!    panics on malformed input.  [`gen`] provides large-scale embedded
+//!    generators (road-like lattice, preferential attachment, layered
+//!    expander) to produce corpus files worth ingesting.
+//!
+//! 2. **Scenario corpus** — named, serializable fault-scenario suites
+//!    ([`scenario`]) driven by a quad-tree spatial partition ([`quad`])
+//!    and a biconnected-components pass: correlated-spatial pairs,
+//!    bridge-adversarial 2-cuts, hub-targeted failures, and
+//!    deterministic replay sequences.
+//!
+//! CSR fingerprints ([`csr`]) pin golden fixtures and prove that text
+//! and binary ingestion of the same graph agree; [`telemetry`] registers
+//! the `ftbfs_corpus_*` metric family.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod csr;
+pub mod error;
+pub mod gen;
+pub mod ingest;
+pub mod quad;
+pub mod scenario;
+pub mod telemetry;
+
+pub use binary::{read_binary, write_binary, FTBG_HEADER_LEN, FTBG_MAGIC, FTBG_VERSION};
+pub use csr::{csr_fingerprint, csr_summary, CsrSummary};
+pub use error::CorpusError;
+pub use gen::{layered_expander, preferential_attachment, road_like, EmbeddedGraph};
+pub use ingest::{ingest_path, ingest_text, write_binary_path, write_text_path};
+pub use quad::QuadTree;
+pub use scenario::{
+    bridge_adversarial, correlated_spatial, hub_targeted, replay_sequence, ScenarioKind,
+    ScenarioSuite, SuiteError,
+};
+pub use telemetry::{IngestMetrics, SuiteMetrics, FORMAT_BINARY, FORMAT_TEXT};

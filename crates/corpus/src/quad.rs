@@ -1,0 +1,167 @@
+//! Quad-tree spatial partition over embedded graphs.
+//!
+//! Correlated failures — a flooded district, a cut cable duct — take out
+//! edges that are *near each other*.  To model that, the corpus
+//! partitions an [`crate::gen::EmbeddedGraph`]'s vertices with a quad
+//! tree: the bounding box is subdivided into four quadrants recursively
+//! until every leaf holds at most `max_leaf` vertices (or a depth cap is
+//! hit for degenerate/duplicate embeddings).  The leaves are the
+//! "regions"; the correlated-spatial scenario builder draws both faults
+//! of each pair from edges internal to one region.
+
+/// A quad-tree partition of embedded vertices into spatial leaf regions.
+#[derive(Clone, Debug)]
+pub struct QuadTree {
+    leaves: Vec<Vec<u32>>,
+    leaf_of: Vec<u32>,
+}
+
+/// Hard recursion cap: beyond this depth, remaining points are
+/// co-located (or pathologically close) and become one leaf.
+const MAX_DEPTH: usize = 32;
+
+impl QuadTree {
+    /// Partitions `coords` into leaves of at most `max_leaf` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_leaf` is zero or any coordinate is non-finite.
+    pub fn build(coords: &[[f64; 2]], max_leaf: usize) -> Self {
+        assert!(max_leaf > 0, "leaves must be allowed to hold vertices");
+        assert!(
+            coords.iter().all(|c| c[0].is_finite() && c[1].is_finite()),
+            "coordinates must be finite"
+        );
+        let mut leaves: Vec<Vec<u32>> = Vec::new();
+        let mut leaf_of = vec![0u32; coords.len()];
+        if coords.is_empty() {
+            return QuadTree { leaves, leaf_of };
+        }
+        let (mut lo, mut hi) = ([f64::MAX; 2], [f64::MIN; 2]);
+        for c in coords {
+            for d in 0..2 {
+                lo[d] = lo[d].min(c[d]);
+                hi[d] = hi[d].max(c[d]);
+            }
+        }
+        let all: Vec<u32> = (0..coords.len() as u32).collect();
+        // Explicit work stack of (members, box-lo, box-hi, depth).
+        let mut work = vec![(all, lo, hi, 0usize)];
+        while let Some((members, lo, hi, depth)) = work.pop() {
+            if members.len() <= max_leaf || depth >= MAX_DEPTH {
+                let leaf = leaves.len() as u32;
+                for &v in &members {
+                    leaf_of[v as usize] = leaf;
+                }
+                leaves.push(members);
+                continue;
+            }
+            let mid = [(lo[0] + hi[0]) / 2.0, (lo[1] + hi[1]) / 2.0];
+            let mut quads: [Vec<u32>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+            for &v in &members {
+                let c = coords[v as usize];
+                let q = (c[0] > mid[0]) as usize | (((c[1] > mid[1]) as usize) << 1);
+                quads[q].push(v);
+            }
+            // A split that fails to separate anything (all points in one
+            // quadrant, e.g. duplicates) still terminates via the depth
+            // cap; boxes shrink geometrically so 32 levels always suffice
+            // for distinct f64 coordinates.
+            for (q, quad) in quads.into_iter().enumerate() {
+                if quad.is_empty() {
+                    continue;
+                }
+                let qlo = [
+                    if q & 1 == 0 { lo[0] } else { mid[0] },
+                    if q & 2 == 0 { lo[1] } else { mid[1] },
+                ];
+                let qhi = [
+                    if q & 1 == 0 { mid[0] } else { hi[0] },
+                    if q & 2 == 0 { mid[1] } else { hi[1] },
+                ];
+                work.push((quad, qlo, qhi, depth + 1));
+            }
+        }
+        QuadTree { leaves, leaf_of }
+    }
+
+    /// Number of leaf regions.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The leaf region `vertex` belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertex` is out of range.
+    pub fn leaf_of(&self, vertex: usize) -> usize {
+        self.leaf_of[vertex] as usize
+    }
+
+    /// The vertices of leaf `leaf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is out of range.
+    pub fn leaf_members(&self, leaf: usize) -> &[u32] {
+        &self.leaves[leaf]
+    }
+
+    /// Iterates all leaves (slices of vertex ids).
+    pub fn leaves(&self) -> impl Iterator<Item = &[u32]> {
+        self.leaves.iter().map(|l| l.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_cover_every_vertex_exactly_once() {
+        let g = crate::gen::road_like(12, 12, 10, 1);
+        let qt = QuadTree::build(&g.coords, 16);
+        let mut seen = vec![false; g.vertex_count()];
+        for leaf in qt.leaves() {
+            assert!(leaf.len() <= 16);
+            for &v in leaf {
+                assert!(!seen[v as usize], "vertex {v} in two leaves");
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        for v in 0..g.vertex_count() {
+            assert!(qt
+                .leaf_members(qt.leaf_of(v))
+                .iter()
+                .any(|&m| m as usize == v));
+        }
+    }
+
+    #[test]
+    fn leaves_are_spatially_tight() {
+        let g = crate::gen::road_like(16, 16, 0, 1);
+        let qt = QuadTree::build(&g.coords, 8);
+        // With 256 grid points and ≤8 per leaf, no leaf may span the
+        // whole 15-unit extent.
+        for leaf in qt.leaves() {
+            let xs: Vec<f64> = leaf.iter().map(|&v| g.coords[v as usize][0]).collect();
+            let span = xs.iter().cloned().fold(f64::MIN, f64::max)
+                - xs.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(span < 15.0, "leaf spans the whole x extent");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_terminate() {
+        // All points identical: one leaf via the depth cap.
+        let coords = vec![[1.0, 1.0]; 50];
+        let qt = QuadTree::build(&coords, 4);
+        assert_eq!(qt.leaf_count(), 1);
+        assert_eq!(qt.leaf_members(0).len(), 50);
+        // Empty input.
+        let qt = QuadTree::build(&[], 4);
+        assert_eq!(qt.leaf_count(), 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Corpus metric registration: the `ftbfs_corpus_*` family.
+//!
+//! Experiments scrape these through the shared
+//! [`MetricsRegistry`]; the names live in
+//! [`ftbfs_telemetry::names`] next to the serving metrics so the
+//! telemetry contract stays in one place.
+
+use ftbfs_graph::io::IngestStats;
+use ftbfs_telemetry::names;
+use ftbfs_telemetry::{Counter, Histogram, MetricsRegistry};
+
+/// The format label value for text ingestion runs.
+pub const FORMAT_TEXT: &str = "text";
+/// The format label value for binary (FTBG) ingestion runs.
+pub const FORMAT_BINARY: &str = "binary";
+
+/// Per-format ingestion instruments, registered once per format label.
+pub struct IngestMetrics {
+    /// Edges accepted (`ftbfs_corpus_edges_ingested_total`).
+    pub edges: Counter,
+    /// Records rejected by policy (`ftbfs_corpus_lines_rejected_total`).
+    pub rejected: Counter,
+    /// Ids moved by compaction (`ftbfs_corpus_ids_remapped_total`).
+    pub remapped: Counter,
+    /// Run duration in nanoseconds (`ftbfs_corpus_ingest_ns`).
+    pub ingest_ns: Histogram,
+}
+
+impl IngestMetrics {
+    /// Registers (or re-resolves) the ingestion instruments for a format
+    /// label (`"text"` or `"binary"`); registration is idempotent.
+    pub fn register(registry: &MetricsRegistry, format: &'static str) -> Self {
+        let label = || vec![(names::LABEL_FORMAT, format.to_string())];
+        IngestMetrics {
+            edges: registry.counter_with(
+                names::CORPUS_EDGES_INGESTED,
+                names::CORPUS_EDGES_INGESTED_HELP,
+                label(),
+            ),
+            rejected: registry.counter_with(
+                names::CORPUS_LINES_REJECTED,
+                names::CORPUS_LINES_REJECTED_HELP,
+                label(),
+            ),
+            remapped: registry.counter_with(
+                names::CORPUS_IDS_REMAPPED,
+                names::CORPUS_IDS_REMAPPED_HELP,
+                label(),
+            ),
+            ingest_ns: registry.histogram_with(
+                names::CORPUS_INGEST_NS,
+                names::CORPUS_INGEST_NS_HELP,
+                label(),
+                1,
+            ),
+        }
+    }
+
+    /// Records one completed ingestion run.
+    pub fn record_run(&self, stats: &IngestStats, elapsed_ns: u64) {
+        self.edges.add(stats.edges_added as u64);
+        self.rejected.add(stats.rejected() as u64);
+        self.remapped.add(stats.remapped_ids as u64);
+        self.ingest_ns.record(elapsed_ns);
+    }
+}
+
+/// Per-suite scenario instruments.
+pub struct SuiteMetrics {
+    /// Faults recorded (`ftbfs_corpus_suite_faults_total`).
+    pub faults: Counter,
+    /// Requests executed (`ftbfs_corpus_suite_requests_total`).
+    pub requests: Counter,
+}
+
+impl SuiteMetrics {
+    /// Registers the counters for a named suite of the given kind.
+    pub fn register(registry: &MetricsRegistry, suite: &str, kind: &str) -> Self {
+        SuiteMetrics {
+            faults: registry.counter_with(
+                names::CORPUS_SUITE_FAULTS,
+                names::CORPUS_SUITE_FAULTS_HELP,
+                vec![
+                    (names::LABEL_SUITE, suite.to_string()),
+                    (names::LABEL_KIND, kind.to_string()),
+                ],
+            ),
+            requests: registry.counter_with(
+                names::CORPUS_SUITE_REQUESTS,
+                names::CORPUS_SUITE_REQUESTS_HELP,
+                vec![(names::LABEL_SUITE, suite.to_string())],
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_scrapable() {
+        let registry = MetricsRegistry::new();
+        let a = IngestMetrics::register(&registry, FORMAT_TEXT);
+        let b = IngestMetrics::register(&registry, FORMAT_TEXT);
+        a.edges.add(10);
+        b.edges.add(5);
+        // Same (name, labels) resolve to the same underlying counter.
+        assert_eq!(a.edges.get(), 15);
+
+        let stats = IngestStats {
+            edges_added: 7,
+            self_loops_dropped: 1,
+            duplicates_dropped: 2,
+            remapped_ids: 3,
+        };
+        a.record_run(&stats, 1_000);
+        assert_eq!(a.edges.get(), 22);
+        assert_eq!(a.rejected.get(), 3);
+        assert_eq!(a.remapped.get(), 3);
+
+        let suite = SuiteMetrics::register(&registry, "replay", "replay");
+        suite.faults.add(4);
+        suite.requests.add(8);
+
+        let scrape = registry.scrape();
+        let text = scrape.to_prometheus();
+        assert!(text.contains(names::CORPUS_EDGES_INGESTED));
+        assert!(text.contains(names::CORPUS_SUITE_REQUESTS));
+        assert!(text.contains("format=\"text\""));
+        assert!(text.contains("suite=\"replay\""));
+    }
+}

@@ -1,22 +1,38 @@
-//! A minimal text edge-list format for saving and loading graphs.
+//! Text edge-list parsing: one streaming parse path for every text graph
+//! format the workspace reads.
 //!
-//! The format is line oriented:
+//! Two header dialects share the same line grammar:
 //!
 //! ```text
-//! # comments start with '#'
-//! n <vertex-count>
-//! <u> <v>
-//! <u> <v>
-//! ...
+//! # comments start with '#' (legacy) ...
+//! c ... or with a standalone 'c' token (DIMACS)
+//! n <vertex-count>        legacy header, 0-based vertex ids
+//! p sp <n> <m>            DIMACS-style header, 1-based ids, declared edge count
+//! <u> <v>                 bare edge line
+//! a <u> <v> [w]           DIMACS arc line (the weight token is ignored)
+//! e <u> <v>               DIMACS edge line
 //! ```
 //!
-//! It exists so that experiment inputs/outputs can be inspected and rerun;
-//! it is intentionally not a general-purpose interchange format.
+//! The parser is *streaming*: lines are fed one at a time into an
+//! [`EdgeListParser`] which accumulates directly into the flat endpoint
+//! arrays behind [`Graph`] — no intermediate per-line allocations, no
+//! `Vec<(u, v)>` copy of the file.  File-level drivers (buffered readers,
+//! the checksummed binary format, fixtures) live in the `ftbfs-corpus`
+//! crate and feed the same [`GraphAccumulator`], so there is exactly one
+//! ingestion path and one [`ParseError`] taxonomy for malformed text.
+//!
+//! [`IngestOptions`] controls the policy knobs real edge lists need:
+//! optional vertex-id compaction (arbitrary `u64` ids remapped to dense
+//! `0..n` in first-seen order), and drop-vs-error handling for self-loops
+//! and duplicate edges.  [`from_edge_list`] keeps the historical strict
+//! behaviour (header required, dense ids, silent dedup) as a thin wrapper
+//! over the same parser.
 
-use crate::graph::{Graph, GraphBuilder, VertexId};
+use crate::graph::{Endpoints, Graph, VertexId};
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
-/// Errors produced when parsing the edge-list format.
+/// Errors produced when parsing the edge-list text format.
 ///
 /// The enum is `#[non_exhaustive]`: the format intentionally stays small,
 /// but new error variants (e.g. for future header extensions) may be added
@@ -24,7 +40,7 @@ use std::fmt::Write as _;
 #[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
-    /// The `n <count>` header line is missing or malformed.
+    /// The `n <count>` / `p <n> <m>` header line is missing or malformed.
     MissingHeader,
     /// A line could not be parsed as two vertex indices.
     MalformedLine {
@@ -36,23 +52,432 @@ pub enum ParseError {
         /// 1-based line number of the offending line.
         line: usize,
     },
+    /// A self-loop edge under [`LinePolicy::Error`].
+    SelfLoop {
+        /// 1-based line number of the offending line.
+        line: usize,
+    },
+    /// A repeated edge under [`LinePolicy::Error`].
+    DuplicateEdge {
+        /// 1-based line number of the offending line.
+        line: usize,
+    },
+    /// A DIMACS-style header declared an edge count that does not match
+    /// the number of edge lines in the input.
+    EdgeCountMismatch {
+        /// The count the `p` header declared.
+        declared: usize,
+        /// The number of edge lines actually present.
+        actual: usize,
+    },
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ParseError::MissingHeader => write!(f, "missing or malformed 'n <count>' header"),
+            ParseError::MissingHeader => {
+                write!(f, "missing or malformed 'n <count>' / 'p <n> <m>' header")
+            }
             ParseError::MalformedLine { line } => write!(f, "malformed edge on line {line}"),
             ParseError::VertexOutOfRange { line } => {
                 write!(f, "vertex index out of range on line {line}")
             }
+            ParseError::SelfLoop { line } => write!(f, "self-loop edge on line {line}"),
+            ParseError::DuplicateEdge { line } => write!(f, "duplicate edge on line {line}"),
+            ParseError::EdgeCountMismatch { declared, actual } => write!(
+                f,
+                "header declared {declared} edges but the input has {actual} edge lines"
+            ),
         }
     }
 }
 
 impl std::error::Error for ParseError {}
 
-/// Serialises a graph to the edge-list text format.
+/// What to do with an edge line the accumulator would otherwise discard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LinePolicy {
+    /// Silently drop the edge and count it in [`IngestStats`] (the
+    /// historical [`GraphBuilder`](crate::GraphBuilder) behaviour).
+    #[default]
+    Drop,
+    /// Reject the whole input with a typed error.
+    Error,
+}
+
+/// Policy knobs for an ingestion run, shared by the text parser and the
+/// binary readers of `ftbfs-corpus`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestOptions {
+    /// Compact arbitrary `u64` vertex ids to dense `0..n` in first-seen
+    /// order.  With remapping on, a header is optional and never bounds
+    /// the ids; without it, ids must be dense and in the declared range.
+    pub remap: bool,
+    /// Handling of `u == v` edges.
+    pub self_loops: LinePolicy,
+    /// Handling of repeated `{u, v}` edges.
+    pub duplicates: LinePolicy,
+}
+
+impl IngestOptions {
+    /// The strict legacy options behind [`from_edge_list`]: no remapping,
+    /// self-loops and duplicates silently dropped.
+    #[must_use]
+    pub fn strict() -> Self {
+        IngestOptions::default()
+    }
+
+    /// Options for real-world edge lists: arbitrary ids remapped to dense,
+    /// self-loops and duplicates dropped and counted.
+    #[must_use]
+    pub fn remapping() -> Self {
+        IngestOptions {
+            remap: true,
+            ..IngestOptions::default()
+        }
+    }
+}
+
+/// Counters describing what an ingestion run did — the source of the
+/// `ftbfs_corpus_*` ingestion metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Edges accepted into the graph.
+    pub edges_added: usize,
+    /// Self-loop edges dropped under [`LinePolicy::Drop`].
+    pub self_loops_dropped: usize,
+    /// Duplicate edges dropped under [`LinePolicy::Drop`].
+    pub duplicates_dropped: usize,
+    /// Distinct vertex ids whose dense id differs from their input id
+    /// (only non-zero in remap mode).
+    pub remapped_ids: usize,
+}
+
+impl IngestStats {
+    /// Total edges rejected (dropped) by policy, the `rejected` metric.
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.self_loops_dropped + self.duplicates_dropped
+    }
+}
+
+/// Why [`GraphAccumulator::push_edge`] refused an edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeRejection {
+    /// `u == v` under [`LinePolicy::Error`].
+    SelfLoop,
+    /// The edge was already present under [`LinePolicy::Error`].
+    Duplicate,
+    /// An endpoint is not a valid vertex id (non-remap mode only).
+    OutOfRange,
+}
+
+/// The shared sink every ingestion front-end feeds: text lines, binary
+/// records and generators all push `(u, v)` pairs here, and the
+/// accumulator applies one consistent remap/self-loop/duplicate policy
+/// before building the [`Graph`].
+///
+/// Edges are stored as flat [`Endpoints`] arrays in arrival order (edge
+/// ids are assigned by arrival), so [`finish`](Self::finish) hands the
+/// arrays straight to the graph's CSR-style adjacency build without an
+/// intermediate copy.
+#[derive(Debug)]
+pub struct GraphAccumulator {
+    options: IngestOptions,
+    declared: Option<usize>,
+    bound: usize,
+    endpoints: Vec<Endpoints>,
+    seen: HashSet<(u32, u32)>,
+    remap: HashMap<u64, u32>,
+    stats: IngestStats,
+}
+
+impl GraphAccumulator {
+    /// Creates an empty accumulator with the given policies.
+    #[must_use]
+    pub fn new(options: IngestOptions) -> Self {
+        GraphAccumulator {
+            options,
+            declared: None,
+            bound: 0,
+            endpoints: Vec::new(),
+            seen: HashSet::new(),
+            remap: HashMap::new(),
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// Declares the vertex count (from a header).  In non-remap mode this
+    /// bounds the ids; in remap mode it only floors the final vertex
+    /// count.
+    pub fn declare_vertices(&mut self, n: usize) {
+        self.declared = Some(n);
+        self.bound = self.bound.max(n);
+    }
+
+    /// The declared vertex count, if a header was seen.
+    #[must_use]
+    pub fn declared_vertices(&self) -> Option<usize> {
+        self.declared
+    }
+
+    /// Number of edges accepted so far.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    fn resolve(&mut self, id: u64) -> Result<u32, EdgeRejection> {
+        if self.options.remap {
+            let next = self.remap.len() as u32;
+            let dense = *self.remap.entry(id).or_insert(next);
+            if dense == next {
+                // Newly assigned: count ids that moved under compaction.
+                if u64::from(dense) != id {
+                    self.stats.remapped_ids += 1;
+                }
+                self.bound = self.bound.max(dense as usize + 1);
+            }
+            Ok(dense)
+        } else {
+            let bound = self.declared.unwrap_or(usize::MAX);
+            if id >= bound as u64 || id > u64::from(u32::MAX) {
+                return Err(EdgeRejection::OutOfRange);
+            }
+            let dense = id as u32;
+            if self.declared.is_none() {
+                self.bound = self.bound.max(dense as usize + 1);
+            }
+            Ok(dense)
+        }
+    }
+
+    /// Pushes one raw edge.  Returns `Ok(true)` if the edge was added,
+    /// `Ok(false)` if it was dropped by policy (counted in the stats), and
+    /// a typed [`EdgeRejection`] under [`LinePolicy::Error`] or for ids
+    /// out of the declared range.
+    pub fn push_edge(&mut self, u: u64, v: u64) -> Result<bool, EdgeRejection> {
+        if u == v {
+            return match self.options.self_loops {
+                LinePolicy::Drop => {
+                    // Resolve anyway so remap mode still registers the id.
+                    self.resolve(u)?;
+                    self.stats.self_loops_dropped += 1;
+                    Ok(false)
+                }
+                LinePolicy::Error => Err(EdgeRejection::SelfLoop),
+            };
+        }
+        let a = self.resolve(u)?;
+        let b = self.resolve(v)?;
+        let ep = Endpoints::new(VertexId(a), VertexId(b));
+        if !self.seen.insert((ep.u.0, ep.v.0)) {
+            return match self.options.duplicates {
+                LinePolicy::Drop => {
+                    self.stats.duplicates_dropped += 1;
+                    Ok(false)
+                }
+                LinePolicy::Error => Err(EdgeRejection::Duplicate),
+            };
+        }
+        self.endpoints.push(ep);
+        self.stats.edges_added += 1;
+        Ok(true)
+    }
+
+    /// Finalises into an immutable [`Graph`] plus the run's counters.
+    #[must_use]
+    pub fn finish(self) -> (Graph, IngestStats) {
+        (Graph::from_parts(self.bound, self.endpoints), self.stats)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Header {
+    /// No header line seen yet.
+    Pending,
+    /// `n <count>`: 0-based dense ids, no declared edge count.
+    Legacy,
+    /// `p [fmt] <n> <m>`: 1-based ids, declared edge count.
+    Dimacs { declared_edges: usize },
+    /// Remap mode input with no header line.
+    Headerless,
+}
+
+/// The streaming text parser: feed lines, then [`finish`](Self::finish).
+///
+/// ```
+/// use ftbfs_graph::io::{EdgeListParser, IngestOptions};
+///
+/// let mut parser = EdgeListParser::new(IngestOptions::strict());
+/// for line in "p sp 3 2\na 1 2\na 2 3".lines() {
+///     parser.feed_line(line).unwrap();
+/// }
+/// let (graph, stats) = parser.finish().unwrap();
+/// assert_eq!(graph.vertex_count(), 3);
+/// assert_eq!(stats.edges_added, 2);
+/// ```
+#[derive(Debug)]
+pub struct EdgeListParser {
+    acc: GraphAccumulator,
+    header: Header,
+    line: usize,
+    edge_lines: usize,
+}
+
+impl EdgeListParser {
+    /// Creates a parser with the given ingestion options.
+    #[must_use]
+    pub fn new(options: IngestOptions) -> Self {
+        EdgeListParser {
+            acc: GraphAccumulator::new(options),
+            header: Header::Pending,
+            line: 0,
+            edge_lines: 0,
+        }
+    }
+
+    /// 1-based number of the line most recently fed.
+    #[must_use]
+    pub fn line_number(&self) -> usize {
+        self.line
+    }
+
+    /// Edges accepted so far (duplicates and self-loops excluded).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.acc.edge_count()
+    }
+
+    fn parse_header(&mut self, tokens: &[&str]) -> Result<bool, ParseError> {
+        match *tokens {
+            ["n", count] => {
+                let n: usize = count.parse().map_err(|_| ParseError::MissingHeader)?;
+                self.acc.declare_vertices(n);
+                self.header = Header::Legacy;
+                Ok(true)
+            }
+            ["p", n, m] | ["p", _, n, m] => {
+                let n: usize = n.parse().map_err(|_| ParseError::MissingHeader)?;
+                let m: usize = m.parse().map_err(|_| ParseError::MissingHeader)?;
+                self.acc.declare_vertices(n);
+                self.header = Header::Dimacs { declared_edges: m };
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Feeds one raw input line (with or without its trailing newline).
+    ///
+    /// Errors identify the offending 1-based line number; after an error
+    /// the parser should be discarded.
+    pub fn feed_line(&mut self, raw: &str) -> Result<(), ParseError> {
+        self.line += 1;
+        let line_no = self.line;
+        let line = raw.trim();
+        // Comment dialects: '#' (legacy) and a standalone leading 'c'
+        // token (DIMACS comment lines are free text after the 'c').
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(());
+        }
+        if line == "c" || line.starts_with("c ") || line.starts_with("c\t") {
+            return Ok(());
+        }
+        // Longest meaningful line is four tokens (`p sp <n> <m>` or
+        // `a <u> <v> <w>`): gather into a fixed array so the hot loop
+        // allocates nothing per line.
+        let mut toks: [&str; 4] = [""; 4];
+        let mut count = 0usize;
+        for t in line.split_whitespace() {
+            if count == toks.len() {
+                count += 1; // overflow marker: more than four tokens
+                break;
+            }
+            toks[count] = t;
+            count += 1;
+        }
+        let mut tokens = &toks[..count.min(toks.len())];
+        let overflowed = count > toks.len();
+        if self.header == Header::Pending {
+            if !overflowed && self.parse_header(tokens)? {
+                return Ok(());
+            }
+            if self.acc.options.remap {
+                // Real-world lists often have no header; with remapping on
+                // the ids carry all the information a header would.
+                self.header = Header::Headerless;
+            } else {
+                return Err(ParseError::MissingHeader);
+            }
+        }
+        if overflowed {
+            return Err(ParseError::MalformedLine { line: line_no });
+        }
+        // Edge line: optional 'a'/'e' tag, two ids, and (in the DIMACS
+        // dialect only) an optional numeric weight token, which this
+        // unweighted substrate ignores.
+        if tokens.len() >= 3 && (tokens[0] == "a" || tokens[0] == "e") {
+            tokens = &tokens[1..];
+        }
+        let dimacs = matches!(self.header, Header::Dimacs { .. });
+        let (u, v) = match *tokens {
+            [u, v] => (u, v),
+            [u, v, w] if dimacs => {
+                if w.parse::<f64>().is_err() {
+                    return Err(ParseError::MalformedLine { line: line_no });
+                }
+                (u, v)
+            }
+            _ => return Err(ParseError::MalformedLine { line: line_no }),
+        };
+        let mut u: u64 = u
+            .parse()
+            .map_err(|_| ParseError::MalformedLine { line: line_no })?;
+        let mut v: u64 = v
+            .parse()
+            .map_err(|_| ParseError::MalformedLine { line: line_no })?;
+        if dimacs && !self.acc.options.remap {
+            // DIMACS ids are 1-based; shift to the dense 0-based space.
+            if u == 0 || v == 0 {
+                return Err(ParseError::VertexOutOfRange { line: line_no });
+            }
+            u -= 1;
+            v -= 1;
+        }
+        self.edge_lines += 1;
+        self.acc.push_edge(u, v).map_err(|r| match r {
+            EdgeRejection::SelfLoop => ParseError::SelfLoop { line: line_no },
+            EdgeRejection::Duplicate => ParseError::DuplicateEdge { line: line_no },
+            EdgeRejection::OutOfRange => ParseError::VertexOutOfRange { line: line_no },
+        })?;
+        Ok(())
+    }
+
+    /// Finalises the parse, checking the whole-input invariants (header
+    /// present, DIMACS declared edge count matches).
+    pub fn finish(self) -> Result<(Graph, IngestStats), ParseError> {
+        match self.header {
+            Header::Pending if !self.acc.options.remap => return Err(ParseError::MissingHeader),
+            Header::Dimacs { declared_edges } if declared_edges != self.edge_lines => {
+                return Err(ParseError::EdgeCountMismatch {
+                    declared: declared_edges,
+                    actual: self.edge_lines,
+                });
+            }
+            _ => {}
+        }
+        Ok(self.acc.finish())
+    }
+}
+
+/// Serialises a graph to the legacy edge-list text format.
 pub fn to_edge_list(graph: &Graph) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "n {}", graph.vertex_count());
@@ -63,46 +488,24 @@ pub fn to_edge_list(graph: &Graph) -> String {
     out
 }
 
-/// Parses a graph from the edge-list text format.
+/// Parses a graph from the edge-list text format — a thin wrapper over
+/// [`EdgeListParser`] with the strict legacy options (header required,
+/// dense 0-based ids, self-loops and duplicates silently dropped).
 pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
-    let mut builder: Option<GraphBuilder> = None;
-    for (idx, raw) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        if builder.is_none() {
-            let mut parts = line.split_whitespace();
-            match (parts.next(), parts.next(), parts.next()) {
-                (Some("n"), Some(count), None) => {
-                    let n: usize = count.parse().map_err(|_| ParseError::MissingHeader)?;
-                    builder = Some(GraphBuilder::new(n));
-                    continue;
-                }
-                _ => return Err(ParseError::MissingHeader),
-            }
-        }
-        let b = builder.as_mut().expect("builder initialised above");
-        let mut parts = line.split_whitespace();
-        let (u, v) = match (parts.next(), parts.next(), parts.next()) {
-            (Some(u), Some(v), None) => (u, v),
-            _ => return Err(ParseError::MalformedLine { line: line_no }),
-        };
-        let u: usize = u
-            .parse()
-            .map_err(|_| ParseError::MalformedLine { line: line_no })?;
-        let v: usize = v
-            .parse()
-            .map_err(|_| ParseError::MalformedLine { line: line_no })?;
-        if u >= b.vertex_count() || v >= b.vertex_count() {
-            return Err(ParseError::VertexOutOfRange { line: line_no });
-        }
-        b.add_edge(VertexId::new(u), VertexId::new(v));
+    parse_edge_list(text, IngestOptions::strict()).map(|(g, _)| g)
+}
+
+/// Parses an in-memory edge list with explicit [`IngestOptions`],
+/// returning the graph together with the run's [`IngestStats`].
+pub fn parse_edge_list(
+    text: &str,
+    options: IngestOptions,
+) -> Result<(Graph, IngestStats), ParseError> {
+    let mut parser = EdgeListParser::new(options);
+    for line in text.lines() {
+        parser.feed_line(line)?;
     }
-    builder
-        .map(GraphBuilder::build)
-        .ok_or(ParseError::MissingHeader)
+    parser.finish()
 }
 
 #[cfg(test)]
@@ -160,6 +563,16 @@ mod tests {
         assert!(ParseError::VertexOutOfRange { line: 9 }
             .to_string()
             .contains("line 9"));
+        assert!(ParseError::SelfLoop { line: 3 }.to_string().contains("3"));
+        assert!(ParseError::DuplicateEdge { line: 5 }
+            .to_string()
+            .contains("5"));
+        assert!(ParseError::EdgeCountMismatch {
+            declared: 7,
+            actual: 6
+        }
+        .to_string()
+        .contains("7"));
     }
 
     #[test]
@@ -170,6 +583,12 @@ mod tests {
             ParseError::MissingHeader,
             ParseError::MalformedLine { line: 2 },
             ParseError::VertexOutOfRange { line: 3 },
+            ParseError::SelfLoop { line: 4 },
+            ParseError::DuplicateEdge { line: 5 },
+            ParseError::EdgeCountMismatch {
+                declared: 3,
+                actual: 2,
+            },
         ];
         for v in &variants {
             assert_eq!(v, &v.clone());
@@ -188,5 +607,143 @@ mod tests {
         let text = to_edge_list(&g);
         let reparsed = from_edge_list(&text).unwrap();
         assert_eq!(to_edge_list(&reparsed), text);
+    }
+
+    #[test]
+    fn dimacs_dialect_one_based_ids_and_weights() {
+        let text = "c a DIMACS-style file\np sp 4 3\na 1 2 10\na 2 3 5\ne 3 4\n";
+        let (g, stats) = parse_edge_list(text, IngestOptions::strict()).unwrap();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(2), VertexId(3)));
+        assert_eq!(stats.edges_added, 3);
+
+        // Short p-header form without the format token.
+        let (h, _) = parse_edge_list("p 3 1\n1 3\n", IngestOptions::strict()).unwrap();
+        assert!(h.has_edge(VertexId(0), VertexId(2)));
+
+        // 1-based means id 0 is out of range, as is n+1.
+        assert_eq!(
+            parse_edge_list("p 3 1\n0 2\n", IngestOptions::strict()).unwrap_err(),
+            ParseError::VertexOutOfRange { line: 2 }
+        );
+        assert_eq!(
+            parse_edge_list("p 3 1\n1 4\n", IngestOptions::strict()).unwrap_err(),
+            ParseError::VertexOutOfRange { line: 2 }
+        );
+    }
+
+    #[test]
+    fn dimacs_declared_edge_count_is_checked() {
+        assert_eq!(
+            parse_edge_list("p 3 2\n1 2\n", IngestOptions::strict()).unwrap_err(),
+            ParseError::EdgeCountMismatch {
+                declared: 2,
+                actual: 1
+            }
+        );
+        // Dropped duplicates still count as edge lines: the declared count
+        // speaks about the file, not the deduplicated graph.
+        let (g, stats) =
+            parse_edge_list("p 3 3\n1 2\n2 1\n2 3\n", IngestOptions::strict()).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(stats.duplicates_dropped, 1);
+    }
+
+    #[test]
+    fn weight_token_requires_dimacs_dialect() {
+        // Legacy headers keep the strict two-token grammar.
+        assert_eq!(
+            parse_edge_list("n 3\n0 1 9\n", IngestOptions::strict()).unwrap_err(),
+            ParseError::MalformedLine { line: 2 }
+        );
+        // And a non-numeric weight is malformed even in DIMACS mode.
+        assert_eq!(
+            parse_edge_list("p 3 1\na 1 2 x\n", IngestOptions::strict()).unwrap_err(),
+            ParseError::MalformedLine { line: 2 }
+        );
+    }
+
+    #[test]
+    fn remap_compacts_sparse_ids() {
+        let text = "# no header at all\n1000000007 42\n42 999\n1000000007 999\n";
+        let (g, stats) = parse_edge_list(text, IngestOptions::remapping()).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        // First-seen order: 1000000007 → 0, 42 → 1, 999 → 2.
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(1), VertexId(2)));
+        assert!(g.has_edge(VertexId(0), VertexId(2)));
+        assert_eq!(stats.remapped_ids, 3, "all three ids moved");
+
+        // Without remapping the same input has no header.
+        assert_eq!(
+            parse_edge_list(text, IngestOptions::strict()).unwrap_err(),
+            ParseError::MissingHeader
+        );
+    }
+
+    #[test]
+    fn remap_with_header_floors_vertex_count() {
+        let (g, _) = parse_edge_list("n 10\n7 8\n", IngestOptions::remapping()).unwrap();
+        // Ids 7 and 8 remap to 0 and 1, but the header keeps n = 10.
+        assert_eq!(g.vertex_count(), 10);
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+    }
+
+    #[test]
+    fn policies_drop_or_error() {
+        let text = "n 3\n0 1\n1 1\n0 1\n";
+        let (g, stats) = parse_edge_list(text, IngestOptions::strict()).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(stats.self_loops_dropped, 1);
+        assert_eq!(stats.duplicates_dropped, 1);
+        assert_eq!(stats.rejected(), 2);
+
+        let strict_loops = IngestOptions {
+            self_loops: LinePolicy::Error,
+            ..IngestOptions::strict()
+        };
+        assert_eq!(
+            parse_edge_list(text, strict_loops).unwrap_err(),
+            ParseError::SelfLoop { line: 3 }
+        );
+        let strict_dups = IngestOptions {
+            duplicates: LinePolicy::Error,
+            ..IngestOptions::strict()
+        };
+        assert_eq!(
+            parse_edge_list(text, strict_dups).unwrap_err(),
+            ParseError::DuplicateEdge { line: 4 }
+        );
+    }
+
+    #[test]
+    fn accumulator_is_usable_standalone() {
+        let mut acc = GraphAccumulator::new(IngestOptions::strict());
+        acc.declare_vertices(4);
+        assert!(acc.push_edge(0, 1).unwrap());
+        assert!(acc.push_edge(1, 2).unwrap());
+        assert!(!acc.push_edge(2, 1).unwrap(), "duplicate dropped");
+        assert_eq!(acc.push_edge(0, 9), Err(EdgeRejection::OutOfRange));
+        assert_eq!(
+            acc.push_edge(0, u64::from(u32::MAX) + 1),
+            Err(EdgeRejection::OutOfRange)
+        );
+        let (g, stats) = acc.finish();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(stats.edges_added, 2);
+        assert_eq!(stats.duplicates_dropped, 1);
+    }
+
+    #[test]
+    fn streaming_parser_reports_position() {
+        let mut p = EdgeListParser::new(IngestOptions::strict());
+        p.feed_line("n 2").unwrap();
+        p.feed_line("0 1").unwrap();
+        assert_eq!(p.line_number(), 2);
+        assert_eq!(p.edge_count(), 1);
     }
 }

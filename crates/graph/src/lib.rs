@@ -29,7 +29,9 @@
 //! * [`generators`] — deterministic and random workload graphs;
 //! * [`properties`] — connectivity, diameter, degree statistics and the
 //!   FT-diameter estimate of Observation 1.6;
-//! * [`io`] — a small text edge-list format;
+//! * [`io`] — streaming text edge-list parsing (legacy and DIMACS-style
+//!   headers, optional id remapping, typed [`io::ParseError`]s) shared
+//!   with the `ftbfs-corpus` ingestion crate;
 //! * [`bytes`] — little-endian byte I/O and checksums shared by binary
 //!   snapshot formats (used by `ftbfs-oracle`'s frozen-structure snapshots).
 //!
@@ -72,6 +74,10 @@ pub use fault::{
     FaultSet, FaultSpec, FaultSpecIter, GraphView, OverlayView, Restriction, ViewOverlay,
 };
 pub use graph::{EdgeId, Endpoints, Graph, GraphBuilder, VertexId};
+pub use io::{
+    EdgeListParser, EdgeRejection, GraphAccumulator, IngestOptions, IngestStats, LinePolicy,
+    ParseError,
+};
 pub use path::Path;
 pub use sptree::SpTree;
 pub use tiebreak::TieBreak;

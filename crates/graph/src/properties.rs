@@ -3,7 +3,7 @@
 
 use crate::bfs::bfs;
 use crate::fault::{FaultSet, GraphView};
-use crate::graph::{Graph, VertexId};
+use crate::graph::{EdgeId, Graph, VertexId};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -98,6 +98,77 @@ pub fn degree_stats(graph: &Graph) -> DegreeStats {
     }
 }
 
+/// The bridge edges of `G ∖ F`: edges whose single removal (on top of the
+/// fault set `F`) disconnects their component.
+///
+/// This is the biconnected-components pass behind the adversarial fault
+/// scenarios: a bridge is a 1-cut, and pairing a surviving edge `e` with a
+/// bridge of `G ∖ {e}` yields a genuine 2-cut — exactly the fault pairs a
+/// dual-failure-resilient structure must survive (by reporting the true,
+/// possibly infinite, post-failure distances).
+///
+/// Runs one iterative DFS (Tarjan lowlink) in `O(n + m)`; the returned
+/// edge ids are sorted.
+pub fn bridges_under(graph: &Graph, faults: &FaultSet) -> Vec<EdgeId> {
+    let n = graph.vertex_count();
+    let mut disc = vec![0u32; n]; // 0 = unvisited, otherwise 1-based time
+    let mut low = vec![0u32; n];
+    let mut out = Vec::new();
+    let mut timer = 1u32;
+    // Explicit DFS frames (vertex, incoming edge id or MAX, next nbr idx)
+    // so deep corridor graphs cannot overflow the call stack.
+    let mut stack: Vec<(u32, u32, usize)> = Vec::new();
+    for start in 0..n {
+        if disc[start] != 0 {
+            continue;
+        }
+        disc[start] = timer;
+        low[start] = timer;
+        timer += 1;
+        stack.push((start as u32, u32::MAX, 0));
+        while let Some(frame) = stack.last_mut() {
+            let v = frame.0 as usize;
+            let nbrs = graph.neighbors(VertexId(frame.0));
+            if frame.2 < nbrs.len() {
+                let (w, e) = nbrs[frame.2];
+                frame.2 += 1;
+                // Skip the tree edge back to the parent (the graph is
+                // simple, so matching by edge id is unambiguous) and any
+                // faulted edge.
+                if e.0 == frame.1 || faults.contains(e) {
+                    continue;
+                }
+                let wi = w.index();
+                if disc[wi] == 0 {
+                    disc[wi] = timer;
+                    low[wi] = timer;
+                    timer += 1;
+                    stack.push((w.0, e.0, 0));
+                } else {
+                    low[v] = low[v].min(disc[wi]);
+                }
+            } else {
+                let (_, incoming, _) = *frame;
+                stack.pop();
+                if let Some(parent) = stack.last_mut() {
+                    let p = parent.0 as usize;
+                    if low[v] > disc[p] {
+                        out.push(EdgeId(incoming));
+                    }
+                    low[p] = low[p].min(low[v]);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The bridge edges of the graph — see [`bridges_under`].
+pub fn bridges(graph: &Graph) -> Vec<EdgeId> {
+    bridges_under(graph, &FaultSet::empty())
+}
+
 /// Estimates the `f`-fault-tolerant eccentricity of `source`:
 /// `max { dist(source, v, G ∖ F) : |F| ≤ f - 1, v reachable }`,
 /// the quantity `D_f(G)` of Observation 1.6 restricted to one source.
@@ -190,6 +261,59 @@ mod tests {
         assert_eq!(stats.min, 1);
         assert_eq!(stats.max, 6);
         assert!((stats.mean - 12.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bridges_of_known_graphs() {
+        // Every edge of a path or tree is a bridge.
+        let p = generators::path(6);
+        assert_eq!(bridges(&p).len(), 5);
+        let t = generators::balanced_binary_tree(3);
+        assert_eq!(bridges(&t).len(), t.edge_count());
+        // Cycles, grids and complete graphs are 2-edge-connected.
+        assert!(bridges(&generators::cycle(8)).is_empty());
+        assert!(bridges(&generators::grid(4, 5)).is_empty());
+        assert!(bridges(&generators::complete(5)).is_empty());
+        // Two triangles joined by one edge: exactly that edge.
+        let mut b = crate::graph::GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(VertexId(u), VertexId(v));
+        }
+        let joiner = VertexId(2);
+        b.add_edge(joiner, VertexId(3));
+        let g = b.build();
+        let bridges = bridges(&g);
+        assert_eq!(bridges.len(), 1);
+        assert_eq!(
+            g.endpoints(bridges[0]),
+            crate::graph::Endpoints::new(joiner, VertexId(3))
+        );
+    }
+
+    #[test]
+    fn bridges_under_faults_finds_two_cuts() {
+        // A cycle has no bridges, but removing any one edge makes every
+        // surviving edge a bridge: each {e, e'} pair is a 2-cut.
+        let g = generators::cycle(7);
+        assert!(bridges(&g).is_empty());
+        let e = crate::graph::EdgeId(0);
+        let under = bridges_under(&g, &FaultSet::single(e));
+        assert_eq!(under.len(), 6);
+        assert!(!under.contains(&e));
+        // Sorted output.
+        assert!(under.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn bridges_cover_disconnected_graphs() {
+        let mut b = crate::graph::GraphBuilder::new(5);
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(2), VertexId(3));
+        b.add_edge(VertexId(3), VertexId(4));
+        b.add_edge(VertexId(4), VertexId(2));
+        let g = b.build();
+        // The isolated component edge is a bridge; the triangle has none.
+        assert_eq!(bridges(&g).len(), 1);
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Robustness of the corpus ingestion paths against malformed input: a
+//! pipeline streaming a graph file from disk or the network must get a
+//! typed [`CorpusError`] (or a clean parse) for *any* corruption — and
+//! must **never panic**.  Mirrors `snapshot_robustness.rs` for the two
+//! corpus formats:
+//!
+//! * the checksummed `FTBG` binary format, where every truncation point
+//!   and every single-byte flip must be a typed error (every byte is
+//!   covered by the magic, the header fields, or the trailing FNV-1a
+//!   checksum);
+//! * the text edge-list dialects, where a mutation may still be a valid
+//!   file (text is self-describing line by line) — so the contract is
+//!   "typed error or clean parse, never a panic".
+//!
+//! Deterministic sweeps cover every offset on small instances; proptest
+//! then fuzzes (offset, xor, truncation) combinations on larger ones.
+
+use ftbfs_corpus::{ingest_text, read_binary, write_binary, CorpusError, FTBG_HEADER_LEN};
+use ftbfs_graph::generators;
+use ftbfs_graph::io::{to_edge_list, IngestOptions};
+use proptest::prelude::*;
+
+fn binary_corpus(seed: u64) -> Vec<u8> {
+    write_binary(&generators::connected_gnp(30, 0.12, seed))
+}
+
+fn text_corpus(seed: u64) -> Vec<u8> {
+    to_edge_list(&generators::connected_gnp(30, 0.12, seed)).into_bytes()
+}
+
+/// Every decode attempt over corrupted binary input must produce `Err`,
+/// never a panic and never a graph.
+fn assert_binary_rejects(data: &[u8], what: &str) {
+    if read_binary(data, IngestOptions::strict()).is_ok() {
+        panic!("{what}: corrupted FTBG input unexpectedly decoded");
+    }
+}
+
+/// Text input may survive a mutation (a digit flip is just a different
+/// edge list); the contract is only that the parser returns — any panic
+/// fails the test harness itself.
+fn text_must_return(data: &[u8]) {
+    let _ = ingest_text(data, IngestOptions::strict());
+    let _ = ingest_text(data, IngestOptions::remapping());
+}
+
+#[test]
+fn binary_every_truncation_point_is_a_typed_error() {
+    let bytes = binary_corpus(3);
+    for cut in 0..bytes.len() {
+        assert_binary_rejects(&bytes[..cut], "truncation");
+    }
+}
+
+#[test]
+fn binary_every_single_byte_flip_is_rejected() {
+    // One flip per byte position (bit chosen by position): header flips
+    // hit magic/version/flags/count validation, record and trailer flips
+    // hit the FNV-1a checksum (byte-wise injective, so a single flip can
+    // never collide back to validity).
+    let bytes = binary_corpus(5);
+    for i in 0..bytes.len() {
+        let mut mutated = bytes.clone();
+        mutated[i] ^= 1 << (i % 8);
+        assert_binary_rejects(&mutated, "bit flip");
+    }
+}
+
+#[test]
+fn binary_foreign_and_cross_magic_are_bad_magic() {
+    assert_eq!(
+        read_binary(&b""[..], IngestOptions::strict()).unwrap_err(),
+        CorpusError::Truncated { at: 0 }
+    );
+    // A snapshot magic (`FTBO`) under the binary decoder is not an FTBG
+    // file, whatever follows.
+    let mut crossed = binary_corpus(7);
+    crossed[..4].copy_from_slice(b"FTBO");
+    assert_eq!(
+        read_binary(&crossed[..], IngestOptions::strict()).unwrap_err(),
+        CorpusError::BadMagic
+    );
+}
+
+#[test]
+fn binary_trailing_bytes_are_rejected_even_when_zero() {
+    // The FTBG encoding is canonical — exactly one byte string per graph
+    // — so appended bytes must be rejected even if they are zeros.
+    for extra in [1usize, 7, 64] {
+        let bytes = binary_corpus(9);
+        let mut extended = bytes.clone();
+        extended.resize(bytes.len() + extra, 0);
+        assert_eq!(
+            read_binary(&extended[..], IngestOptions::strict()).unwrap_err(),
+            CorpusError::TrailingBytes { count: 1 },
+            "the probe reports the first trailing byte"
+        );
+    }
+}
+
+#[test]
+fn text_every_single_byte_flip_returns() {
+    let bytes = text_corpus(3);
+    for i in 0..bytes.len() {
+        let mut mutated = bytes.clone();
+        mutated[i] ^= 1 << (i % 8);
+        text_must_return(&mutated);
+    }
+}
+
+#[test]
+fn text_every_truncation_point_returns() {
+    let bytes = text_corpus(5);
+    for cut in 0..bytes.len() {
+        text_must_return(&bytes[..cut]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Random single-byte mutations at proptest-chosen offsets never
+    /// panic and never decode, across seeds.
+    #[test]
+    fn binary_mutations_never_panic(
+        seed in 0u64..40,
+        offset_sel in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let bytes = binary_corpus(seed);
+        let offset = ((bytes.len() - 1) as f64 * offset_sel) as usize;
+        let mut mutated = bytes.clone();
+        mutated[offset] ^= xor;
+        prop_assert!(read_binary(&mutated[..], IngestOptions::strict()).is_err());
+        // The pristine copy must keep decoding.
+        prop_assert!(read_binary(&bytes[..], IngestOptions::strict()).is_ok());
+    }
+
+    /// Multi-byte splices — which could in principle collide the checksum
+    /// back to validity — still never panic; record validation backs the
+    /// checksum up.
+    #[test]
+    fn binary_splices_never_panic(
+        seed in 0u64..20,
+        offset_sel in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let bytes = binary_corpus(seed);
+        let body = bytes.len() - FTBG_HEADER_LEN - 8;
+        let src = FTBG_HEADER_LEN + ((body - 1) as f64 * offset_sel) as usize;
+        let dst = FTBG_HEADER_LEN + (src * 7 + 3) % body;
+        let mut mutated = bytes.clone();
+        mutated[dst] = mutated[src].wrapping_add(xor);
+        if mutated != bytes {
+            prop_assert!(read_binary(&mutated[..], IngestOptions::strict()).is_err());
+        }
+    }
+
+    /// Truncation at a proptest-chosen point is always a typed error.
+    #[test]
+    fn binary_truncations_never_panic(seed in 0u64..20, cut_sel in 0.0f64..1.0) {
+        let bytes = binary_corpus(seed);
+        let cut = ((bytes.len() - 1) as f64 * cut_sel) as usize;
+        prop_assert!(read_binary(&bytes[..cut], IngestOptions::strict()).is_err());
+    }
+
+    /// Random text mutations — flips, truncations, and line splices —
+    /// return cleanly under both ingestion option sets.
+    #[test]
+    fn text_mutations_never_panic(
+        seed in 0u64..40,
+        offset_sel in 0.0f64..1.0,
+        xor in 1u8..=255,
+        cut_sel in 0.0f64..1.0,
+    ) {
+        let bytes = text_corpus(seed);
+        let offset = ((bytes.len() - 1) as f64 * offset_sel) as usize;
+        let mut mutated = bytes.clone();
+        mutated[offset] ^= xor;
+        text_must_return(&mutated);
+        let cut = ((bytes.len() - 1) as f64 * cut_sel) as usize;
+        text_must_return(&bytes[..cut]);
+        // Splice a chunk of the file over another position (duplicated or
+        // reordered lines, torn headers).
+        let mut spliced = bytes.clone();
+        let chunk = (spliced.len() / 3).max(1);
+        let dst = spliced.len() - chunk;
+        spliced.copy_within(0..chunk, dst);
+        text_must_return(&spliced);
+    }
+}

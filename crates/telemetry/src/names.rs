@@ -13,7 +13,9 @@
 //! * `target` — request shape, `"one"` (single distance) or `"all"`
 //!   (all-distances);
 //! * `guarantee` — answer class of an executed request: `"exact"`,
-//!   `"best_effort"`, or `"error"`.
+//!   `"best_effort"`, or `"error"`;
+//! * `format` — corpus ingestion source format, `"text"` or `"binary"`;
+//! * `suite` / `kind` — corpus scenario suite name and kind slug.
 
 // ---- Query engine (ftbfs-oracle) ----------------------------------------
 
@@ -131,6 +133,47 @@ pub const STAGE_REASSEMBLY_NS: &str = "ftbfs_serve_stage_reassembly_ns";
 pub const STAGE_REASSEMBLY_NS_HELP: &str =
     "Reassembly latency in nanoseconds (parked in the reorder buffer awaiting earlier seqs)";
 
+// ---- Corpus ingestion (ftbfs-corpus) ------------------------------------
+
+/// Counter (label `format`): edges accepted into a graph by an ingestion
+/// run (`"text"` or `"binary"`).
+pub const CORPUS_EDGES_INGESTED: &str = "ftbfs_corpus_edges_ingested_total";
+/// Help string for [`CORPUS_EDGES_INGESTED`].
+pub const CORPUS_EDGES_INGESTED_HELP: &str = "Edges accepted by corpus ingestion, by format";
+
+/// Counter (label `format`): edge records rejected by ingestion policy
+/// (self-loops and duplicates dropped rather than added).
+pub const CORPUS_LINES_REJECTED: &str = "ftbfs_corpus_lines_rejected_total";
+/// Help string for [`CORPUS_LINES_REJECTED`].
+pub const CORPUS_LINES_REJECTED_HELP: &str =
+    "Edge records rejected by ingestion policy (self-loops + duplicates), by format";
+
+/// Counter (label `format`): vertex ids moved by dense-id compaction.
+pub const CORPUS_IDS_REMAPPED: &str = "ftbfs_corpus_ids_remapped_total";
+/// Help string for [`CORPUS_IDS_REMAPPED`].
+pub const CORPUS_IDS_REMAPPED_HELP: &str =
+    "Vertex ids compacted to a different dense id during ingestion, by format";
+
+/// Histogram (label `format`): nanoseconds per ingestion run (file open
+/// to finished graph); divide the edge counter by this for edges/s.
+pub const CORPUS_INGEST_NS: &str = "ftbfs_corpus_ingest_ns";
+/// Help string for [`CORPUS_INGEST_NS`].
+pub const CORPUS_INGEST_NS_HELP: &str = "Ingestion run duration in nanoseconds, by format";
+
+/// Counter (labels `suite`, `kind`): fault specs recorded into a scenario
+/// suite.
+pub const CORPUS_SUITE_FAULTS: &str = "ftbfs_corpus_suite_faults_total";
+/// Help string for [`CORPUS_SUITE_FAULTS`].
+pub const CORPUS_SUITE_FAULTS_HELP: &str =
+    "Fault specifications recorded into a scenario suite, by suite name and kind";
+
+/// Counter (label `suite`): requests an experiment ran from a scenario
+/// suite.
+pub const CORPUS_SUITE_REQUESTS: &str = "ftbfs_corpus_suite_requests_total";
+/// Help string for [`CORPUS_SUITE_REQUESTS`].
+pub const CORPUS_SUITE_REQUESTS_HELP: &str =
+    "Requests executed from a scenario suite, by suite name";
+
 // ---- Throughput harness (ftbfs-serve::ThroughputHarness) ----------------
 
 /// Histogram: nanoseconds per driven batch in the instrumented harness.
@@ -144,3 +187,9 @@ pub const LABEL_TARGET: &str = "target";
 pub const LABEL_GUARANTEE: &str = "guarantee";
 /// The `shard` label key.
 pub const LABEL_SHARD: &str = "shard";
+/// The `format` label key (corpus ingestion: `"text"` or `"binary"`).
+pub const LABEL_FORMAT: &str = "format";
+/// The `suite` label key (corpus scenario suite name).
+pub const LABEL_SUITE: &str = "suite";
+/// The `kind` label key (corpus scenario kind slug).
+pub const LABEL_KIND: &str = "kind";
