@@ -263,20 +263,34 @@ struct SnapRow {
     speedup: f64,
 }
 
-/// Wall time of `f` in microseconds: the best of three mean-over-`reps`
-/// batches (one warm-up), so scheduler interference spikes cannot inflate
-/// a measurement the smoke floor compares.
-fn time_us<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
-    std::hint::black_box(f());
-    let mut best = f64::INFINITY;
-    for _ in 0..3 {
+/// Wall times of `a` and `b` in microseconds: the best of five
+/// mean-over-`reps` batches each (one warm-up apiece), with the two sides
+/// measured in *alternating* batches — the same interleaving the
+/// telemetry-overhead gate uses — so host-load drift hits both sides
+/// alike and the ratio the smoke floor compares stays stable even when
+/// the absolute times move.
+fn time_pair_us<R, S>(
+    reps: usize,
+    mut a: impl FnMut() -> R,
+    mut b: impl FnMut() -> S,
+) -> (f64, f64) {
+    std::hint::black_box(a());
+    std::hint::black_box(b());
+    let mut best_a = f64::INFINITY;
+    let mut best_b = f64::INFINITY;
+    for _ in 0..5 {
         let start = Instant::now();
         for _ in 0..reps {
-            std::hint::black_box(f());
+            std::hint::black_box(a());
         }
-        best = best.min(start.elapsed().as_secs_f64() * 1e6 / reps as f64);
+        best_a = best_a.min(start.elapsed().as_secs_f64() * 1e6 / reps as f64);
+        let start = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(b());
+        }
+        best_b = best_b.min(start.elapsed().as_secs_f64() * 1e6 / reps as f64);
     }
-    best
+    (best_a, best_b)
 }
 
 /// The snapshot experiment: time-to-first-answer from bytes, v1 (load =
@@ -299,21 +313,25 @@ fn snapshot_bench(
     {
         let v1 = frozen.save();
         let v2 = frozen.save_with(SnapshotVersion::V2);
-        let mut engine = QueryEngine::new();
-        let load_v1_us = time_us(reps, || {
-            let s = FrozenStructure::load(&v1).expect("v1 snapshot loads");
-            engine
-                .try_distance(&s, target, &FaultSpec::None)
-                .expect("in-range query")
-                .into_value()
-        });
-        let open_v2_us = time_us(reps, || {
-            let view = FrozenView::open_bytes(&v2).expect("v2 snapshot opens");
-            engine
-                .try_distance(&view, target, &FaultSpec::None)
-                .expect("in-range query")
-                .into_value()
-        });
+        let mut engine_v1 = QueryEngine::new();
+        let mut engine_v2 = QueryEngine::new();
+        let (load_v1_us, open_v2_us) = time_pair_us(
+            reps,
+            || {
+                let s = FrozenStructure::load(&v1).expect("v1 snapshot loads");
+                engine_v1
+                    .try_distance(&s, target, &FaultSpec::None)
+                    .expect("in-range query")
+                    .into_value()
+            },
+            || {
+                let view = FrozenView::open_bytes(&v2).expect("v2 snapshot opens");
+                engine_v2
+                    .try_distance(&view, target, &FaultSpec::None)
+                    .expect("in-range query")
+                    .into_value()
+            },
+        );
         rows.push(SnapRow {
             format: "single",
             n,
@@ -329,21 +347,25 @@ fn snapshot_bench(
         let v1 = multi.save();
         let v2 = multi.save_with(SnapshotVersion::V2);
         let source = multi.sources()[0];
-        let mut engine = QueryEngine::new();
-        let load_v1_us = time_us(reps, || {
-            let s = FrozenMultiStructure::load(&v1).expect("v1 snapshot loads");
-            engine
-                .try_distance_from(&s, source, target, &FaultSpec::None)
-                .expect("in-range query")
-                .into_value()
-        });
-        let open_v2_us = time_us(reps, || {
-            let view = FrozenMultiView::open_bytes(&v2).expect("v2 snapshot opens");
-            engine
-                .try_distance_from(&view, source, target, &FaultSpec::None)
-                .expect("in-range query")
-                .into_value()
-        });
+        let mut engine_v1 = QueryEngine::new();
+        let mut engine_v2 = QueryEngine::new();
+        let (load_v1_us, open_v2_us) = time_pair_us(
+            reps,
+            || {
+                let s = FrozenMultiStructure::load(&v1).expect("v1 snapshot loads");
+                engine_v1
+                    .try_distance_from(&s, source, target, &FaultSpec::None)
+                    .expect("in-range query")
+                    .into_value()
+            },
+            || {
+                let view = FrozenMultiView::open_bytes(&v2).expect("v2 snapshot opens");
+                engine_v2
+                    .try_distance_from(&view, source, target, &FaultSpec::None)
+                    .expect("in-range query")
+                    .into_value()
+            },
+        );
         rows.push(SnapRow {
             format: "multi",
             n,
@@ -467,7 +489,7 @@ fn main() {
     // time-to-first-answer from bytes on the first workload's structures.
     let snap_rows: Vec<SnapRow> = if snap {
         let (_, g) = &workloads[0];
-        let reps = if smoke { 200 } else { 50 };
+        let reps = if smoke { 2000 } else { 500 };
         let measured = snapshot_bench(
             g,
             first_frozen.as_ref().expect("first workload was measured"),

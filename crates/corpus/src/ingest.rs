@@ -113,6 +113,39 @@ mod tests {
     }
 
     #[test]
+    fn weighted_inputs_are_rejected_typed_under_policy() {
+        use ftbfs_graph::io::WeightPolicy;
+        let weighted = "p sp 3 2\na 1 2 7\na 2 3 1\n";
+        let reject = IngestOptions {
+            weights: WeightPolicy::RejectNonUnit,
+            ..IngestOptions::strict()
+        };
+
+        // The default policy keeps the edges (weights discarded)...
+        let (g, _) = ingest_text(weighted.as_bytes(), IngestOptions::strict()).unwrap();
+        assert_eq!(g.edge_count(), 2);
+
+        // ...while RejectNonUnit surfaces the typed error through both
+        // the stream driver and the sniffing path driver.
+        let err = ingest_text(weighted.as_bytes(), reject).unwrap_err();
+        assert_eq!(
+            err,
+            CorpusError::Parse(ParseError::NonUnitWeight {
+                line: 2,
+                weight: "7".to_string(),
+            })
+        );
+        let path = tmp("weighted.gr");
+        std::fs::write(&path, weighted).unwrap();
+        let err = ingest_path(&path, reject).unwrap_err();
+        assert!(matches!(
+            err,
+            CorpusError::Parse(ParseError::NonUnitWeight { line: 2, .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn path_ingestion_sniffs_both_formats() {
         let g = generators::gnp(30, 0.15, 11);
         let text_path = tmp("sniff.gr");

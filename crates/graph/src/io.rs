@@ -9,7 +9,7 @@
 //! n <vertex-count>        legacy header, 0-based vertex ids
 //! p sp <n> <m>            DIMACS-style header, 1-based ids, declared edge count
 //! <u> <v>                 bare edge line
-//! a <u> <v> [w]           DIMACS arc line (the weight token is ignored)
+//! a <u> <v> [w]           DIMACS arc line (weight handled per policy)
 //! e <u> <v>               DIMACS edge line
 //! ```
 //!
@@ -23,8 +23,12 @@
 //!
 //! [`IngestOptions`] controls the policy knobs real edge lists need:
 //! optional vertex-id compaction (arbitrary `u64` ids remapped to dense
-//! `0..n` in first-seen order), and drop-vs-error handling for self-loops
-//! and duplicate edges.  [`from_edge_list`] keeps the historical strict
+//! `0..n` in first-seen order), drop-vs-error handling for self-loops
+//! and duplicate edges, and a [`WeightPolicy`] for the DIMACS weight
+//! token — this substrate is unweighted, so a weighted input either has
+//! its weights silently discarded ([`WeightPolicy::Keep`]) or is rejected
+//! outright unless every weight is exactly `1`
+//! ([`WeightPolicy::RejectNonUnit`]).  [`from_edge_list`] keeps the historical strict
 //! behaviour (header required, dense ids, silent dedup) as a thin wrapper
 //! over the same parser.
 
@@ -70,6 +74,14 @@ pub enum ParseError {
         /// The number of edge lines actually present.
         actual: usize,
     },
+    /// An arc line carried a weight other than `1` under
+    /// [`WeightPolicy::RejectNonUnit`].
+    NonUnitWeight {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The offending weight token, verbatim.
+        weight: String,
+    },
 }
 
 impl std::fmt::Display for ParseError {
@@ -88,6 +100,10 @@ impl std::fmt::Display for ParseError {
                 f,
                 "header declared {declared} edges but the input has {actual} edge lines"
             ),
+            ParseError::NonUnitWeight { line, weight } => write!(
+                f,
+                "non-unit edge weight {weight} on line {line} (this substrate is unweighted)"
+            ),
         }
     }
 }
@@ -105,6 +121,26 @@ pub enum LinePolicy {
     Error,
 }
 
+/// What to do with the optional weight token on a DIMACS `a <u> <v> <w>`
+/// arc line.
+///
+/// Every structure in this workspace is built over *unweighted* graphs —
+/// BFS distances are hop counts — so a weighted input is only faithful
+/// when every weight is `1`.  [`Keep`](WeightPolicy::Keep) preserves the
+/// historical behaviour (parse the token, ingest the edge, discard the
+/// weight); [`RejectNonUnit`](WeightPolicy::RejectNonUnit) refuses any
+/// input whose weights the hop-count semantics would silently distort.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WeightPolicy {
+    /// Accept any numeric weight token and ingest the edge unweighted
+    /// (the weight is discarded).
+    #[default]
+    Keep,
+    /// Reject the whole input with [`ParseError::NonUnitWeight`] on the
+    /// first arc line whose weight is not exactly `1`.
+    RejectNonUnit,
+}
+
 /// Policy knobs for an ingestion run, shared by the text parser and the
 /// binary readers of `ftbfs-corpus`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -117,6 +153,8 @@ pub struct IngestOptions {
     pub self_loops: LinePolicy,
     /// Handling of repeated `{u, v}` edges.
     pub duplicates: LinePolicy,
+    /// Handling of the DIMACS arc-line weight token.
+    pub weights: WeightPolicy,
 }
 
 impl IngestOptions {
@@ -421,8 +459,8 @@ impl EdgeListParser {
             return Err(ParseError::MalformedLine { line: line_no });
         }
         // Edge line: optional 'a'/'e' tag, two ids, and (in the DIMACS
-        // dialect only) an optional numeric weight token, which this
-        // unweighted substrate ignores.
+        // dialect only) an optional numeric weight token, handled per
+        // [`WeightPolicy`].
         if tokens.len() >= 3 && (tokens[0] == "a" || tokens[0] == "e") {
             tokens = &tokens[1..];
         }
@@ -430,8 +468,14 @@ impl EdgeListParser {
         let (u, v) = match *tokens {
             [u, v] => (u, v),
             [u, v, w] if dimacs => {
-                if w.parse::<f64>().is_err() {
+                let Ok(weight) = w.parse::<f64>() else {
                     return Err(ParseError::MalformedLine { line: line_no });
+                };
+                if self.acc.options.weights == WeightPolicy::RejectNonUnit && weight != 1.0 {
+                    return Err(ParseError::NonUnitWeight {
+                        line: line_no,
+                        weight: w.to_string(),
+                    });
                 }
                 (u, v)
             }
@@ -573,6 +617,12 @@ mod tests {
         }
         .to_string()
         .contains("7"));
+        let w = ParseError::NonUnitWeight {
+            line: 2,
+            weight: "10".to_string(),
+        };
+        assert!(w.to_string().contains("line 2"));
+        assert!(w.to_string().contains("10"));
     }
 
     #[test]
@@ -588,6 +638,10 @@ mod tests {
             ParseError::EdgeCountMismatch {
                 declared: 3,
                 actual: 2,
+            },
+            ParseError::NonUnitWeight {
+                line: 6,
+                weight: "2.5".to_string(),
             },
         ];
         for v in &variants {
@@ -663,6 +717,40 @@ mod tests {
             parse_edge_list("p 3 1\na 1 2 x\n", IngestOptions::strict()).unwrap_err(),
             ParseError::MalformedLine { line: 2 }
         );
+    }
+
+    #[test]
+    fn weight_policy_keep_discards_and_reject_nonunit_is_typed() {
+        let weighted = "p sp 3 2\na 1 2 10\na 2 3 1\n";
+        let reject = IngestOptions {
+            weights: WeightPolicy::RejectNonUnit,
+            ..IngestOptions::strict()
+        };
+
+        // Keep (the default) ingests the edges and discards the weights.
+        let (g, stats) = parse_edge_list(weighted, IngestOptions::strict()).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(stats.edges_added, 2);
+
+        // RejectNonUnit refuses the first non-unit weight, verbatim.
+        assert_eq!(
+            parse_edge_list(weighted, reject).unwrap_err(),
+            ParseError::NonUnitWeight {
+                line: 2,
+                weight: "10".to_string(),
+            }
+        );
+
+        // All-unit weights pass even under the strict policy, whatever
+        // the spelling of "one".
+        let unit = "p sp 3 2\na 1 2 1\na 2 3 1.0\n";
+        let (h, _) = parse_edge_list(unit, reject).unwrap();
+        assert_eq!(h.edge_count(), 2);
+
+        // Weightless arc lines are untouched by the policy.
+        let bare = "p sp 3 2\na 1 2\na 2 3\n";
+        let (b, _) = parse_edge_list(bare, reject).unwrap();
+        assert_eq!(b.edge_count(), 2);
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub use fault::{
 pub use graph::{EdgeId, Endpoints, Graph, GraphBuilder, VertexId};
 pub use io::{
     EdgeListParser, EdgeRejection, GraphAccumulator, IngestOptions, IngestStats, LinePolicy,
-    ParseError,
+    ParseError, WeightPolicy,
 };
 pub use path::Path;
 pub use sptree::SpTree;

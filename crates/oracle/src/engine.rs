@@ -106,6 +106,9 @@ pub struct QueryStats {
     /// Queries whose answers carried [`Guarantee::BestEffort`] (fault sets
     /// larger than the oracle's declared resilience).
     pub best_effort: u64,
+    /// Queries whose answers carried [`Guarantee::Approx`] (bounded-stretch
+    /// answers from an approximate backend within its resilience).
+    pub approx: u64,
 }
 
 /// One materialised restriction in a fault-LRU partition.
@@ -545,9 +548,16 @@ impl<R: QueryRecorder> QueryEngine<R> {
     /// Counts and returns the guarantee answers under `spec` carry.
     fn note_guarantee<O: DistanceOracle>(&mut self, oracle: &O, spec: &FaultSpec) -> Guarantee {
         let g = oracle.guarantee(spec);
-        if g == Guarantee::BestEffort {
-            self.stats.best_effort += 1;
-            self.recorder.best_effort();
+        match g {
+            Guarantee::BestEffort => {
+                self.stats.best_effort += 1;
+                self.recorder.best_effort();
+            }
+            Guarantee::Approx { .. } => {
+                self.stats.approx += 1;
+                self.recorder.approx_answer();
+            }
+            _ => {}
         }
         g
     }

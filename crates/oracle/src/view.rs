@@ -156,7 +156,8 @@ impl<'a> From<&'a [u8]> for SnapshotSource<'a> {
 /// both pins the arrays to a genuine BFS-tree shape and guarantees parent
 /// walks strictly decrease the distance, so path reconstruction
 /// terminates on any input that passes.
-fn check_tree(
+#[inline]
+pub(crate) fn check_tree(
     dist: LeU32s<'_>,
     parent: LeU32s<'_>,
     source: usize,
@@ -189,7 +190,8 @@ fn check_tree(
 /// Validates one CSR slab stored in a v2 snapshot: offsets start at zero,
 /// grow monotonically to exactly `2m`, and every arc's head and frozen
 /// edge id are in range — everything the BFS kernel indexes with.
-fn check_csr(
+#[inline]
+pub(crate) fn check_csr(
     xadj: LeU32s<'_>,
     heads: LeU32s<'_>,
     edges: LeU32s<'_>,
@@ -219,7 +221,8 @@ fn check_csr(
 }
 
 /// Slices `kind`'s bytes out of `data` as a `u32` array view.
-fn section_words<'a>(data: &'a [u8], s: &SectionEntry) -> LeU32s<'a> {
+#[inline]
+pub(crate) fn section_words<'a>(data: &'a [u8], s: &SectionEntry) -> LeU32s<'a> {
     LeU32s::new(&data[s.offset..s.offset + s.len])
         .expect("section lengths are validated u32-granular")
 }
