@@ -1,0 +1,71 @@
+//! Scratch review probe: hunt for stretch-contract violations of
+//! approx_ftbfs over a wider family of graphs than the unit tests cover.
+
+use ftbfs_core::{approx_ftbfs, ApproxParams};
+use ftbfs_graph::{bfs, generators, FaultSet, Graph, GraphView, TieBreak, VertexId};
+
+fn check(tag: &str, g: &Graph, seed: u64) -> usize {
+    let w = TieBreak::new(g, seed);
+    let s = VertexId(0);
+    let built = approx_ftbfs(g, &w, s, ApproxParams::DEFAULT);
+    let h = &built.structure;
+    let p = built.params;
+    let mut specs: Vec<FaultSet> = vec![FaultSet::empty()];
+    specs.extend(g.edges().map(FaultSet::single));
+    for a in g.edges() {
+        for b in g.edges() {
+            if a < b {
+                specs.push(FaultSet::pair(a, b));
+            }
+        }
+    }
+    let mut violations = 0usize;
+    for f in &specs {
+        let gview = GraphView::new(g).without_faults(f);
+        let hview = h.as_view(g).without_faults(f);
+        let gd = bfs(&gview, s);
+        let hd = bfs(&hview, s);
+        for v in g.vertices() {
+            match (gd.distance(v), hd.distance(v)) {
+                (None, None) => {}
+                (None, Some(_)) => {
+                    println!("{tag} seed={seed}: H reaches {v:?} but G does not?! F={f:?}");
+                    violations += 1;
+                }
+                (Some(t), None) => {
+                    println!("{tag} seed={seed}: REACHABILITY LOST at {v:?} F={f:?} t={t}");
+                    violations += 1;
+                }
+                (Some(t), Some(d)) => {
+                    let bound = p.stretch_bound(t);
+                    if (d as u64) > bound || d < t || (f.is_empty() && d != t) {
+                        println!(
+                            "{tag} seed={seed}: STRETCH VIOLATION v={v:?} F={f:?} t={t} d_H={d} bound={bound}"
+                        );
+                        violations += 1;
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[test]
+fn probe_many_graphs() {
+    let mut total = 0usize;
+    for seed in 0..30u64 {
+        total += check("gnp-thresh", &generators::connected_gnp(60, 0.055, seed), seed);
+        total += check("gnp-sparse", &generators::connected_gnp(48, 0.08, seed), seed);
+        total += check("gnp-mid", &generators::connected_gnp(30, 0.16, seed), seed);
+        total += check("tree-chords", &generators::tree_plus_chords(56, 10, seed), seed);
+        total += check("tree-chords-dense", &generators::tree_plus_chords(40, 30, seed), seed);
+        total += check("hub", &generators::hub_and_spokes(3, 10, 2, seed), seed);
+        total += check("cluster", &generators::cluster_graph(3, 12, 0.4, 1, seed), seed);
+    }
+    total += check("grid", &generators::grid(6, 6), 1);
+    total += check("grid-wide", &generators::grid(3, 14), 2);
+    total += check("cyc", &generators::cycle(20), 1);
+    total += check("bip", &generators::complete_bipartite(4, 7), 1);
+    assert_eq!(total, 0, "{total} contract violations found");
+}
